@@ -1,0 +1,243 @@
+// Package mastergreen's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (§8) — run:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigNN executes the corresponding experiment (quick scale;
+// set MASTERGREEN_FULL=1 for paper-scale sweeps) and reports its headline
+// numbers via b.ReportMetric, so the shapes can be compared against the
+// paper directly from benchmark output. EXPERIMENTS.md records a full
+// paper-vs-measured comparison.
+package main
+
+import (
+	"os"
+	"testing"
+
+	"mastergreen/internal/experiments"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 1, Quick: os.Getenv("MASTERGREEN_FULL") == ""}
+}
+
+// reportAll surfaces selected metrics on the benchmark result.
+func reportAll(b *testing.B, r *experiments.Report, keys ...string) {
+	b.Helper()
+	for _, k := range keys {
+		if v, ok := r.Metrics[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkFig1RealConflictProbability regenerates Fig. 1: probability of
+// real conflicts vs number of concurrent, potentially conflicting changes.
+func BenchmarkFig1RealConflictProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "iOS/p_real_conflict_n2", "iOS/p_real_conflict_n8")
+		}
+	}
+}
+
+// BenchmarkFig2BreakageVsStaleness regenerates Fig. 2: probability of a
+// mainline breakage as change staleness increases.
+func BenchmarkFig2BreakageVsStaleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "p_breakage_1h", "p_breakage_10h", "p_breakage_100h")
+		}
+	}
+}
+
+// BenchmarkFig9BuildDurationCDF regenerates Fig. 9: the CDF of build
+// durations for the iOS and Android monorepos.
+func BenchmarkFig9BuildDurationCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "iOS/median_min", "iOS/p95_min")
+		}
+	}
+}
+
+// BenchmarkFig10OracleTurnaroundCDF regenerates Fig. 10: the CDF of Oracle
+// turnaround time at 100–500 changes/hour with 2000 workers.
+func BenchmarkFig10OracleTurnaroundCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "p50_rate100", "p50_rate500", "p95_rate500")
+		}
+	}
+}
+
+// BenchmarkFig11TurnaroundGrid regenerates Fig. 11 (a–i): P50/P95/P99
+// turnaround normalized against Oracle for SubmitQueue, Speculate-all, and
+// Optimistic across the changes/hour × workers grid.
+func BenchmarkFig11TurnaroundGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r,
+				"SubmitQueue/P50/rate500/w500",
+				"SubmitQueue/P95/rate500/w500",
+				"Speculate-all/P95/rate500/w500",
+				"Optimistic/P95/rate500/w500",
+			)
+		}
+	}
+}
+
+// BenchmarkFig12Throughput regenerates Fig. 12 (a–c): average throughput
+// normalized against Oracle at 300–500 changes/hour.
+func BenchmarkFig12Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r,
+				"SubmitQueue/rate500/w500",
+				"Single-Queue/rate500/w500",
+				"Optimistic/rate500/w500",
+			)
+		}
+	}
+}
+
+// BenchmarkFig13ConflictAnalyzerBenefit regenerates Fig. 13 (a–c): the P95
+// turnaround improvement from enabling the conflict analyzer.
+func BenchmarkFig13ConflictAnalyzerBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r,
+				"Oracle/rate500/w500",
+				"SubmitQueue/rate500/w500",
+				"Optimistic/rate500/w500",
+			)
+		}
+	}
+}
+
+// BenchmarkFig14TrunkBasedMainline regenerates Fig. 14: the mainline's
+// per-hour green percentage under trunk-based development before
+// SubmitQueue (paper: green only 52% of the week).
+func BenchmarkFig14TrunkBasedMainline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "overall_green_pct")
+		}
+	}
+}
+
+// BenchmarkModelAccuracy regenerates the §7.2 result: ~97% validation
+// accuracy for the logistic-regression success model.
+func BenchmarkModelAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ModelAccuracy(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "isolated_accuracy", "final_accuracy", "rfe8_accuracy")
+		}
+	}
+}
+
+// BenchmarkSingleQueueBacklog regenerates the §2.2 back-of-envelope: a
+// single queue at 1000 changes/day with 30-minute builds exceeds 20 days of
+// turnaround for the last enqueued change.
+func BenchmarkSingleQueueBacklog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SingleQueueBacklog(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "analytic_last_turnaround_days", "sim_last_turnaround_days")
+		}
+	}
+}
+
+// BenchmarkAblationSelection verifies the §7.1 greedy best-first selection
+// matches exhaustive enumeration while doing bounded work.
+func BenchmarkAblationSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationSelection(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "top_k_agreement")
+		}
+	}
+}
+
+// BenchmarkAblationConflictDetection compares name-intersection, union-graph
+// and Equation 6 conflict detection on the Fig. 8 scenario.
+func BenchmarkAblationConflictDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationConflictDetection(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "union-graph_correct", "name-intersection_correct")
+		}
+	}
+}
+
+// BenchmarkAblationIncremental measures the §6 minimal-build-steps and
+// artifact-caching savings on speculative chains.
+func BenchmarkAblationIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationIncremental(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "savings_fraction")
+		}
+	}
+}
+
+// BenchmarkAblationSpecDepth sweeps the speculation-depth cap.
+func BenchmarkAblationSpecDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationSpecDepth(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "norm_p95_depth1", "norm_p95_depth16")
+		}
+	}
+}
+
+// BenchmarkAblationBatching evaluates the §10 batching extension.
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationBatching(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "p95_batch1", "p95_batch8", "builds_batch1", "builds_batch8")
+		}
+	}
+}
+
+// BenchmarkAblationPreemptionGrace evaluates the §10 preemption-grace
+// extension in the real-time planner.
+func BenchmarkAblationPreemptionGrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationPreemptionGrace(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "aborted_without_grace", "aborted_with_grace")
+		}
+	}
+}
+
+// BenchmarkAblationReordering evaluates the §10 change-reordering extension.
+func BenchmarkAblationReordering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationReordering(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "p50_base", "p50_reorder", "green_violations")
+		}
+	}
+}
+
+// BenchmarkAblationBoosting compares logistic regression with gradient
+// boosting (§10's suggested alternative) on both prediction tasks.
+func BenchmarkAblationBoosting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationBoosting(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "success_lr_accuracy", "success_gb_accuracy", "conflict_gb_auc")
+		}
+	}
+}

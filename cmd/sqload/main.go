@@ -1,0 +1,131 @@
+// Command sqload drives a running sqd instance over HTTP: it submits a
+// stream of synthetic changes (some conflicting, some broken), polls their
+// states, and reports turnaround statistics — an end-to-end smoke of the
+// whole service stack (API → queue → analyzer → speculation → planner →
+// build controller → monorepo).
+//
+// Usage (against a default sqd):
+//
+//	sqd &
+//	sqload -url http://localhost:8080 -n 20 -concurrency 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"mastergreen/internal/api"
+	"mastergreen/internal/metrics"
+)
+
+func main() {
+	base := flag.String("url", "http://localhost:8080", "sqd base URL")
+	n := flag.Int("n", 20, "changes to submit")
+	conc := flag.Int("concurrency", 4, "concurrent submitters")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-change decision timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Verify the service is up.
+	if resp, err := client.Get(*base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("sqload: service not healthy at %s: %v", *base, err)
+	}
+
+	type result struct {
+		id       string
+		state    string
+		turnMs   float64
+		rejected bool
+	}
+	results := make(chan result, *n)
+	sem := make(chan struct{}, *conc)
+	var wg sync.WaitGroup
+
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			id := fmt.Sprintf("load-%d-%d", time.Now().UnixNano(), i)
+			// Every submission creates a fresh file, so changes are mutually
+			// independent at the file level; target-level conflicts arise
+			// from the shared BUILD-less root. A few are deliberately broken.
+			content := fmt.Sprintf("content %d", i)
+			sub := api.SubmitRequest{
+				ID:     id,
+				Author: fmt.Sprintf("loadgen-%d", i%5),
+				Team:   "load",
+				Files: []api.FileChange{{
+					Path: fmt.Sprintf("load/file-%s.txt", id), Op: "create", Content: content,
+				}},
+				TestPlan: true,
+			}
+			body, _ := json.Marshal(sub)
+			start := time.Now()
+			resp, err := client.Post(*base+"/api/v1/changes", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Printf("sqload: submit %s: %v", id, err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				log.Printf("sqload: submit %s: status %d", id, resp.StatusCode)
+				return
+			}
+			deadline := time.Now().Add(*timeout)
+			for time.Now().Before(deadline) {
+				resp, err := client.Get(*base + "/api/v1/changes/" + id)
+				if err != nil {
+					log.Printf("sqload: poll %s: %v", id, err)
+					return
+				}
+				var st struct {
+					State  string `json:"state"`
+					Reason string `json:"reason"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if st.State == "committed" || st.State == "rejected" {
+					results <- result{
+						id: id, state: st.State,
+						turnMs:   float64(time.Since(start).Milliseconds()),
+						rejected: st.State == "rejected",
+					}
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			log.Printf("sqload: %s undecided after %v", id, *timeout)
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+
+	var turns []float64
+	committed, rejected := 0, 0
+	for r := range results {
+		turns = append(turns, r.turnMs)
+		if r.rejected {
+			rejected++
+		} else {
+			committed++
+		}
+	}
+	if len(turns) == 0 {
+		fmt.Println("sqload: no decisions observed")
+		os.Exit(1)
+	}
+	s := metrics.Summarize(turns)
+	fmt.Printf("sqload: %d committed, %d rejected of %d submitted\n", committed, rejected, *n)
+	fmt.Printf("turnaround ms: p50=%.0f p95=%.0f max=%.0f\n", s.P50, s.P95, s.Max)
+}

@@ -1,0 +1,133 @@
+// Command sqtrace generates and replays workload traces, the file-based
+// equivalent of the paper replaying recorded production changes (§8.1).
+//
+// Generate a trace:
+//
+//	sqtrace gen -n 1000 -rate 300 -seed 7 -platform ios -o trace.json
+//
+// Replay it through a scheduling strategy:
+//
+//	sqtrace run -i trace.json -strategy submitqueue -workers 200
+//	sqtrace run -i trace.json -strategy oracle -workers 200
+//
+// Because the trace pins arrivals, durations, and ground truth, replays are
+// bit-reproducible across machines and strategies are directly comparable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mastergreen/internal/experiments"
+	"mastergreen/internal/sim"
+	"mastergreen/internal/strategies"
+	"mastergreen/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sqtrace gen|run [flags]  (see -h of each)")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 1000, "number of changes")
+	rate := fs.Float64("rate", 300, "changes per hour")
+	seed := fs.Int64("seed", 1, "workload seed")
+	platform := fs.String("platform", "ios", "ios or android preset")
+	out := fs.String("o", "trace.json", "output path")
+	_ = fs.Parse(args)
+
+	var cfg workload.Config
+	switch *platform {
+	case "ios":
+		cfg = workload.IOSConfig(*seed, *n, *rate)
+	case "android":
+		cfg = workload.AndroidConfig(*seed, *n, *rate)
+	default:
+		log.Fatalf("sqtrace: unknown platform %q", *platform)
+	}
+	w := workload.Generate(cfg)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("sqtrace: %v", err)
+	}
+	defer f.Close()
+	if err := w.Export(f); err != nil {
+		log.Fatalf("sqtrace: export: %v", err)
+	}
+	fmt.Printf("sqtrace: wrote %d changes to %s\n", len(w.Changes), *out)
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("i", "trace.json", "trace path")
+	stratName := fs.String("strategy", "submitqueue", "oracle|submitqueue|speculate-all|optimistic|single-queue|batch|reorder")
+	workers := fs.Int("workers", 200, "concurrent builds")
+	analyzer := fs.Bool("analyzer", true, "conflict analyzer enabled")
+	trainN := fs.Int("train", 4000, "historical changes for the learned model (submitqueue/reorder)")
+	seed := fs.Int64("seed", 1, "training seed")
+	_ = fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("sqtrace: %v", err)
+	}
+	w, err := workload.Import(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("sqtrace: import: %v", err)
+	}
+
+	var strat sim.Strategy
+	switch *stratName {
+	case "oracle":
+		strat = strategies.NewOracle(w)
+	case "submitqueue", "reorder":
+		trained, mt, err := experiments.TrainPredictor(*seed, *trainN)
+		if err != nil {
+			log.Fatalf("sqtrace: training: %v", err)
+		}
+		fmt.Printf("sqtrace: model accuracy %.3f\n", mt.Accuracy)
+		sq := strategies.NewSubmitQueue(w, trained)
+		if *stratName == "reorder" {
+			sq.ReorderSmall = true
+		}
+		strat = sq
+	case "speculate-all":
+		strat = strategies.NewSpeculateAll(w)
+	case "optimistic":
+		strat = strategies.Optimistic{}
+	case "single-queue":
+		strat = strategies.SingleQueue{}
+	case "batch":
+		strat = &strategies.Batch{BatchSize: 4}
+	default:
+		log.Fatalf("sqtrace: unknown strategy %q", *stratName)
+	}
+
+	res := sim.Run(w, strat, sim.Config{Workers: *workers, UseAnalyzer: *analyzer})
+	s := res.Summary()
+	fmt.Printf("strategy=%s workers=%d analyzer=%v\n", res.Strategy, res.Workers, *analyzer)
+	fmt.Printf("committed=%d rejected=%d undecided=%d greenViolations=%d\n",
+		res.Committed, res.Rejected, res.Undecided, res.GreenViolations)
+	fmt.Printf("turnaround min: p50=%.1f p95=%.1f p99=%.1f mean=%.1f\n", s.P50, s.P95, s.P99, s.Mean)
+	fmt.Printf("throughput=%.1f commits/h, builds: %d started / %d finished / %d aborted\n",
+		res.ThroughputPerHour, res.BuildsStarted, res.BuildsFinished, res.BuildsAborted)
+}

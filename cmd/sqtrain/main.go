@@ -1,0 +1,128 @@
+// Command sqtrain trains and evaluates SubmitQueue's logistic-regression
+// models on a synthetic workload, reproducing the §7.2 methodology: 70/30
+// train/validation split, accuracy report, top positive/negative features,
+// and a recursive-feature-elimination pass.
+//
+// Usage:
+//
+//	sqtrain [-n 20000] [-seed 1] [-rfe 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mastergreen/internal/predict"
+	"mastergreen/internal/textplot"
+	"mastergreen/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "historical changes to synthesize")
+	seed := flag.Int64("seed", 1, "workload seed")
+	rfeKeep := flag.Int("rfe", 8, "features to keep in the RFE pass (0 = skip)")
+	boost := flag.Bool("boost", false, "also train gradient-boosted stumps (§10 extension)")
+	savePath := flag.String("save", "", "write the trained success model (JSON) to this path")
+	flag.Parse()
+
+	w := workload.Generate(workload.Config{Seed: *seed, Count: *n, RatePerHour: 300})
+
+	fmt.Println("=== Success model (predictSuccess) ===")
+	X, y := w.TrainingData()
+	trX, trY, vaX, vaY := predict.Split(X, y, 0.7, *seed)
+	m, err := predict.Train(predict.SuccessFeatureNames, trX, trY, predict.TrainConfig{Epochs: 80})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	mt := predict.Evaluate(m, vaX, vaY)
+	fmt.Printf("validation: accuracy=%.3f precision=%.3f recall=%.3f f1=%.3f (n=%d)\n",
+		mt.Accuracy, mt.Precision, mt.Recall, mt.F1, mt.N)
+	fmt.Println("(paper reports ~97% accuracy for the production model)")
+
+	var rows [][]string
+	for i, imp := range m.Importances() {
+		if i >= 10 {
+			break
+		}
+		rows = append(rows, []string{imp.Name, fmt.Sprintf("%+.3f", imp.Weight)})
+	}
+	fmt.Println(textplot.Table("top features by |standardized weight|",
+		[]string{"feature", "weight"}, rows))
+
+	if *rfeKeep > 0 {
+		fmt.Printf("=== RFE down to %d features ===\n", *rfeKeep)
+		rm, kept, err := predict.RFE(predict.SuccessFeatureNames, trX, trY,
+			predict.TrainConfig{Epochs: 40}, *rfeKeep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfe:", err)
+			os.Exit(1)
+		}
+		keptX := project(vaX, kept)
+		rmt := predict.Evaluate(rm, keptX, vaY)
+		fmt.Printf("kept %d features, validation accuracy=%.3f\n", len(kept), rmt.Accuracy)
+		for _, k := range kept {
+			fmt.Printf("  %s\n", predict.SuccessFeatureNames[k])
+		}
+	}
+
+	if *boost {
+		fmt.Println("\n=== Gradient boosting (§10 extension) ===")
+		gb, err := predict.TrainBoost(predict.SuccessFeatureNames, trX, trY, predict.BoostConfig{Rounds: 120})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "boost:", err)
+			os.Exit(1)
+		}
+		gmt := predict.EvaluateBoost(gb, vaX, vaY)
+		fmt.Printf("validation: accuracy=%.3f (%d stumps) vs LR %.3f\n",
+			gmt.Accuracy, len(gb.Stumps), mt.Accuracy)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		if err := predict.SaveModel(f, m); err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nsuccess model saved to %s\n", *savePath)
+	}
+
+	fmt.Println("\n=== Conflict model (predictConflict) ===")
+	cX, cy := w.ConflictTrainingData(*seed)
+	ctrX, ctrY, cvaX, cvaY := predict.Split(cX, cy, 0.7, *seed)
+	cm, err := predict.Train(predict.ConflictFeatureNames, ctrX, ctrY, predict.TrainConfig{Epochs: 80})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train conflict:", err)
+		os.Exit(1)
+	}
+	cmt := predict.Evaluate(cm, cvaX, cvaY)
+	fmt.Printf("validation: accuracy=%.3f precision=%.3f recall=%.3f (n=%d)\n",
+		cmt.Accuracy, cmt.Precision, cmt.Recall, cmt.N)
+	cProbs := cm.Predictions(cvaX)
+	fmt.Printf("AUC=%.3f (ranking quality; the speculation engine consumes probabilities, not labels)\n",
+		predict.AUC(cProbs, cvaY))
+	fmt.Println(predict.CalibrationReport(predict.Calibration(cProbs, cvaY, 10)))
+
+	fmt.Println("=== Success model calibration ===")
+	sProbs := m.Predictions(vaX)
+	fmt.Printf("AUC=%.3f\n", predict.AUC(sProbs, vaY))
+	fmt.Println(predict.CalibrationReport(predict.Calibration(sProbs, vaY, 10)))
+}
+
+func project(X [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		pr := make([]float64, len(cols))
+		for k, c := range cols {
+			pr[k] = row[c]
+		}
+		out[i] = pr
+	}
+	return out
+}

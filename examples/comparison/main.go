@@ -1,0 +1,80 @@
+// Comparison: replay the same synthetic change stream through every
+// scheduling approach of §8 — Oracle, SubmitQueue (trained model),
+// Speculate-all, Optimistic (Zuul), Single-Queue (Bors), and batched
+// Chromium-CQ — and print turnaround/throughput side by side. All approaches
+// commit exactly the same set of changes (serializability makes outcomes
+// scheduling-independent); only speed differs.
+//
+//	go run ./examples/comparison [-n 400] [-rate 300] [-workers 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mastergreen/internal/experiments"
+	"mastergreen/internal/sim"
+	"mastergreen/internal/strategies"
+	"mastergreen/internal/textplot"
+	"mastergreen/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 400, "number of changes")
+	rate := flag.Float64("rate", 300, "changes per hour")
+	workers := flag.Int("workers", 200, "concurrent builds")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	w := workload.Generate(workload.IOSConfig(*seed, *n, *rate))
+	trained, modelMetrics, err := experiments.TrainPredictor(*seed, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictor trained on separate history: final-outcome accuracy %.3f\n\n", modelMetrics.Accuracy)
+
+	strats := []sim.Strategy{
+		strategies.NewOracle(w),
+		strategies.NewSubmitQueue(w, trained),
+		strategies.NewSpeculateAll(w),
+		strategies.Optimistic{},
+		strategies.SingleQueue{},
+		&strategies.Batch{BatchSize: 4},
+	}
+
+	var rows [][]string
+	var oracleP95 float64
+	for _, s := range strats {
+		res := sim.Run(w, s, sim.Config{Workers: *workers, UseAnalyzer: true})
+		sum := res.Summary()
+		if s.Name() == "Oracle" {
+			oracleP95 = sum.P95
+		}
+		norm := "-"
+		if oracleP95 > 0 {
+			norm = fmt.Sprintf("%.2fx", sum.P95/oracleP95)
+		}
+		rows = append(rows, []string{
+			s.Name(),
+			fmt.Sprintf("%.0f", sum.P50),
+			fmt.Sprintf("%.0f", sum.P95),
+			norm,
+			fmt.Sprintf("%.1f", res.ThroughputPerHour),
+			fmt.Sprint(res.Committed),
+			fmt.Sprint(res.Rejected),
+			fmt.Sprint(res.BuildsStarted),
+			fmt.Sprint(res.BuildsAborted),
+		})
+		if res.GreenViolations != 0 {
+			log.Fatalf("%s broke the mainline %d times — impossible under these semantics",
+				s.Name(), res.GreenViolations)
+		}
+	}
+	fmt.Println(textplot.Table(
+		fmt.Sprintf("%d changes @ %.0f/h, %d workers (turnaround in minutes)", *n, *rate, *workers),
+		[]string{"strategy", "P50", "P95", "P95/Oracle", "commits/h", "committed", "rejected", "builds", "aborted"},
+		rows))
+	fmt.Println("every strategy kept the mainline green and landed the same change set;")
+	fmt.Println("the paper's contribution is reaching near-Oracle turnaround while doing so.")
+}

@@ -1,0 +1,107 @@
+// Hotfix: the operational life of a green mainline — line-level patches that
+// merge instead of conflicting, an emergency revert of a landed change
+// (§1: "roll back to any previously committed change"), and a release cut
+// from an arbitrary historical commit point.
+//
+//	go run ./examples/hotfix
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/core"
+	"mastergreen/internal/repo"
+)
+
+const configV1 = `# service config
+timeout_s = 30
+retries = 3
+theme = light
+region = auto
+`
+
+func main() {
+	r := repo.New(map[string]string{
+		"svc/BUILD":      "target svc srcs=config.ini",
+		"svc/config.ini": configV1,
+	})
+	svc := core.NewService(r, core.Config{Workers: 4})
+
+	submit := func(id, desc string, fcs ...repo.FileChange) {
+		c := &change.Change{
+			ID:          change.ID(id),
+			Author:      change.Developer{Name: "oncall", Team: "infra", Level: 5},
+			Description: desc,
+			Patch:       repo.Patch{Changes: fcs},
+			BuildSteps:  change.DefaultBuildSteps(),
+		}
+		if err := svc.Submit(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Two developers edit DIFFERENT LINES of the same config concurrently.
+	// With whole-file patches the second would be a merge conflict; line
+	// patches locate their hunks by content and both land.
+	submit("tune-timeout", "svc: drop timeout to 10s",
+		repo.EditLines("svc/config.ini", 2, []string{"timeout_s = 30"}, []string{"timeout_s = 10"}))
+	submit("dark-theme", "svc: dark theme default",
+		repo.EditLines("svc/config.ini", 4, []string{"theme = light"}, []string{"theme = dark"}))
+
+	if err := svc.ProcessAll(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range svc.Outcomes() {
+		fmt.Printf("%-14s %s\n", o.ID, o.State)
+	}
+	cfg, _ := r.Head().Snapshot().Read("svc/config.ini")
+	fmt.Printf("\nmerged config:\n%s\n", indent(cfg))
+
+	// The timeout change turns out to cause an incident: revert it. The
+	// revert composes with the dark-theme change that landed after it.
+	var timeoutCommit repo.CommitID
+	for _, o := range svc.Outcomes() {
+		if o.ID == "tune-timeout" {
+			timeoutCommit = o.Commit
+		}
+	}
+	rc, err := r.Revert(timeoutCommit, "oncall", r.Head().Time)
+	if err != nil {
+		log.Fatalf("revert: %v", err)
+	}
+	fmt.Printf("reverted %s as %s\n", timeoutCommit, rc.ID)
+	cfg, _ = r.Head().Snapshot().Read("svc/config.ini")
+	if !strings.Contains(cfg, "timeout_s = 30") || !strings.Contains(cfg, "theme = dark") {
+		log.Fatalf("revert did not compose: %q", cfg)
+	}
+	fmt.Printf("\nconfig after revert (timeout restored, theme kept):\n%s\n", indent(cfg))
+
+	// Release engineering can cut a build from ANY commit point — every one
+	// is green by construction.
+	for seq := 0; seq < r.Len(); seq++ {
+		snap, err := r.RollbackState(seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, _ := snap.Read("svc/config.ini")
+		fmt.Printf("release candidate @%d: %d bytes, timeout line: %s\n",
+			seq, len(c), lineWith(c, "timeout_s"))
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}
+
+func lineWith(content, substr string) string {
+	for _, l := range strings.Split(content, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return "(missing)"
+}

@@ -1,0 +1,147 @@
+// Mobiledev: a day in the life of a mobile-app monorepo — the scenario the
+// paper's introduction motivates. Three teams land a burst of changes
+// concurrently: some break compilation, some pass alone but conflict when
+// combined (the pre-release regression story from §1), and the rest are
+// clean. SubmitQueue speculates, serializes the conflicting ones, rejects
+// the faulty ones with precise reasons, and the mainline stays green at
+// every commit point.
+//
+//	go run ./examples/mobiledev
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"mastergreen/internal/buildsys"
+	"mastergreen/internal/change"
+	"mastergreen/internal/core"
+	"mastergreen/internal/repo"
+)
+
+// newMonorepo lays out a rider app, a driver app, and shared libraries.
+func newMonorepo() *repo.Repo {
+	return repo.New(map[string]string{
+		"rider/BUILD":   "target rider srcs=app.go deps=//shared:net,//shared:ui",
+		"rider/app.go":  "rider v1",
+		"driver/BUILD":  "target driver srcs=app.go deps=//shared:net",
+		"driver/app.go": "driver v1",
+		"shared/BUILD":  "target net srcs=net.go\ntarget ui srcs=ui.go",
+		"shared/net.go": "net timeout=30",
+		"shared/ui.go":  "ui theme=light",
+		"tools/BUILD":   "target ci srcs=ci.go",
+		"tools/ci.go":   "ci v1",
+	})
+}
+
+// appRunner simulates the build fleet: compilation fails on "syntax error"
+// content, and the rider UI test fails when an aggressive network timeout is
+// combined with the new heavy theme — a real conflict in the Fig. 1 sense:
+// each change passes alone, together they break.
+var appRunner = buildsys.RunnerFunc(func(_ context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+	for _, p := range snap.Paths() {
+		if c, _ := snap.Read(p); strings.Contains(c, "syntax error") {
+			return fmt.Errorf("compile: %s does not parse", p)
+		}
+	}
+	if step.Kind == change.StepUITest && target == "//rider:rider" {
+		net, _ := snap.Read("shared/net.go")
+		ui, _ := snap.Read("shared/ui.go")
+		if strings.Contains(net, "timeout=5") && strings.Contains(ui, "theme=heavy") {
+			return errors.New("ui-test: rider app spinner exceeds 5s under heavy theme")
+		}
+	}
+	return nil
+})
+
+func modify(r *repo.Repo, path, content string) repo.FileChange {
+	cur, ok := r.Head().Snapshot().Read(path)
+	if !ok {
+		return repo.FileChange{Path: path, Op: repo.OpCreate, NewContent: content}
+	}
+	return repo.FileChange{Path: path, Op: repo.OpModify, BaseHash: repo.HashContent(cur), NewContent: content}
+}
+
+func main() {
+	r := newMonorepo()
+	svc := core.NewService(r, core.Config{Workers: 6, Runner: appRunner})
+
+	submit := func(id, author, team, desc string, fcs ...repo.FileChange) {
+		c := &change.Change{
+			ID:          change.ID(id),
+			Author:      change.Developer{Name: author, Team: team, Level: 3},
+			Description: desc,
+			Patch:       repo.Patch{Changes: fcs},
+			BuildSteps:  change.DefaultBuildSteps(),
+		}
+		if err := svc.Submit(c); err != nil {
+			log.Fatalf("submit %s: %v", id, err)
+		}
+	}
+
+	// The burst: six changes land within minutes, as before a release.
+	submit("net-timeout", "nina", "network", "shared/net: aggressive 5s timeout",
+		modify(r, "shared/net.go", "net timeout=5"))
+	submit("ui-heavy", "uma", "design", "shared/ui: heavy theme",
+		modify(r, "shared/ui.go", "ui theme=heavy"))
+	submit("rider-feature", "rita", "rider", "rider: new pickup flow",
+		modify(r, "rider/app.go", "rider v2 pickup-flow"))
+	submit("driver-broken", "dan", "driver", "driver: WIP refactor",
+		modify(r, "driver/app.go", "driver v2 syntax error"))
+	submit("ci-tweak", "carl", "infra", "tools: faster ci",
+		modify(r, "tools/ci.go", "ci v2"))
+	submit("driver-fix", "dan", "driver", "driver: polish accepted-ride screen",
+		modify(r, "driver/app.go", "driver v2 polished"))
+
+	if err := svc.ProcessAll(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== outcomes (in decision order) ===")
+	for _, o := range svc.Outcomes() {
+		if o.State == change.StateCommitted {
+			fmt.Printf("  %-14s committed as %s\n", o.ID, o.Commit)
+		} else {
+			fmt.Printf("  %-14s REJECTED: %s\n", o.ID, o.Reason)
+		}
+	}
+
+	// Verify the headline guarantee: every commit point in mainline history
+	// passes all build steps.
+	fmt.Println("\n=== mainline audit ===")
+	for i := 0; i < r.Len(); i++ {
+		cm, err := r.At(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := auditGreen(cm.Snapshot()); err != nil {
+			log.Fatalf("commit %d (%s) is RED: %v", i, cm.ID, err)
+		}
+		msg := cm.Message
+		if msg == "" {
+			msg = "(root)"
+		}
+		fmt.Printf("  commit %d green ✓  %s\n", i, msg)
+	}
+	st := svc.BuildStats()
+	fmt.Printf("\nbuilds: %d run, %d aborted (speculation), %d step-units skipped via minimal-steps/caching\n",
+		st.Builds, st.Aborted, st.SkippedPrior+st.SkippedCache)
+}
+
+// auditGreen replays the full build predicate on a snapshot.
+func auditGreen(snap repo.Snapshot) error {
+	for _, p := range snap.Paths() {
+		if c, _ := snap.Read(p); strings.Contains(c, "syntax error") {
+			return fmt.Errorf("%s does not compile", p)
+		}
+	}
+	net, _ := snap.Read("shared/net.go")
+	ui, _ := snap.Read("shared/ui.go")
+	if strings.Contains(net, "timeout=5") && strings.Contains(ui, "theme=heavy") {
+		return errors.New("rider UI regression present")
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Quickstart: stand up a SubmitQueue over a small monorepo, land one change,
+// and watch it merge into an always-green mainline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/core"
+	"mastergreen/internal/repo"
+)
+
+func main() {
+	// 1. A monorepo: BUILD files declare targets (à la Buck/Bazel).
+	r := repo.New(map[string]string{
+		"app/BUILD":    "target app srcs=main.go deps=//lib:strings",
+		"app/main.go":  `println(greet("rider"))`,
+		"lib/BUILD":    "target strings srcs=greet.go",
+		"lib/greet.go": `func greet(n string) string { return "hello " + n }`,
+	})
+
+	// 2. A SubmitQueue service over it.
+	svc := core.NewService(r, core.Config{Workers: 4})
+
+	// 3. A developer edits lib/greet.go and submits the change. The patch
+	//    records the base content hash, exactly like a git merge base.
+	cur, _ := r.Head().Snapshot().Read("lib/greet.go")
+	c := &change.Change{
+		ID:          "greet-v2",
+		Author:      change.Developer{Name: "alice", Team: "platform", Level: 4},
+		Description: "greet: capitalize greeting",
+		Patch: repo.Patch{Changes: []repo.FileChange{{
+			Path:       "lib/greet.go",
+			Op:         repo.OpModify,
+			BaseHash:   repo.HashContent(cur),
+			NewContent: `func greet(n string) string { return "Hello, " + n }`,
+		}}},
+		BuildSteps: change.DefaultBuildSteps(),
+	}
+	if err := svc.Submit(c); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Drive the queue until every pending change is decided.
+	if err := svc.ProcessAll(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := svc.State("greet-v2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("change %s: %s (commit %s)\n", st.ID, st.State, st.Commit)
+	fmt.Printf("mainline length: %d commits\n", r.Len())
+	got, _ := r.Head().Snapshot().Read("lib/greet.go")
+	fmt.Printf("lib/greet.go @ HEAD: %s\n", got)
+
+	// Every commit point in history is green by construction — SubmitQueue
+	// never lands a change whose build steps failed.
+	fmt.Println("mainline green: every commit passed compile/unit/integration/ui/artifact steps")
+}

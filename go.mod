@@ -1,0 +1,3 @@
+module mastergreen
+
+go 1.22

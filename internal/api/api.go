@@ -1,0 +1,224 @@
+// Package api exposes SubmitQueue over HTTP, mirroring the paper's stateless
+// API service (§7.1): landing a change and getting the state of a change,
+// plus a small status page in place of the cycle.js web UI.
+//
+// Endpoints:
+//
+//	POST /api/v1/changes        — submit (land) a change
+//	GET  /api/v1/changes/{id}   — get a change's state
+//	GET  /api/v1/status         — service counters
+//	GET  /healthz               — liveness
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/core"
+	"mastergreen/internal/events"
+	"mastergreen/internal/repo"
+)
+
+// SubmitRequest is the JSON body of POST /api/v1/changes.
+type SubmitRequest struct {
+	ID          string       `json:"id"`
+	Author      string       `json:"author"`
+	Team        string       `json:"team"`
+	Description string       `json:"description"`
+	Files       []FileChange `json:"files"`
+	// TestPlan/RevertPlan feed the revision-level model features.
+	TestPlan   bool `json:"test_plan"`
+	RevertPlan bool `json:"revert_plan"`
+	// Benefit weights this change in the speculation value function
+	// (§4.2.1); 0 means the default of 1. Security patches and release
+	// blockers submit with higher benefit.
+	Benefit float64 `json:"benefit,omitempty"`
+}
+
+// FileChange is one file edit in a submit request.
+type FileChange struct {
+	Path string `json:"path"`
+	// Op is "create", "modify", "delete", or "edit-lines".
+	Op string `json:"op"`
+	// BaseContent is the content the edit was authored against (used to
+	// compute the merge-base hash for modify/delete).
+	BaseContent string `json:"base_content,omitempty"`
+	Content     string `json:"content,omitempty"`
+	// Line-edit fields ("edit-lines"): replace OldLines at the 1-based
+	// StartLine with NewLines; the hunk is located by content with fuzz, so
+	// disjoint line edits to one file merge instead of conflicting.
+	StartLine int      `json:"start_line,omitempty"`
+	OldLines  []string `json:"old_lines,omitempty"`
+	NewLines  []string `json:"new_lines,omitempty"`
+}
+
+// SubmitResponse is the JSON reply to a submit.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// StateResponse is the JSON reply to a state query.
+type StateResponse struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	Commit string `json:"commit,omitempty"`
+}
+
+// StatusResponse summarizes the service.
+type StatusResponse struct {
+	Pending       int    `json:"pending"`
+	MainlineLen   int    `json:"mainline_len"`
+	MainlineHead  string `json:"mainline_head"`
+	BuildsStarted int    `json:"builds_started"`
+	BuildsAborted int    `json:"builds_aborted"`
+}
+
+// Server adapts a core.Service to HTTP.
+type Server struct {
+	svc    *core.Service
+	mux    *http.ServeMux
+	events *events.Bus
+}
+
+// NewServer wraps the service.
+func NewServer(svc *core.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/changes", s.handleChanges)
+	s.mux.HandleFunc("/api/v1/changes/", s.handleChangeState)
+	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
+	s.mux.HandleFunc("/api/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/api/v1/outcomes", s.handleOutcomes)
+	s.mux.HandleFunc("/", s.handleDashboard)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// toPatch converts request file edits into a repo.Patch.
+func toPatch(files []FileChange) (repo.Patch, error) {
+	var p repo.Patch
+	for _, f := range files {
+		if f.Path == "" {
+			return repo.Patch{}, fmt.Errorf("file change without path")
+		}
+		fc := repo.FileChange{Path: f.Path, NewContent: f.Content}
+		switch f.Op {
+		case "create":
+			fc.Op = repo.OpCreate
+		case "modify":
+			fc.Op = repo.OpModify
+			fc.BaseHash = repo.HashContent(f.BaseContent)
+		case "delete":
+			fc.Op = repo.OpDelete
+			fc.BaseHash = repo.HashContent(f.BaseContent)
+		case "edit-lines":
+			fc.Op = repo.OpEditLines
+			fc.StartLine = f.StartLine
+			fc.OldLines = f.OldLines
+			fc.NewLines = f.NewLines
+		default:
+			return repo.Patch{}, fmt.Errorf("unknown op %q for %s", f.Op, f.Path)
+		}
+		p.Changes = append(p.Changes, fc)
+	}
+	return p, nil
+}
+
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.ID == "" {
+		req.ID = fmt.Sprintf("c-%d", time.Now().UnixNano())
+	}
+	patch, err := toPatch(req.Files)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	c := &change.Change{
+		ID:          change.ID(req.ID),
+		Author:      change.Developer{Name: req.Author, Team: req.Team, Level: 3},
+		Description: req.Description,
+		Patch:       patch,
+		BuildSteps:  change.DefaultBuildSteps(),
+		Revision: &change.Revision{
+			ID:         change.RevisionID("r-" + req.ID),
+			TestPlan:   req.TestPlan,
+			RevertPlan: req.RevertPlan,
+		},
+		Stats:   change.Stats{FilesChanged: len(req.Files)},
+		Benefit: req.Benefit,
+	}
+	if err := s.svc.Submit(c); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: req.ID, State: change.StatePending.String()})
+}
+
+func (s *Server) handleChangeState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/v1/changes/")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing change id")
+		return
+	}
+	st, err := s.svc.State(change.ID(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, StateResponse{
+		ID:     string(st.ID),
+		State:  st.State.String(),
+		Reason: st.Reason,
+		Commit: string(st.Commit),
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	bs := s.svc.BuildStats()
+	head := s.svc.Repo().Head()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Pending:       s.svc.PendingCount(),
+		MainlineLen:   s.svc.Repo().Len(),
+		MainlineHead:  string(head.ID),
+		BuildsStarted: bs.Builds,
+		BuildsAborted: bs.Aborted,
+	})
+}

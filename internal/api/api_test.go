@@ -1,0 +1,183 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mastergreen/internal/core"
+	"mastergreen/internal/repo"
+)
+
+func newServer(t *testing.T) (*Server, *core.Service, *repo.Repo) {
+	t.Helper()
+	r := repo.New(map[string]string{
+		"lib/BUILD":  "target lib srcs=lib.go",
+		"lib/lib.go": "lib v1",
+	})
+	svc := core.NewService(r, core.Config{Workers: 2, Epoch: 2 * time.Millisecond})
+	svc.Start()
+	t.Cleanup(svc.Stop)
+	return NewServer(svc), svc, r
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestSubmitAndPoll(t *testing.T) {
+	srv, _, _ := newServer(t)
+	sub := SubmitRequest{
+		ID: "c1", Author: "alice", Team: "infra", Description: "edit lib",
+		Files: []FileChange{{
+			Path: "lib/lib.go", Op: "modify", BaseContent: "lib v1", Content: "lib v2",
+		}},
+		TestPlan: true,
+	}
+	rec := doJSON(t, srv, http.MethodPost, "/api/v1/changes", sub)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", rec.Code, rec.Body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec = doJSON(t, srv, http.MethodGet, "/api/v1/changes/c1", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("state status = %d", rec.Code)
+		}
+		var st StateResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "committed" {
+			if st.Commit == "" {
+				t.Fatal("committed without commit id")
+			}
+			return
+		}
+		if st.State == "rejected" {
+			t.Fatalf("rejected: %s", st.Reason)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never committed; state=%s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubmitValidationErrors(t *testing.T) {
+	srv, _, _ := newServer(t)
+	// Bad JSON.
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/changes", bytes.NewBufferString("{"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json status = %d", rec.Code)
+	}
+	// Unknown op.
+	rec = doJSON(t, srv, http.MethodPost, "/api/v1/changes", SubmitRequest{
+		ID: "c2", Files: []FileChange{{Path: "x", Op: "exec"}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown op status = %d", rec.Code)
+	}
+	// Missing path.
+	rec = doJSON(t, srv, http.MethodPost, "/api/v1/changes", SubmitRequest{
+		ID: "c3", Files: []FileChange{{Op: "create"}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing path status = %d", rec.Code)
+	}
+	// Empty patch rejected by core validation.
+	rec = doJSON(t, srv, http.MethodPost, "/api/v1/changes", SubmitRequest{ID: "c4"})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("empty patch status = %d", rec.Code)
+	}
+	// Wrong method.
+	rec = doJSON(t, srv, http.MethodGet, "/api/v1/changes", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET collection status = %d", rec.Code)
+	}
+}
+
+func TestDuplicateSubmit(t *testing.T) {
+	srv, _, _ := newServer(t)
+	sub := SubmitRequest{
+		ID:    "dup",
+		Files: []FileChange{{Path: "new.txt", Op: "create", Content: "x"}},
+	}
+	if rec := doJSON(t, srv, http.MethodPost, "/api/v1/changes", sub); rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", rec.Code)
+	}
+	if rec := doJSON(t, srv, http.MethodPost, "/api/v1/changes", sub); rec.Code != http.StatusConflict {
+		t.Fatalf("dup submit = %d", rec.Code)
+	}
+}
+
+func TestStateUnknown(t *testing.T) {
+	srv, _, _ := newServer(t)
+	rec := doJSON(t, srv, http.MethodGet, "/api/v1/changes/ghost", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	rec = doJSON(t, srv, http.MethodGet, "/api/v1/changes/", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty id status = %d", rec.Code)
+	}
+	rec = doJSON(t, srv, http.MethodPost, "/api/v1/changes/x", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST state status = %d", rec.Code)
+	}
+}
+
+func TestStatusAndHealth(t *testing.T) {
+	srv, _, r := newServer(t)
+	rec := doJSON(t, srv, http.MethodGet, "/api/v1/status", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.MainlineLen != r.Len() || st.MainlineHead == "" {
+		t.Fatalf("status = %+v", st)
+	}
+	rec = doJSON(t, srv, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	rec = doJSON(t, srv, http.MethodPost, "/api/v1/status", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", rec.Code)
+	}
+}
+
+func TestAutoIDAssigned(t *testing.T) {
+	srv, _, _ := newServer(t)
+	rec := doJSON(t, srv, http.MethodPost, "/api/v1/changes", SubmitRequest{
+		Files: []FileChange{{Path: "auto.txt", Op: "create", Content: "x"}},
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", rec.Code)
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID == "" {
+		t.Fatal("no auto ID assigned")
+	}
+}

@@ -1,0 +1,194 @@
+// Package change defines the domain vocabulary of the paper's development
+// life cycle (§3.1): a Revision is a container of Changes; a Change is a code
+// patch padded with the build steps that must succeed before the patch can be
+// merged into the mainline, plus the metadata the probabilistic model feeds
+// on (§7.2).
+package change
+
+import (
+	"fmt"
+	"time"
+
+	"mastergreen/internal/repo"
+)
+
+// ID identifies a change.
+type ID string
+
+// RevisionID identifies a revision (a container for changes).
+type RevisionID string
+
+// StepKind classifies a build step.
+type StepKind int
+
+// Build step kinds, in typical execution order.
+const (
+	StepCompile StepKind = iota
+	StepUnitTest
+	StepIntegrationTest
+	StepUITest
+	StepArtifact
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case StepCompile:
+		return "compile"
+	case StepUnitTest:
+		return "unit-test"
+	case StepIntegrationTest:
+		return "integration-test"
+	case StepUITest:
+		return "ui-test"
+	case StepArtifact:
+		return "artifact"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// BuildStep is one verification a change must pass before landing.
+type BuildStep struct {
+	Name string
+	Kind StepKind
+	// Target names this step covers; empty means "all affected targets".
+	Targets []string
+}
+
+// State is the lifecycle state of a change inside SubmitQueue.
+type State int
+
+// Change lifecycle states.
+const (
+	StatePending State = iota
+	StateBuilding
+	StateCommitted
+	StateRejected
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateBuilding:
+		return "building"
+	case StateCommitted:
+		return "committed"
+	case StateRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Developer metadata used as model features (§7.2 "Developer").
+type Developer struct {
+	Name             string
+	Team             string
+	Level            int // seniority level, 1..10
+	EmploymentMonths int
+}
+
+// Revision is a container for storing multiple changes (§3.1). Developers
+// amend a revision until a change is approved; revision-level features
+// (submit count, revert/test plans) are strong predictors (§7.2).
+type Revision struct {
+	ID          RevisionID
+	Author      Developer
+	SubmitCount int  // number of times changes were submitted to this revision
+	TestPlan    bool // revision declares a test plan
+	RevertPlan  bool // revision declares a revert plan
+}
+
+// Stats are the static, per-change features from §7.2 ("Change" category).
+type Stats struct {
+	NumGitCommits      int
+	FilesChanged       int
+	LinesAdded         int
+	LinesRemoved       int
+	HunksChanged       int
+	BinariesAdded      int
+	BinariesRemoved    int
+	AffectedTargets    int
+	InitialTestsPassed int // pre-submit checks that succeeded
+	InitialTestsFailed int
+}
+
+// SpecStats are the dynamic features: the number of speculations for this
+// change that succeeded or failed so far (§7.2 "Speculation"). They are
+// updated by the planner as speculative builds finish.
+type SpecStats struct {
+	Succeeded int
+	Failed    int
+}
+
+// Change comprises a developer's code patch padded with build steps that
+// must succeed before the patch can be merged (§1), plus metadata.
+type Change struct {
+	ID          ID
+	Revision    *Revision
+	Author      Developer
+	Description string
+
+	Patch      repo.Patch
+	BuildSteps []BuildStep
+
+	// BaseCommit is the mainline commit the patch was authored against.
+	// Staleness (Fig. 2) is measured from this commit's time.
+	BaseCommit repo.CommitID
+	BaseSeq    int // mainline position of BaseCommit
+
+	SubmittedAt time.Time
+	Stats       Stats
+	Spec        SpecStats
+
+	// Benefit weights this change's builds in the speculation engine's
+	// value function V = B·P_needed (§4.2.1): "builds for certain projects
+	// or with certain priority (e.g., security patches) can have higher
+	// values". Zero means the default benefit of 1.
+	Benefit float64
+
+	State  State
+	Reason string // rejection reason, if rejected
+}
+
+// Validate reports whether the change is well-formed enough to enqueue.
+func (c *Change) Validate() error {
+	if c == nil {
+		return fmt.Errorf("change: nil change")
+	}
+	if c.ID == "" {
+		return fmt.Errorf("change: empty ID")
+	}
+	if len(c.Patch.Changes) == 0 {
+		return fmt.Errorf("change %s: empty patch", c.ID)
+	}
+	if len(c.BuildSteps) == 0 {
+		return fmt.Errorf("change %s: no build steps", c.ID)
+	}
+	return nil
+}
+
+// DefaultBuildSteps returns the standard pipeline every change runs when the
+// author does not customize it: compile, unit, integration, UI, artifact.
+func DefaultBuildSteps() []BuildStep {
+	return []BuildStep{
+		{Name: "compile", Kind: StepCompile},
+		{Name: "unit", Kind: StepUnitTest},
+		{Name: "integration", Kind: StepIntegrationTest},
+		{Name: "ui", Kind: StepUITest},
+		{Name: "artifact", Kind: StepArtifact},
+	}
+}
+
+// Staleness returns how old the change's base is relative to headTime: the
+// quantity plotted on the x-axis of Fig. 2.
+func (c *Change) Staleness(baseTime, headTime time.Time) time.Duration {
+	d := headTime.Sub(baseTime)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

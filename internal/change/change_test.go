@@ -1,0 +1,104 @@
+package change
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mastergreen/internal/repo"
+)
+
+func validChange() *Change {
+	return &Change{
+		ID: "c1",
+		Patch: repo.Patch{Changes: []repo.FileChange{
+			{Path: "a.go", Op: repo.OpCreate, NewContent: "x"},
+		}},
+		BuildSteps: DefaultBuildSteps(),
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validChange().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	var nilC *Change
+	if err := nilC.Validate(); err == nil {
+		t.Error("nil change must not validate")
+	}
+	c := validChange()
+	c.ID = ""
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "empty ID") {
+		t.Errorf("empty ID err = %v", err)
+	}
+	c = validChange()
+	c.Patch = repo.Patch{}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "empty patch") {
+		t.Errorf("empty patch err = %v", err)
+	}
+	c = validChange()
+	c.BuildSteps = nil
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "no build steps") {
+		t.Errorf("no steps err = %v", err)
+	}
+}
+
+func TestDefaultBuildSteps(t *testing.T) {
+	steps := DefaultBuildSteps()
+	if len(steps) != 5 {
+		t.Fatalf("len = %d", len(steps))
+	}
+	kinds := map[StepKind]bool{}
+	for _, s := range steps {
+		if s.Name == "" {
+			t.Errorf("unnamed step %v", s)
+		}
+		kinds[s.Kind] = true
+	}
+	for _, k := range []StepKind{StepCompile, StepUnitTest, StepIntegrationTest, StepUITest, StepArtifact} {
+		if !kinds[k] {
+			t.Errorf("missing kind %v", k)
+		}
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	c := validChange()
+	base := time.Unix(1000, 0)
+	if got := c.Staleness(base, base.Add(2*time.Hour)); got != 2*time.Hour {
+		t.Fatalf("Staleness = %v", got)
+	}
+	// Head older than base (clock skew): clamp to zero.
+	if got := c.Staleness(base, base.Add(-time.Hour)); got != 0 {
+		t.Fatalf("negative staleness = %v", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		StatePending: "pending", StateBuilding: "building",
+		StateCommitted: "committed", StateRejected: "rejected",
+		State(9): "State(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	cases := map[StepKind]string{
+		StepCompile: "compile", StepUnitTest: "unit-test",
+		StepIntegrationTest: "integration-test", StepUITest: "ui-test",
+		StepArtifact: "artifact", StepKind(7): "StepKind(7)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package core is the public facade of SubmitQueue: the change-management
+// service of §3 that guarantees an always-green mainline by providing the
+// illusion of a single queue where every change performs all its build steps
+// and is merged into the mainline's most recent HEAD only if they all
+// succeed.
+//
+// A Service owns the monorepo, the distributed pending queue, the conflict
+// analyzer, the speculation engine (with a pluggable probability model), the
+// planner engine, and the build controller. Drive it either synchronously
+// (Submit then ProcessAll, as the examples do) or as a daemon (Start/Stop
+// with a background epoch loop, as cmd/sqd does).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mastergreen/internal/buildsys"
+	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
+	"mastergreen/internal/events"
+	"mastergreen/internal/planner"
+	"mastergreen/internal/predict"
+	"mastergreen/internal/queue"
+	"mastergreen/internal/repo"
+	"mastergreen/internal/speculation"
+	"mastergreen/internal/store"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Workers is the number of builds that may run concurrently (<=0: 4).
+	Workers int
+	// QueueShards is the shard count of the pending queue (<=0: 1).
+	QueueShards int
+	// Predictor supplies P_succ/P_conf. Nil defaults to a mildly optimistic
+	// static predictor; production uses predict.Learned.
+	Predictor predict.Predictor
+	// Runner executes build steps. Nil defaults to always-succeed, which is
+	// useful when the repository's own structure (merge conflicts, target
+	// graph errors) is the only failure source under study.
+	Runner buildsys.StepRunner
+	// Epoch is the planner period for the background loop (<=0: 250ms).
+	Epoch time.Duration
+	// MaxSpecDepth caps speculation branching per change.
+	MaxSpecDepth int
+	// PreemptionGrace: builds running at least this long are not aborted.
+	PreemptionGrace time.Duration
+	// TestSelectionRadius, if > 0, restricts test steps to targets within
+	// this many reverse-dependency hops of directly modified targets (§9
+	// test selection; compilation still covers every affected target).
+	TestSelectionRadius int
+	// Now is the clock; injectable for tests.
+	Now func() time.Time
+	// Events, when non-nil, receives lifecycle events for observability
+	// (submissions, build starts/finishes/aborts, commits, rejections).
+	Events *events.Bus
+}
+
+// Status reports a change's current position in the pipeline.
+type Status struct {
+	ID     change.ID
+	State  change.State
+	Reason string
+	Commit repo.CommitID
+}
+
+// Service is a running SubmitQueue instance.
+type Service struct {
+	repo     *repo.Repo
+	queue    *queue.Queue
+	analyzer *conflict.Analyzer
+	planner  *planner.Planner
+	ctrl     *buildsys.Controller
+	cfg      Config
+
+	mu       sync.Mutex
+	statuses map[change.ID]*Status
+	cancel   context.CancelFunc
+	loopDone chan struct{}
+
+	// Durability (optional): journal records submissions and outcomes;
+	// recorded tracks which outcomes have already been appended.
+	journal  *store.Journal
+	recorded map[change.ID]bool
+}
+
+// NewService creates a SubmitQueue over the repository.
+func NewService(r *repo.Repo, cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueShards <= 0 {
+		cfg.QueueShards = 1
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = predict.Static{Success: 0.85, Conflict: 0.05}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	q := queue.New(cfg.QueueShards)
+	an := conflict.New(r)
+	spec := speculation.New(cfg.Predictor)
+	ctrl := buildsys.NewController(cfg.Workers, cfg.Runner)
+	pl := planner.New(r, q, an, spec, ctrl, planner.Config{
+		Budget:              cfg.Workers,
+		MaxSpecDepth:        cfg.MaxSpecDepth,
+		PreemptionGrace:     cfg.PreemptionGrace,
+		Now:                 cfg.Now,
+		Events:              cfg.Events,
+		TestSelectionRadius: cfg.TestSelectionRadius,
+	})
+	return &Service{
+		repo:     r,
+		queue:    q,
+		analyzer: an,
+		planner:  pl,
+		ctrl:     ctrl,
+		cfg:      cfg,
+		statuses: map[change.ID]*Status{},
+		recorded: map[change.ID]bool{},
+	}
+}
+
+// Repo exposes the managed repository (read-only use expected).
+func (s *Service) Repo() *repo.Repo { return s.repo }
+
+// Submit enqueues a change (step 5 of the development life cycle, Fig. 3).
+func (s *Service) Submit(c *change.Change) error {
+	return s.submitLocked(c, true)
+}
+
+// submitLocked enqueues a change, journaling it when journalIt is set
+// (recovery re-submissions skip journaling: they are already recorded).
+func (s *Service) submitLocked(c *change.Change, journalIt bool) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.SubmittedAt.IsZero() {
+		c.SubmittedAt = s.cfg.Now()
+	}
+	if c.BaseCommit == "" {
+		c.BaseCommit = s.repo.Head().ID
+	}
+	c.State = change.StatePending
+	if err := s.queue.Enqueue(c); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.statuses[c.ID] = &Status{ID: c.ID, State: change.StatePending}
+	j := s.journal
+	s.mu.Unlock()
+	if s.cfg.Events != nil {
+		s.cfg.Events.Publish(events.Event{Type: events.TypeSubmitted, Change: c.ID, Detail: c.Description})
+	}
+	if journalIt && j != nil {
+		if err := j.AppendSubmit(c); err != nil {
+			// Durability failure: surface it; the change stays enqueued so
+			// in-memory operation continues.
+			return fmt.Errorf("core: change %s enqueued but journaling failed: %w", c.ID, err)
+		}
+	}
+	return nil
+}
+
+// State returns the change's status. Unknown IDs return an error.
+func (s *Service) State(id change.ID) (Status, error) {
+	s.syncOutcomes()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.statuses[id]
+	if !ok {
+		return Status{}, fmt.Errorf("core: unknown change %s", id)
+	}
+	return *st, nil
+}
+
+// syncOutcomes folds planner outcomes into the status map and journals
+// newly-final dispositions.
+func (s *Service) syncOutcomes() {
+	outs := s.planner.Outcomes()
+	var toJournal []store.OutcomeRecord
+	s.mu.Lock()
+	for _, o := range outs {
+		st, ok := s.statuses[o.ID]
+		if !ok {
+			st = &Status{ID: o.ID}
+			s.statuses[o.ID] = st
+		}
+		st.State = o.State
+		st.Reason = o.Reason
+		st.Commit = o.Commit
+		if s.journal != nil && !s.recorded[o.ID] {
+			s.recorded[o.ID] = true
+			toJournal = append(toJournal, store.OutcomeRecord{
+				ID: o.ID, State: o.State.String(), Reason: o.Reason,
+				Commit: o.Commit, At: o.At,
+			})
+		}
+	}
+	j := s.journal
+	s.mu.Unlock()
+	for _, rec := range toJournal {
+		_ = j.AppendOutcome(rec) // best effort; replay tolerates re-decisions
+	}
+}
+
+// Tick runs one planner epoch (for callers managing their own loop).
+func (s *Service) Tick(ctx context.Context) error {
+	_, err := s.planner.Tick(ctx)
+	s.syncOutcomes()
+	return err
+}
+
+// ProcessAll drives the planner until every submitted change is committed or
+// rejected (or the context is cancelled).
+func (s *Service) ProcessAll(ctx context.Context) error {
+	err := s.planner.Quiesce(ctx)
+	s.syncOutcomes()
+	return err
+}
+
+// Outcomes returns all final dispositions so far, in decision order.
+func (s *Service) Outcomes() []planner.Outcome { return s.planner.Outcomes() }
+
+// PendingCount returns the number of changes still in the queue.
+func (s *Service) PendingCount() int { return s.queue.Len() }
+
+// BuildStats exposes the build controller's work counters.
+func (s *Service) BuildStats() buildsys.Stats { return s.ctrl.Stats() }
+
+// AnalyzerStats exposes the conflict analyzer's work counters.
+func (s *Service) AnalyzerStats() conflict.Stats { return s.analyzer.Stats() }
+
+// Start launches the background epoch loop. Call Stop to halt it.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel != nil {
+		return // already running
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	done := make(chan struct{})
+	s.loopDone = done
+	go func() {
+		defer close(done)
+		_ = s.planner.Run(ctx, s.cfg.Epoch)
+	}()
+}
+
+// Stop halts the background loop started by Start.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.loopDone
+	s.cancel = nil
+	s.loopDone = nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	s.syncOutcomes()
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mastergreen/internal/buildsys"
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+func newRepo() *repo.Repo {
+	return repo.New(map[string]string{
+		"app/BUILD":     "target app srcs=main.go deps=//lib:lib",
+		"app/main.go":   "app v1",
+		"lib/BUILD":     "target lib srcs=lib.go",
+		"lib/lib.go":    "lib v1",
+		"doc/BUILD":     "target doc srcs=readme.md",
+		"doc/readme.md": "doc v1",
+	})
+}
+
+func mkChange(r *repo.Repo, id, path, content string) *change.Change {
+	snap := r.Head().Snapshot()
+	cur, ok := snap.Read(path)
+	fc := repo.FileChange{Path: path, Op: repo.OpCreate, NewContent: content}
+	if ok {
+		fc = repo.FileChange{Path: path, Op: repo.OpModify, BaseHash: repo.HashContent(cur), NewContent: content}
+	}
+	return &change.Change{
+		ID:          change.ID(id),
+		Author:      change.Developer{Name: "dev", Team: "t", Level: 3},
+		Description: "test " + id,
+		Patch:       repo.Patch{Changes: []repo.FileChange{fc}},
+		BuildSteps:  []change.BuildStep{{Name: "compile", Kind: change.StepCompile}},
+	}
+}
+
+func TestSubmitAndProcess(t *testing.T) {
+	r := newRepo()
+	s := NewService(r, Config{Workers: 4})
+	c := mkChange(r, "c1", "lib/lib.go", "lib v2")
+	if err := s.Submit(c); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.State("c1")
+	if err != nil || st.State != change.StatePending {
+		t.Fatalf("state = %+v, %v", st, err)
+	}
+	if s.PendingCount() != 1 {
+		t.Fatalf("pending = %d", s.PendingCount())
+	}
+	if err := s.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.State("c1")
+	if err != nil || st.State != change.StateCommitted || st.Commit == "" {
+		t.Fatalf("state = %+v, %v", st, err)
+	}
+	if got, _ := r.Head().Snapshot().Read("lib/lib.go"); got != "lib v2" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := NewService(newRepo(), Config{})
+	if err := s.Submit(&change.Change{ID: "bad"}); err == nil {
+		t.Fatal("invalid change accepted")
+	}
+	// Duplicate submit fails.
+	r := s.Repo()
+	c := mkChange(r, "c1", "lib/lib.go", "v2")
+	if err := s.Submit(c); err != nil {
+		t.Fatal(err)
+	}
+	dup := mkChange(r, "c1", "doc/readme.md", "v2")
+	if err := s.Submit(dup); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestUnknownState(t *testing.T) {
+	s := NewService(newRepo(), Config{})
+	if _, err := s.State("ghost"); err == nil {
+		t.Fatal("expected error for unknown change")
+	}
+}
+
+func TestSubmitFillsDefaults(t *testing.T) {
+	r := newRepo()
+	now := time.Unix(12345, 0)
+	s := NewService(r, Config{Now: func() time.Time { return now }})
+	c := mkChange(r, "c1", "lib/lib.go", "v2")
+	if err := s.Submit(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.SubmittedAt != now {
+		t.Fatalf("SubmittedAt = %v", c.SubmittedAt)
+	}
+	if c.BaseCommit != r.Head().ID {
+		t.Fatalf("BaseCommit = %v", c.BaseCommit)
+	}
+}
+
+func TestRejectionSurfacesReason(t *testing.T) {
+	r := newRepo()
+	runner := buildsys.RunnerFunc(func(_ context.Context, _ change.BuildStep, _ string, snap repo.Snapshot) error {
+		if c, _ := snap.Read("lib/lib.go"); strings.Contains(c, "bug") {
+			return errors.New("unit test failed: nil pointer")
+		}
+		return nil
+	})
+	s := NewService(r, Config{Workers: 2, Runner: runner})
+	if err := s.Submit(mkChange(r, "c1", "lib/lib.go", "bug here")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.State("c1")
+	if st.State != change.StateRejected || !strings.Contains(st.Reason, "nil pointer") {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestManyChangesAllDisposed(t *testing.T) {
+	r := newRepo()
+	s := NewService(r, Config{Workers: 8})
+	n := 12
+	for i := 0; i < n; i++ {
+		// Alternate between three independent files to exercise parallel
+		// commits; same-file changes merge-conflict and get rejected.
+		paths := []string{"lib/lib.go", "doc/readme.md", "app/main.go"}
+		c := mkChange(r, fmt.Sprintf("c%02d", i), paths[i%3], fmt.Sprintf("v%d", i))
+		if err := s.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.ProcessAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	outs := s.Outcomes()
+	if len(outs) != n {
+		t.Fatalf("outcomes = %d, want %d", len(outs), n)
+	}
+	committed := 0
+	for _, o := range outs {
+		if o.State == change.StateCommitted {
+			committed++
+		}
+	}
+	// First change per file commits; later same-file ones conflict at merge
+	// level and are rejected (they were authored against the original base).
+	if committed != 3 {
+		t.Fatalf("committed = %d, want 3", committed)
+	}
+	if s.PendingCount() != 0 {
+		t.Fatalf("pending = %d", s.PendingCount())
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	r := newRepo()
+	s := NewService(r, Config{Workers: 2, Epoch: 5 * time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	defer s.Stop()
+	if err := s.Submit(mkChange(r, "c1", "doc/readme.md", "doc v2")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.State("c1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == change.StateCommitted {
+			s.Stop()
+			s.Stop() // idempotent
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("change never committed by background loop")
+}
+
+func TestStatsExposed(t *testing.T) {
+	r := newRepo()
+	s := NewService(r, Config{Workers: 2})
+	if err := s.Submit(mkChange(r, "c1", "lib/lib.go", "v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.BuildStats().Builds == 0 {
+		t.Fatal("no builds recorded")
+	}
+	if s.AnalyzerStats().GraphBuilds == 0 {
+		t.Fatal("no analyzer work recorded")
+	}
+}
+
+func TestTickManualLoop(t *testing.T) {
+	r := newRepo()
+	s := NewService(r, Config{Workers: 2})
+	if err := s.Submit(mkChange(r, "c1", "lib/lib.go", "v2")); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.PendingCount() > 0 && time.Now().Before(deadline) {
+		if err := s.Tick(ctx); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := s.State("c1")
+	if st.State != change.StateCommitted {
+		t.Fatalf("state = %+v", st)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+	"mastergreen/internal/store"
+)
+
+// TestDurableServiceSurvivesRestart: submit changes to a journaled service,
+// decide some, "crash", recover into a fresh service, and verify the pending
+// ones complete and past outcomes remain queryable.
+func TestDurableServiceSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+
+	r := newRepo()
+	j, err := store.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(r, Config{Workers: 4})
+	svc.AttachJournal(j)
+
+	// c1 is decided before the crash; c2 and c3 are submitted but the
+	// process dies before they finish.
+	if err := svc.Submit(mkChange(r, "c1", "lib/lib.go", "lib v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(mkChange(r, "c2", "doc/readme.md", "doc v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(mkChange(r, "c3", "app/main.go", "app v2")); err != nil {
+		t.Fatal(err)
+	}
+	// Persist the repo and "crash" (close the journal without processing).
+	var repoBuf bytes.Buffer
+	if err := r.Save(&repoBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: reload the repo and recover the service from the journal.
+	r2, err := repo.Load(&repoBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Head().ID != r.Head().ID {
+		t.Fatalf("repo reload mismatch: %s vs %s", r2.Head().ID, r.Head().ID)
+	}
+	svc2, err := OpenRecovered(r2, journalPath, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1's outcome survived the restart.
+	st, err := svc2.State("c1")
+	if err != nil || st.State != change.StateCommitted {
+		t.Fatalf("c1 after restart = %+v, %v", st, err)
+	}
+	// c2 and c3 are pending again and complete normally.
+	if svc2.PendingCount() != 2 {
+		t.Fatalf("pending after recovery = %d", svc2.PendingCount())
+	}
+	if err := svc2.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []change.ID{"c2", "c3"} {
+		st, err := svc2.State(id)
+		if err != nil || st.State != change.StateCommitted {
+			t.Fatalf("%s after recovery = %+v, %v", id, st, err)
+		}
+	}
+	if got, _ := r2.Head().Snapshot().Read("doc/readme.md"); got != "doc v2" {
+		t.Fatalf("c2 content = %q", got)
+	}
+}
+
+// TestRecoveredOutcomesNotReJournaled: outcomes restored from the journal
+// must not be appended again by the recovered service.
+func TestRecoveredOutcomesNotReJournaled(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+
+	r := newRepo()
+	j, _ := store.Open(journalPath)
+	svc := NewService(r, Config{Workers: 2})
+	svc.AttachJournal(j)
+	if err := svc.Submit(mkChange(r, "c1", "lib/lib.go", "v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Close()
+
+	before, _ := store.Replay(journalPath)
+	svc2, err := OpenRecovered(r, journalPath, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = svc2.Tick(context.Background()) // would re-journal if buggy
+	after, _ := store.Replay(journalPath)
+	if len(after) != len(before) {
+		t.Fatalf("journal grew on recovery: %d -> %d", len(before), len(after))
+	}
+}
+
+// TestRepoSaveLoadRoundTrip: a repository with creates, edits, and deletes
+// reloads bit-identically including commit IDs.
+func TestRepoSaveLoadRoundTrip(t *testing.T) {
+	r := newRepo()
+	head := r.Head()
+	if _, err := r.CommitPatch(head.ID, mkChange(r, "x", "lib/lib.go", "v2").Patch, "a", "edit lib", head.Time); err != nil {
+		t.Fatal(err)
+	}
+	head = r.Head()
+	p := repo.Patch{Changes: []repo.FileChange{
+		{Path: "new.txt", Op: repo.OpCreate, NewContent: "n"},
+		{Path: "doc/readme.md", Op: repo.OpDelete, BaseHash: repo.HashContent("doc v1")},
+	}}
+	if _, err := r.CommitPatch(head.ID, p, "b", "add+del", head.Time); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := repo.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("len %d vs %d", r2.Len(), r.Len())
+	}
+	h1, h2 := r.History(), r2.History()
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("commit %d id mismatch: %s vs %s", i, h1[i], h2[i])
+		}
+	}
+	s1, s2 := r.Head().Snapshot(), r2.Head().Snapshot()
+	if s1.Len() != s2.Len() {
+		t.Fatalf("snapshot sizes differ")
+	}
+	for _, pth := range s1.Paths() {
+		c1, _ := s1.Read(pth)
+		c2, _ := s2.Read(pth)
+		if c1 != c2 {
+			t.Fatalf("content mismatch at %s", pth)
+		}
+	}
+}

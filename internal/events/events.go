@@ -1,0 +1,153 @@
+// Package events is SubmitQueue's observability spine: a bounded in-memory
+// event bus that the planner publishes lifecycle events to (submissions,
+// build starts/finishes/aborts, commits, rejections). The paper's deployment
+// streams equivalent events through RxJava to its web UI (§7.1); here the
+// bus backs the HTTP API's polling endpoint and the sqd status page.
+package events
+
+import (
+	"sync"
+	"time"
+
+	"mastergreen/internal/change"
+)
+
+// Type classifies an event.
+type Type string
+
+// Event types.
+const (
+	TypeSubmitted     Type = "submitted"
+	TypeBuildStarted  Type = "build-started"
+	TypeBuildFinished Type = "build-finished"
+	TypeBuildAborted  Type = "build-aborted"
+	TypeCommitted     Type = "committed"
+	TypeRejected      Type = "rejected"
+)
+
+// Event is one lifecycle occurrence.
+type Event struct {
+	Seq    int64     `json:"seq"`
+	At     time.Time `json:"at"`
+	Type   Type      `json:"type"`
+	Change change.ID `json:"change,omitempty"`
+	Build  string    `json:"build,omitempty"` // build key, for build events
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Bus is a bounded ring of recent events plus live subscriptions. The zero
+// value is not usable; call NewBus.
+type Bus struct {
+	mu      sync.Mutex
+	ring    []Event
+	start   int // index of oldest
+	count   int
+	nextSeq int64
+	subs    map[int]chan Event
+	nextSub int
+	now     func() time.Time
+}
+
+// NewBus creates a bus retaining the most recent capacity events (min 16).
+func NewBus(capacity int) *Bus {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Bus{
+		ring: make([]Event, capacity),
+		subs: map[int]chan Event{},
+		now:  time.Now,
+	}
+}
+
+// SetClock injects a clock (tests).
+func (b *Bus) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Publish stamps and stores the event, then fans it out to subscribers.
+// Slow subscribers are skipped rather than blocking the planner.
+func (b *Bus) Publish(ev Event) Event {
+	b.mu.Lock()
+	b.nextSeq++
+	ev.Seq = b.nextSeq
+	if ev.At.IsZero() {
+		ev.At = b.now()
+	}
+	idx := (b.start + b.count) % len(b.ring)
+	if b.count == len(b.ring) {
+		b.start = (b.start + 1) % len(b.ring)
+	} else {
+		b.count++
+	}
+	b.ring[idx] = ev
+	subs := make([]chan Event, 0, len(b.subs))
+	for _, ch := range b.subs {
+		subs = append(subs, ch)
+	}
+	b.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // drop for slow consumers
+		}
+	}
+	return ev
+}
+
+// Since returns retained events with Seq > seq, oldest first.
+func (b *Bus) Since(seq int64) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Event
+	for i := 0; i < b.count; i++ {
+		ev := b.ring[(b.start+i)%len(b.ring)]
+		if ev.Seq > seq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// LastSeq returns the sequence number of the newest event (0 if none).
+func (b *Bus) LastSeq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextSeq
+}
+
+// Subscribe returns a live channel of future events and a cancel function.
+// The channel buffers up to buffer events; overflow is dropped.
+func (b *Bus) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Event, buffer)
+	b.mu.Lock()
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Counts aggregates retained events by type (for status pages).
+func (b *Bus) Counts() map[Type]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := map[Type]int{}
+	for i := 0; i < b.count; i++ {
+		out[b.ring[(b.start+i)%len(b.ring)].Type]++
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package events
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublishAssignsSequence(t *testing.T) {
+	b := NewBus(16)
+	e1 := b.Publish(Event{Type: TypeSubmitted, Change: "c1"})
+	e2 := b.Publish(Event{Type: TypeCommitted, Change: "c1"})
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("seqs = %d, %d", e1.Seq, e2.Seq)
+	}
+	if e1.At.IsZero() {
+		t.Fatal("timestamp not assigned")
+	}
+	if b.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d", b.LastSeq())
+	}
+}
+
+func TestSince(t *testing.T) {
+	b := NewBus(16)
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Type: TypeSubmitted})
+	}
+	got := b.Since(2)
+	if len(got) != 3 || got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("Since(2) = %v", got)
+	}
+	if len(b.Since(99)) != 0 {
+		t.Fatal("Since beyond end should be empty")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	b := NewBus(16) // min capacity
+	for i := 0; i < 40; i++ {
+		b.Publish(Event{Type: TypeSubmitted})
+	}
+	got := b.Since(0)
+	if len(got) != 16 {
+		t.Fatalf("retained = %d, want 16", len(got))
+	}
+	if got[0].Seq != 25 || got[15].Seq != 40 {
+		t.Fatalf("window = [%d, %d]", got[0].Seq, got[15].Seq)
+	}
+}
+
+func TestSubscribeReceivesLiveEvents(t *testing.T) {
+	b := NewBus(16)
+	ch, cancel := b.Subscribe(8)
+	defer cancel()
+	b.Publish(Event{Type: TypeBuildStarted, Build: "b1"})
+	select {
+	case ev := <-ch:
+		if ev.Type != TypeBuildStarted || ev.Build != "b1" {
+			t.Fatalf("ev = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBus(16)
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Publish(Event{Type: TypeSubmitted})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher blocked on slow subscriber")
+	}
+	// The single buffered event is still deliverable.
+	if ev := <-ch; ev.Seq == 0 {
+		t.Fatal("no event buffered")
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	b := NewBus(16)
+	_, cancel := b.Subscribe(1)
+	cancel()
+	cancel() // no panic
+	b.Publish(Event{Type: TypeSubmitted})
+}
+
+func TestCounts(t *testing.T) {
+	b := NewBus(32)
+	b.Publish(Event{Type: TypeSubmitted})
+	b.Publish(Event{Type: TypeSubmitted})
+	b.Publish(Event{Type: TypeCommitted})
+	c := b.Counts()
+	if c[TypeSubmitted] != 2 || c[TypeCommitted] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestSetClock(t *testing.T) {
+	b := NewBus(16)
+	fixed := time.Unix(42, 0)
+	b.SetClock(func() time.Time { return fixed })
+	ev := b.Publish(Event{Type: TypeSubmitted})
+	if !ev.At.Equal(fixed) {
+		t.Fatalf("At = %v", ev.At)
+	}
+}

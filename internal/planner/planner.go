@@ -1,0 +1,641 @@
+// Package planner implements the paper's planner engine (§3.2, §6): on every
+// epoch it consults the conflict analyzer and the speculation engine, then
+// (1) schedules the selected builds through the build controller, (2) aborts
+// builds that fell out of the selected set, and (3) commits a change's patch
+// into the monorepo once it is safe — i.e. once every conflicting predecessor
+// is resolved and a finished build exists whose speculation assumptions match
+// what actually happened.
+//
+// Builds are identified by a *dynamic key*: the full sequence of changes
+// applied on top of the mainline state the planner started from, plus any
+// rejection assumptions about still-unresolved changes. The key is
+// recomputed whenever builds are matched, so identity survives head
+// movement — after C1 commits, the running build H⊕C1⊕C2 is recognized as
+// exactly the build the new plan wants for C2, and after C1 is rejected the
+// build "C2 assuming C1 rejected" becomes simply C2's decisive build.
+// Builds whose assumptions have been falsified stop matching any plan and
+// are aborted.
+package planner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mastergreen/internal/buildgraph"
+	"mastergreen/internal/buildsys"
+	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
+	"mastergreen/internal/events"
+	"mastergreen/internal/queue"
+	"mastergreen/internal/repo"
+	"mastergreen/internal/speculation"
+)
+
+// ErrStopped is returned by Quiesce when its context is cancelled.
+var ErrStopped = errors.New("planner: stopped")
+
+// Outcome records the final disposition of a change.
+type Outcome struct {
+	ID     change.ID
+	State  change.State // StateCommitted or StateRejected
+	Reason string       // rejection reason
+	Commit repo.CommitID
+	At     time.Time
+}
+
+// Config tunes the planner.
+type Config struct {
+	// Budget is the maximum number of concurrently running builds (the
+	// paper's "based on the number of available resources"). <= 0 means 4.
+	Budget int
+	// MaxSpecDepth caps per-subject speculation branching.
+	MaxSpecDepth int
+	// PreemptionGrace, if > 0, prevents aborting a build that has been
+	// running longer than this (§10 "Build Preemption" future work).
+	PreemptionGrace time.Duration
+	// TestSelectionRadius, if > 0, restricts test-kind build steps (unit,
+	// integration, UI) to targets within this many reverse-dependency hops
+	// of the directly modified targets — the §9/§10 test-selection
+	// extension. Compilation and artifact steps still cover every affected
+	// target, so the mainline remains structurally green; the trade-off is
+	// that a behavioral regression in a distant dependent may slip through,
+	// exactly as with production test-selection systems.
+	TestSelectionRadius int
+	// Now supplies the clock (real time by default); injectable for tests.
+	Now func() time.Time
+	// Events, when non-nil, receives lifecycle events (build starts,
+	// finishes, aborts, commits, rejections) for observability.
+	Events *events.Bus
+}
+
+// trackedBuild is a build the planner started, with enough context to
+// recompute its dynamic key at any time.
+type trackedBuild struct {
+	build     speculation.Build
+	baseLen   int            // repo mainline length when the build started
+	task      *buildsys.Task // nil once finished
+	result    buildsys.Result
+	startedAt time.Time
+}
+
+// Planner orchestrates pending changes to commit or rejection. Tick must not
+// be called concurrently with itself; all other methods are safe to call
+// from any goroutine.
+type Planner struct {
+	repo       *repo.Repo
+	queue      *queue.Queue
+	analyzer   *conflict.Analyzer
+	spec       *speculation.Engine
+	controller *buildsys.Controller
+	cfg        Config
+
+	mu           sync.Mutex
+	running      []*trackedBuild
+	finished     []*trackedBuild
+	committed    []change.ID // in commit order since planner creation
+	committedSet map[change.ID]bool
+	rejected     map[change.ID]string // reason
+	outcomes     []Outcome
+	initialLen   int // repo mainline length at planner creation
+}
+
+// New creates a Planner over the repository.
+func New(r *repo.Repo, q *queue.Queue, an *conflict.Analyzer, spec *speculation.Engine, ctrl *buildsys.Controller, cfg Config) *Planner {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 4
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaxSpecDepth > 0 {
+		spec.MaxSpecDepth = cfg.MaxSpecDepth
+	}
+	return &Planner{
+		repo:         r,
+		queue:        q,
+		analyzer:     an,
+		spec:         spec,
+		controller:   ctrl,
+		cfg:          cfg,
+		committedSet: map[change.ID]bool{},
+		rejected:     map[change.ID]string{},
+		initialLen:   r.Len(),
+	}
+}
+
+// Outcomes returns the dispositions recorded so far, in decision order.
+func (p *Planner) Outcomes() []Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Outcome(nil), p.outcomes...)
+}
+
+// dynamicKey identifies a build by its absolute apply list (committed prefix
+// up to the build's base, then the build's changes) plus rejection
+// assumptions about changes that are still unresolved. Callers hold p.mu.
+func (p *Planner) dynamicKey(baseLen int, b speculation.Build) string {
+	var sb strings.Builder
+	prefix := baseLen - p.initialLen
+	if prefix > len(p.committed) {
+		prefix = len(p.committed)
+	}
+	for i := 0; i < prefix; i++ {
+		sb.WriteString(string(p.committed[i]))
+		sb.WriteByte('+')
+	}
+	for i, id := range b.Changes {
+		if i > 0 {
+			sb.WriteByte('+')
+		}
+		sb.WriteString(string(id))
+	}
+	var rej []string
+	for _, id := range b.AssumedRejected {
+		if !p.committedSet[id] {
+			if _, wasRejected := p.rejected[id]; !wasRejected {
+				rej = append(rej, string(id)) // still unresolved
+			}
+		}
+	}
+	if len(rej) > 0 {
+		sb.WriteByte('!')
+		sb.WriteString(strings.Join(rej, ","))
+	}
+	return sb.String()
+}
+
+// decisiveKey is the dynamic key of the build that decides the fate of a
+// change whose conflicting predecessors are all resolved: the full committed
+// history plus the change itself, with no outstanding assumptions. Callers
+// hold p.mu.
+func (p *Planner) decisiveKey(id change.ID) string {
+	var sb strings.Builder
+	for _, cid := range p.committed {
+		sb.WriteString(string(cid))
+		sb.WriteByte('+')
+	}
+	sb.WriteString(string(id))
+	return sb.String()
+}
+
+// Tick runs one epoch: reap finished builds, decide commits/rejections,
+// re-plan, and reconcile running builds with the plan. It returns true if
+// any state changed (useful for quiescence detection).
+func (p *Planner) Tick(ctx context.Context) (bool, error) {
+	progress := p.reap()
+	for {
+		n, err := p.decide()
+		if err != nil {
+			return progress, err
+		}
+		if n == 0 {
+			break
+		}
+		progress = true
+	}
+	started, err := p.reconcile(ctx)
+	if err != nil {
+		return progress, err
+	}
+	return progress || started, nil
+}
+
+// reap moves completed tasks from running to finished.
+func (p *Planner) reap() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	progress := false
+	var still []*trackedBuild
+	for _, rb := range p.running {
+		select {
+		case <-rb.task.Done():
+			res := rb.task.Result()
+			progress = true
+			if errors.Is(res.Err, buildsys.ErrAborted) {
+				if p.cfg.Events != nil {
+					p.cfg.Events.Publish(events.Event{
+						Type: events.TypeBuildAborted, Change: rb.build.Subject, Build: rb.build.Key(),
+					})
+				}
+				continue // dropped entirely
+			}
+			if p.cfg.Events != nil {
+				detail := "ok"
+				if !res.OK {
+					detail = "failed: " + res.FailedStep
+				}
+				p.cfg.Events.Publish(events.Event{
+					Type: events.TypeBuildFinished, Change: rb.build.Subject,
+					Build: rb.build.Key(), Detail: detail,
+				})
+			}
+			rb.result = res
+			rb.task = nil
+			p.finished = append(p.finished, rb)
+			// Dynamic speculation features (§7.2).
+			if c, err := p.queue.Get(rb.build.Subject); err == nil {
+				if res.OK {
+					c.Spec.Succeeded++
+				} else {
+					c.Spec.Failed++
+				}
+			}
+		default:
+			still = append(still, rb)
+		}
+	}
+	p.running = still
+	return progress
+}
+
+// decide commits or rejects every change whose fate is determined, in
+// submission order. Returns the number of decisions made.
+func (p *Planner) decide() (int, error) {
+	pending := p.queue.Pending()
+	if len(pending) == 0 {
+		return 0, nil
+	}
+	cg, failed := p.analyzer.BuildGraph(pending)
+	decisions := 0
+	// Changes that no longer apply to head are rejected outright (merge
+	// conflict with committed work).
+	for id, ferr := range failed {
+		p.resolve(id, change.StateRejected, fmt.Sprintf("patch no longer applies: %v", ferr), "")
+		decisions++
+	}
+	if decisions > 0 {
+		return decisions, nil
+	}
+	for _, c := range pending {
+		// All conflicting predecessors must be resolved; with the graph
+		// computed over pending only, any predecessor still pending blocks.
+		if len(cg.ConflictingPredecessors(c.ID)) > 0 {
+			continue
+		}
+		p.mu.Lock()
+		want := p.decisiveKey(c.ID)
+		var match *trackedBuild
+		for _, fb := range p.finished {
+			if p.dynamicKey(fb.baseLen, fb.build) == want {
+				match = fb
+				break
+			}
+		}
+		p.mu.Unlock()
+		if match == nil {
+			continue
+		}
+		res := match.result
+		if !res.OK {
+			reason := fmt.Sprintf("build failed at %s", res.FailedStep)
+			if res.Err != nil {
+				reason = fmt.Sprintf("%s: %v", reason, res.Err)
+			}
+			p.resolve(c.ID, change.StateRejected, reason, "")
+			decisions++
+			continue
+		}
+		head := p.repo.Head()
+		commit, err := p.repo.CommitPatch(head.ID, c.Patch, c.Author.Name, c.Description, p.cfg.Now())
+		if err != nil {
+			if errors.Is(err, repo.ErrStaleHead) {
+				continue // concurrent commit; retry next tick
+			}
+			p.resolve(c.ID, change.StateRejected, fmt.Sprintf("commit failed: %v", err), "")
+			decisions++
+			continue
+		}
+		p.resolve(c.ID, change.StateCommitted, "", commit.ID)
+		decisions++
+	}
+	return decisions, nil
+}
+
+// resolve finalizes a change's state.
+func (p *Planner) resolve(id change.ID, st change.State, reason string, commit repo.CommitID) {
+	c, err := p.queue.Get(id)
+	if err != nil {
+		return
+	}
+	c.State = st
+	c.Reason = reason
+	_ = p.queue.Remove(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st == change.StateCommitted {
+		p.committed = append(p.committed, id)
+		p.committedSet[id] = true
+	} else {
+		p.rejected[id] = reason
+	}
+	p.outcomes = append(p.outcomes, Outcome{ID: id, State: st, Reason: reason, Commit: commit, At: p.cfg.Now()})
+	if p.cfg.Events != nil {
+		typ := events.TypeCommitted
+		detail := string(commit)
+		if st == change.StateRejected {
+			typ = events.TypeRejected
+			detail = reason
+		}
+		p.cfg.Events.Publish(events.Event{Type: typ, Change: id, Detail: detail})
+	}
+}
+
+// reconcile computes the current plan and aligns running builds with it.
+func (p *Planner) reconcile(ctx context.Context) (bool, error) {
+	pending := p.queue.Pending()
+	if len(pending) == 0 {
+		p.abortAll()
+		return false, nil
+	}
+	cg, _ := p.analyzer.BuildGraph(pending)
+	plan := p.spec.Plan(speculation.Request{
+		Pending:   pending,
+		Conflicts: cg,
+		Budget:    p.cfg.Budget,
+	})
+
+	p.mu.Lock()
+	headLen := p.repo.Len()
+	doneKeys := map[string]bool{}
+	for _, fb := range p.finished {
+		doneKeys[p.dynamicKey(fb.baseLen, fb.build)] = true
+	}
+	runningKeys := map[string]*trackedBuild{}
+	for _, rb := range p.running {
+		runningKeys[p.dynamicKey(rb.baseLen, rb.build)] = rb
+	}
+	desired := map[string]speculation.Build{}
+	for _, b := range plan.Builds {
+		if len(desired) >= p.cfg.Budget {
+			break
+		}
+		key := p.dynamicKey(headLen, b)
+		if doneKeys[key] {
+			continue // result already available; no need to build
+		}
+		desired[key] = b
+	}
+	// Abort running builds not desired (honoring the preemption grace).
+	now := p.cfg.Now()
+	var keep []*trackedBuild
+	for key, rb := range runningKeys {
+		if _, want := desired[key]; want {
+			keep = append(keep, rb)
+			continue
+		}
+		if p.cfg.PreemptionGrace > 0 && now.Sub(rb.startedAt) >= p.cfg.PreemptionGrace {
+			keep = append(keep, rb) // nearly done; let it finish (§10)
+			continue
+		}
+		rb.task.Cancel()
+	}
+	p.running = keep
+	// Builds to start, in plan priority order.
+	var toStart []speculation.Build
+	for _, b := range plan.Builds {
+		key := p.dynamicKey(headLen, b)
+		if _, want := desired[key]; !want {
+			continue
+		}
+		if _, already := runningKeys[key]; already {
+			continue
+		}
+		toStart = append(toStart, b)
+	}
+	slots := p.cfg.Budget - len(p.running)
+	p.mu.Unlock()
+
+	started := false
+	for _, b := range toStart {
+		if slots <= 0 {
+			break
+		}
+		if err := p.startBuild(ctx, b); err != nil {
+			return started, err
+		}
+		slots--
+		started = true
+	}
+	return started, nil
+}
+
+// startBuild merges the build's patches, computes affected targets and the
+// minimal-build-step sets, and launches the controller task.
+func (p *Planner) startBuild(ctx context.Context, b speculation.Build) error {
+	head := p.repo.Head()
+	headGraph, err := buildgraph.Analyze(head.Snapshot())
+	if err != nil {
+		return fmt.Errorf("planner: head graph: %w", err)
+	}
+	var patches []repo.Patch
+	var subject *change.Change
+	for _, id := range b.Changes {
+		c, err := p.queue.Get(id)
+		if err != nil {
+			return nil // pending set changed under us; replan next tick
+		}
+		patches = append(patches, c.Patch)
+		subject = c
+	}
+	merged, err := p.repo.Merged(head.ID, patches...)
+	if err != nil {
+		// The merge itself fails: record as a failed build so decide() can
+		// reject the subject when its turn comes.
+		p.recordImmediateFailure(b, head, fmt.Sprintf("merge failed: %v", err))
+		return nil
+	}
+	fullGraph, err := buildgraph.Analyze(merged)
+	if err != nil {
+		p.recordImmediateFailure(b, head, fmt.Sprintf("build graph invalid: %v", err))
+		return nil
+	}
+	deltaFull := buildgraph.Diff(headGraph, fullGraph)
+
+	// Minimal build steps (§6): skip targets whose (name, hash) is already
+	// produced by the prefix build H ⊕ assumed changes.
+	prior := map[string]bool{}
+	if len(patches) > 1 {
+		if prefixSnap, err := p.repo.Merged(head.ID, patches[:len(patches)-1]...); err == nil {
+			if prefixGraph, err := buildgraph.Analyze(prefixSnap); err == nil {
+				deltaPrefix := buildgraph.Diff(headGraph, prefixGraph)
+				for name, h := range deltaPrefix {
+					if deltaFull[name] == h {
+						prior[name] = true
+					}
+				}
+			}
+		}
+	}
+
+	targets := map[string]string{}
+	for name, h := range deltaFull {
+		if h == buildgraph.DeletedHash {
+			continue
+		}
+		targets[name] = h
+	}
+	subject.Stats.AffectedTargets = len(targets)
+
+	steps := subject.BuildSteps
+	if p.cfg.TestSelectionRadius > 0 {
+		steps = p.selectTests(steps, fullGraph, subject, targets)
+	}
+
+	req := buildsys.Request{
+		Key:          b.Key(),
+		Snapshot:     merged,
+		Steps:        steps,
+		Targets:      targets,
+		PriorTargets: prior,
+	}
+	task := p.controller.Start(ctx, req)
+	p.mu.Lock()
+	p.running = append(p.running, &trackedBuild{
+		build:     b,
+		baseLen:   head.Seq + 1,
+		task:      task,
+		startedAt: p.cfg.Now(),
+	})
+	p.mu.Unlock()
+	if p.cfg.Events != nil {
+		p.cfg.Events.Publish(events.Event{
+			Type: events.TypeBuildStarted, Change: b.Subject, Build: b.Key(),
+		})
+	}
+	return nil
+}
+
+// selectTests restricts test-kind steps to targets within the configured
+// radius of the subject's directly modified targets (§9 test selection).
+func (p *Planner) selectTests(steps []change.BuildStep, g *buildgraph.Graph, subject *change.Change, affected map[string]string) []change.BuildStep {
+	direct := g.TargetsForPaths(subject.Patch.Paths())
+	within := g.DependentsWithin(p.cfg.TestSelectionRadius, direct...)
+	var selected []string
+	for name := range affected {
+		if within[name] {
+			selected = append(selected, name)
+		}
+	}
+	sort.Strings(selected)
+	out := make([]change.BuildStep, 0, len(steps))
+	for _, st := range steps {
+		switch st.Kind {
+		case change.StepUnitTest, change.StepIntegrationTest, change.StepUITest:
+			if len(st.Targets) == 0 { // only widen-to-all steps are narrowed
+				if len(selected) == 0 {
+					continue // nothing in radius: drop the test step entirely
+				}
+				st.Targets = selected
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// recordImmediateFailure registers a synthetic failed result for builds that
+// cannot even start (merge or graph errors).
+func (p *Planner) recordImmediateFailure(b speculation.Build, head *repo.Commit, reason string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finished = append(p.finished, &trackedBuild{
+		build:   b,
+		baseLen: head.Seq + 1,
+		result:  buildsys.Result{Key: b.Key(), OK: false, Err: errors.New(reason), FailedStep: "merge"},
+	})
+}
+
+// abortAll cancels every running build (used when the queue is empty).
+func (p *Planner) abortAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, rb := range p.running {
+		rb.task.Cancel()
+	}
+	p.running = nil
+}
+
+// RunningCount returns the number of in-flight builds.
+func (p *Planner) RunningCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.running)
+}
+
+// Quiesce ticks until the queue drains, waiting for build completions
+// between epochs. It returns ErrStopped if the context is cancelled first.
+func (p *Planner) Quiesce(ctx context.Context) error {
+	for {
+		if _, err := p.Tick(ctx); err != nil {
+			return err
+		}
+		if p.queue.Len() == 0 {
+			return nil
+		}
+		if err := p.waitAny(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// waitAny blocks until any running build finishes, a short poll interval
+// elapses, or the context is cancelled.
+func (p *Planner) waitAny(ctx context.Context) error {
+	p.mu.Lock()
+	chans := make([]<-chan struct{}, 0, len(p.running))
+	for _, rb := range p.running {
+		chans = append(chans, rb.task.Done())
+	}
+	p.mu.Unlock()
+	if len(chans) == 0 {
+		select {
+		case <-ctx.Done():
+			return ErrStopped
+		case <-time.After(time.Millisecond):
+			return nil
+		}
+	}
+	agg := make(chan struct{}, len(chans))
+	for _, ch := range chans {
+		go func(ch <-chan struct{}) {
+			<-ch
+			select {
+			case agg <- struct{}{}:
+			default:
+			}
+		}(ch)
+	}
+	select {
+	case <-ctx.Done():
+		return ErrStopped
+	case <-agg:
+		return nil
+	case <-time.After(50 * time.Millisecond):
+		return nil
+	}
+}
+
+// Run ticks on the configured epoch until the context is cancelled.
+func (p *Planner) Run(ctx context.Context, epoch time.Duration) error {
+	if epoch <= 0 {
+		epoch = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(epoch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			p.abortAll()
+			return ctx.Err()
+		case <-tick.C:
+			if _, err := p.Tick(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}

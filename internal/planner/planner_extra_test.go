@@ -1,0 +1,199 @@
+package planner
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mastergreen/internal/buildsys"
+	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
+	"mastergreen/internal/predict"
+	"mastergreen/internal/queue"
+	"mastergreen/internal/repo"
+	"mastergreen/internal/speculation"
+)
+
+// TestMergeFailureRecordedAsBuildFailure: a speculative build whose patches
+// do not merge (two changes editing the same file) must surface as a failed
+// build that rejects the later change once its predecessor commits.
+func TestMergeFailureRecordedAsBuildFailure(t *testing.T) {
+	e := newEnv(t, nil, Config{Budget: 8})
+	c1 := e.submit(t, "c1", "x/x.go", "x v2")
+	c2 := e.submit(t, "c2", "x/x.go", "x v3") // same file: merge conflict
+	e.quiesce(t)
+	if c1.State != change.StateCommitted {
+		t.Fatalf("c1 = %v (%s)", c1.State, c1.Reason)
+	}
+	if c2.State != change.StateRejected {
+		t.Fatalf("c2 = %v (%s)", c2.State, c2.Reason)
+	}
+	if !strings.Contains(c2.Reason, "merge") && !strings.Contains(c2.Reason, "apply") {
+		t.Fatalf("reason should mention the merge: %q", c2.Reason)
+	}
+}
+
+// TestBrokenBuildFileRejected: a change that corrupts the target graph (BUILD
+// syntax error) must be rejected with a graph error, not crash the planner.
+func TestBrokenBuildFileRejected(t *testing.T) {
+	e := newEnv(t, nil, Config{Budget: 4})
+	c := e.submit(t, "c1", "x/BUILD", "target x srcs=x.go deps=//nope:gone")
+	e.quiesce(t)
+	if c.State != change.StateRejected {
+		t.Fatalf("state = %v (%s)", c.State, c.Reason)
+	}
+	if e.repo.Len() != 1 {
+		t.Fatal("broken BUILD landed")
+	}
+}
+
+// TestPreemptionGraceKeepsOldBuilds: with a grace window, a long-running
+// build survives re-planning even when it drops out of the selected set.
+func TestPreemptionGraceKeepsOldBuilds(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan string, 64)
+	runner := buildsys.RunnerFunc(func(ctx context.Context, _ change.BuildStep, target string, _ repo.Snapshot) error {
+		select {
+		case started <- target:
+		default:
+		}
+		select {
+		case <-block:
+			return nil
+		case <-ctx.Done():
+			return buildsys.ErrAborted
+		}
+	})
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	e := newEnv(t, runner, Config{Budget: 1, PreemptionGrace: time.Nanosecond, Now: clock})
+	e.submit(t, "c1", "x/x.go", "x v2")
+	ctx := context.Background()
+	if _, err := e.planner.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Advance the clock past the grace threshold and enqueue a competitor in
+	// the same conflict component; with budget 1 the planner would normally
+	// preempt, but grace protects the running build.
+	now = now.Add(time.Hour)
+	e.submit(t, "c2", "y/y.go", "y v2")
+	if _, err := e.planner.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.planner.RunningCount(); got != 1 {
+		t.Fatalf("running = %d, want the protected build", got)
+	}
+	close(block)
+	e.quiesce(t)
+	if e.ctrl.Stats().Aborted != 0 {
+		t.Fatalf("aborted = %d, grace should prevent preemption", e.ctrl.Stats().Aborted)
+	}
+}
+
+// TestOutcomesOrderedByDecisionTime: outcomes appear in the order decisions
+// were made, oldest first.
+func TestOutcomesOrderedByDecisionTime(t *testing.T) {
+	e := newEnv(t, nil, Config{Budget: 8})
+	e.submit(t, "a", "x/x.go", "x v2")
+	e.submit(t, "b", "z/z.go", "z v2")
+	e.submit(t, "c", "w/w.go", "w v2")
+	e.quiesce(t)
+	outs := e.planner.Outcomes()
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i].At.Before(outs[i-1].At) {
+			t.Fatal("outcomes not in decision order")
+		}
+	}
+}
+
+// TestEmptyTickIsNoop: ticking with no pending changes must not error or
+// change state.
+func TestEmptyTickIsNoop(t *testing.T) {
+	e := newEnv(t, nil, Config{Budget: 2})
+	prog, err := e.planner.Tick(context.Background())
+	if err != nil || prog {
+		t.Fatalf("tick = %v, %v", prog, err)
+	}
+	if e.repo.Len() != 1 || e.planner.RunningCount() != 0 {
+		t.Fatal("state changed on empty tick")
+	}
+}
+
+// TestTestSelectionRadius: with radius 1, test steps run only on targets
+// within one reverse-dependency hop of the directly modified targets, while
+// compilation still covers every affected target.
+func TestTestSelectionRadius(t *testing.T) {
+	// Chain repo: a <- b <- c <- d; editing a affects all four.
+	r := repo.New(map[string]string{
+		"a/BUILD": "target a srcs=a.go", "a/a.go": "a v1",
+		"b/BUILD": "target b srcs=b.go deps=//a:a", "b/b.go": "b v1",
+		"c/BUILD": "target c srcs=c.go deps=//b:b", "c/c.go": "c v1",
+		"d/BUILD": "target d srcs=d.go deps=//c:c", "d/d.go": "d v1",
+	})
+	type unitRun struct {
+		step   string
+		target string
+	}
+	var mu sync.Mutex
+	var runs []unitRun
+	runner := buildsys.RunnerFunc(func(_ context.Context, step change.BuildStep, target string, _ repo.Snapshot) error {
+		mu.Lock()
+		runs = append(runs, unitRun{step.Name, target})
+		mu.Unlock()
+		return nil
+	})
+	q := queue.New(1)
+	an := conflict.New(r)
+	spec := speculation.New(predict.Static{Success: 0.9, Conflict: 0.1})
+	ctrl := buildsys.NewController(2, runner)
+	pl := New(r, q, an, spec, ctrl, Config{Budget: 2, TestSelectionRadius: 1})
+
+	snap := r.Head().Snapshot()
+	cur, _ := snap.Read("a/a.go")
+	c := &change.Change{
+		ID: "sel1",
+		Patch: repo.Patch{Changes: []repo.FileChange{{
+			Path: "a/a.go", Op: repo.OpModify, BaseHash: repo.HashContent(cur), NewContent: "a v2",
+		}}},
+		BuildSteps: []change.BuildStep{
+			{Name: "compile", Kind: change.StepCompile},
+			{Name: "unit", Kind: change.StepUnitTest},
+		},
+	}
+	if err := q.Enqueue(c); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := pl.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.State != change.StateCommitted {
+		t.Fatalf("state = %v (%s)", c.State, c.Reason)
+	}
+	compiled := map[string]bool{}
+	tested := map[string]bool{}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, u := range runs {
+		if u.step == "compile" {
+			compiled[u.target] = true
+		} else {
+			tested[u.target] = true
+		}
+	}
+	// Compile covers all 4 affected targets; tests only a (direct) and b
+	// (radius 1).
+	if len(compiled) != 4 {
+		t.Fatalf("compiled = %v", compiled)
+	}
+	if !tested["//a:a"] || !tested["//b:b"] || tested["//c:c"] || tested["//d:d"] {
+		t.Fatalf("tested = %v, want exactly a and b", tested)
+	}
+}

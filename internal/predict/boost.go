@@ -1,0 +1,273 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mastergreen/internal/change"
+)
+
+// Gradient boosting with depth-1 trees (stumps) over logistic loss — the
+// §10 future-work alternative to logistic regression ("exploring other ML
+// techniques such as Gradient Boosting remains an interesting future work").
+// Stumps capture threshold effects (e.g. "more than 2 failed pre-submit
+// checks") that a linear model can only approximate.
+
+// BoostConfig controls gradient-boosting training.
+type BoostConfig struct {
+	Rounds    int     // boosting rounds (default 100)
+	Shrinkage float64 // learning rate (default 0.1)
+	// MinLeaf is the minimum samples per leaf for a split to be considered
+	// (default 8).
+	MinLeaf int
+}
+
+func (c BoostConfig) withDefaults() BoostConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.Shrinkage <= 0 {
+		c.Shrinkage = 0.1
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 8
+	}
+	return c
+}
+
+// stump is one depth-1 regression tree: f(x) = left if x[Feature] < Threshold
+// else right.
+type stump struct {
+	Feature   int
+	Threshold float64
+	Left      float64
+	Right     float64
+}
+
+// BoostModel is an additive ensemble of stumps over the logit.
+type BoostModel struct {
+	Names  []string
+	Bias   float64 // initial log-odds
+	Stumps []stump
+	Rate   float64 // shrinkage applied per stump
+}
+
+// TrainBoost fits a gradient-boosted stump ensemble on X with labels y.
+func TrainBoost(names []string, X [][]float64, y []bool, cfg BoostConfig) (*BoostModel, error) {
+	if len(X) == 0 || len(y) != len(X) {
+		return nil, fmt.Errorf("%w: %d rows, %d labels", ErrNoData, len(X), len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("%w: zero-width rows", ErrDimension)
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDimension, i, len(row), d)
+		}
+	}
+	cfg = cfg.withDefaults()
+	n := len(X)
+
+	// Initial log-odds.
+	pos := 0
+	for _, v := range y {
+		if v {
+			pos++
+		}
+	}
+	p0 := (float64(pos) + 0.5) / (float64(n) + 1)
+	m := &BoostModel{
+		Names: append([]string(nil), names...),
+		Bias:  math.Log(p0 / (1 - p0)),
+		Rate:  cfg.Shrinkage,
+	}
+
+	// Presort feature columns once.
+	order := make([][]int, d)
+	for j := 0; j < d; j++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		col := j
+		sort.Slice(idx, func(a, b int) bool { return X[idx[a]][col] < X[idx[b]][col] })
+		order[j] = idx
+	}
+
+	logits := make([]float64, n)
+	for i := range logits {
+		logits[i] = m.Bias
+	}
+	grad := make([]float64, n) // residuals y − p
+	hess := make([]float64, n) // p(1−p)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			p := Sigmoid(logits[i])
+			t := 0.0
+			if y[i] {
+				t = 1
+			}
+			grad[i] = t - p
+			hess[i] = p * (1 - p)
+		}
+		st, gain := bestStump(X, order, grad, hess, cfg.MinLeaf)
+		if gain <= 1e-12 {
+			break // no useful split remains
+		}
+		st.Left *= cfg.Shrinkage
+		st.Right *= cfg.Shrinkage
+		m.Stumps = append(m.Stumps, st)
+		for i := 0; i < n; i++ {
+			if X[i][st.Feature] < st.Threshold {
+				logits[i] += st.Left
+			} else {
+				logits[i] += st.Right
+			}
+		}
+	}
+	return m, nil
+}
+
+// bestStump finds the split maximizing the Newton gain over all features.
+func bestStump(X [][]float64, order [][]int, grad, hess []float64, minLeaf int) (stump, float64) {
+	n := len(X)
+	var totG, totH float64
+	for i := 0; i < n; i++ {
+		totG += grad[i]
+		totH += hess[i]
+	}
+	const lambda = 1.0 // L2 on leaf weights
+	score := func(g, h float64) float64 { return g * g / (h + lambda) }
+	baseScore := score(totG, totH)
+
+	best := stump{}
+	bestGain := 0.0
+	for j := range order {
+		idx := order[j]
+		var lg, lh float64
+		for k := 0; k < n-1; k++ {
+			i := idx[k]
+			lg += grad[i]
+			lh += hess[i]
+			// Candidate threshold between distinct values only.
+			cur, next := X[i][j], X[idx[k+1]][j]
+			if cur == next {
+				continue
+			}
+			if k+1 < minLeaf || n-(k+1) < minLeaf {
+				continue
+			}
+			gain := score(lg, lh) + score(totG-lg, totH-lh) - baseScore
+			if gain > bestGain {
+				bestGain = gain
+				best = stump{
+					Feature:   j,
+					Threshold: (cur + next) / 2,
+					Left:      lg / (lh + lambda),
+					Right:     (totG - lg) / (totH - lh + lambda),
+				}
+			}
+		}
+	}
+	return best, bestGain
+}
+
+// Predict returns the probability of the positive class.
+func (m *BoostModel) Predict(x []float64) float64 {
+	z := m.Bias
+	for _, st := range m.Stumps {
+		v := 0.0
+		if st.Feature < len(x) {
+			v = x[st.Feature]
+		}
+		if v < st.Threshold {
+			z += st.Left
+		} else {
+			z += st.Right
+		}
+	}
+	return Sigmoid(z)
+}
+
+// Predictions applies the model to every row.
+func (m *BoostModel) Predictions(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// EvaluateBoost computes Metrics at the 0.5 threshold.
+func EvaluateBoost(m *BoostModel, X [][]float64, y []bool) Metrics {
+	var tp, fp, tn, fn int
+	for i, row := range X {
+		pred := m.Predict(row) >= 0.5
+		switch {
+		case pred && y[i]:
+			tp++
+		case pred && !y[i]:
+			fp++
+		case !pred && !y[i]:
+			tn++
+		default:
+			fn++
+		}
+	}
+	var mt Metrics
+	mt.N = len(X)
+	if mt.N == 0 {
+		return mt
+	}
+	mt.Accuracy = float64(tp+tn) / float64(mt.N)
+	if tp+fp > 0 {
+		mt.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		mt.Recall = float64(tp) / float64(tp+fn)
+	}
+	if mt.Precision+mt.Recall > 0 {
+		mt.F1 = 2 * mt.Precision * mt.Recall / (mt.Precision + mt.Recall)
+	}
+	return mt
+}
+
+// FeatureUsage counts how often each feature is split on, as a rough
+// importance measure.
+func (m *BoostModel) FeatureUsage() map[string]int {
+	out := map[string]int{}
+	for _, st := range m.Stumps {
+		name := fmt.Sprintf("f%d", st.Feature)
+		if st.Feature < len(m.Names) && m.Names[st.Feature] != "" {
+			name = m.Names[st.Feature]
+		}
+		out[name]++
+	}
+	return out
+}
+
+// BoostedPredictor adapts two boosted models to the Predictor interface,
+// mirroring predict.Learned.
+type BoostedPredictor struct {
+	SuccessModel  *BoostModel
+	ConflictModel *BoostModel
+}
+
+// PredictSuccess implements Predictor.
+func (b BoostedPredictor) PredictSuccess(c *change.Change) float64 {
+	if b.SuccessModel == nil {
+		return 0.5
+	}
+	return clampProb(b.SuccessModel.Predict(SuccessFeatures(c)))
+}
+
+// PredictConflict implements Predictor.
+func (b BoostedPredictor) PredictConflict(ci, cj *change.Change) float64 {
+	if b.ConflictModel == nil {
+		return 0
+	}
+	return clampProb(b.ConflictModel.Predict(ConflictFeatures(ci, cj)))
+}

@@ -1,0 +1,143 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoostLearnsThresholdFunction(t *testing.T) {
+	// Ground truth is a threshold rule — exactly what stumps express and
+	// linear models cannot: y = x0 > 1.5 XOR-free region.
+	rng := rand.New(rand.NewSource(4))
+	n := 3000
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64() * 3
+		x1 := rng.NormFloat64() // noise feature
+		X[i] = []float64{x0, x1}
+		y[i] = x0 > 1.5
+	}
+	m, err := TrainBoost([]string{"x0", "noise"}, X, y, BoostConfig{Rounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := EvaluateBoost(m, X, y).Accuracy; acc < 0.97 {
+		t.Fatalf("accuracy = %v on a pure threshold rule", acc)
+	}
+	// The split feature should be x0, not noise.
+	usage := m.FeatureUsage()
+	if usage["x0"] <= usage["noise"] {
+		t.Fatalf("feature usage = %v", usage)
+	}
+}
+
+func TestBoostMatchesLogisticOnLinearData(t *testing.T) {
+	X, y := synthData(4000, 4, 6, []float64{2, -2, 1, 0}, 0)
+	trX, trY, vaX, vaY := Split(X, y, 0.7, 3)
+	lr, err := Train(nil, trX, trY, TrainConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := TrainBoost(nil, trX, trY, BoostConfig{Rounds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrAcc := Evaluate(lr, vaX, vaY).Accuracy
+	gbAcc := EvaluateBoost(gb, vaX, vaY).Accuracy
+	if gbAcc < lrAcc-0.05 {
+		t.Fatalf("boosting too far behind LR on linear data: %v vs %v", gbAcc, lrAcc)
+	}
+}
+
+func TestBoostNonlinearBeatsLogistic(t *testing.T) {
+	// A V-shaped decision (|x| > 1) is invisible to a linear model but
+	// trivial for two stumps.
+	rng := rand.New(rand.NewSource(5))
+	n := 4000
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64() * 2
+		X[i] = []float64{x}
+		y[i] = math.Abs(x) > 1
+	}
+	trX, trY, vaX, vaY := Split(X, y, 0.7, 5)
+	lr, _ := Train(nil, trX, trY, TrainConfig{Epochs: 60})
+	gb, _ := TrainBoost(nil, trX, trY, BoostConfig{Rounds: 80})
+	lrAcc := Evaluate(lr, vaX, vaY).Accuracy
+	gbAcc := EvaluateBoost(gb, vaX, vaY).Accuracy
+	if gbAcc < 0.9 {
+		t.Fatalf("boosting accuracy = %v on V-shape", gbAcc)
+	}
+	if gbAcc <= lrAcc {
+		t.Fatalf("boosting should beat LR on V-shape: %v vs %v", gbAcc, lrAcc)
+	}
+}
+
+func TestBoostErrors(t *testing.T) {
+	if _, err := TrainBoost(nil, nil, nil, BoostConfig{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := TrainBoost(nil, [][]float64{{}}, []bool{true}, BoostConfig{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("zero width err = %v", err)
+	}
+	if _, err := TrainBoost(nil, [][]float64{{1}, {1, 2}}, []bool{true, false}, BoostConfig{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("ragged err = %v", err)
+	}
+}
+
+func TestBoostConstantFeaturesStopEarly(t *testing.T) {
+	// All features constant: no split possible; model = prior only.
+	X := [][]float64{{1}, {1}, {1}, {1}}
+	y := []bool{true, true, false, true}
+	m, err := TrainBoost(nil, X, y, BoostConfig{Rounds: 50, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stumps) != 0 {
+		t.Fatalf("stumps = %d, want 0", len(m.Stumps))
+	}
+	p := m.Predict([]float64{1})
+	if p < 0.5 || p > 0.95 {
+		t.Fatalf("prior prediction = %v, want ≈ 3/4", p)
+	}
+}
+
+func TestBoostPredictShortVector(t *testing.T) {
+	X, y := synthData(500, 3, 8, []float64{1, 1, 1}, 0)
+	m, err := TrainBoost(nil, X, y, BoostConfig{Rounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{0.5}); math.IsNaN(p) || p < 0 || p > 1 {
+		t.Fatalf("short-vector predict = %v", p)
+	}
+	if got := m.Predictions(X); len(got) != len(X) {
+		t.Fatalf("Predictions len = %d", len(got))
+	}
+}
+
+func TestBoostedPredictorInterface(t *testing.T) {
+	var p Predictor = BoostedPredictor{}
+	if got := p.PredictSuccess(nil); got != 0.5 {
+		t.Fatalf("nil success model = %v", got)
+	}
+	if got := p.PredictConflict(nil, nil); got != 0 {
+		t.Fatalf("nil conflict model = %v", got)
+	}
+}
+
+func TestBoostCalibrationReasonable(t *testing.T) {
+	X, y := synthData(5000, 3, 11, []float64{2, -1, 1}, 0)
+	m, err := TrainBoost(nil, X, y, BoostConfig{Rounds: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := Calibration(m.Predictions(X), y, 10)
+	if ece := ExpectedCalibrationError(bins); ece > 0.08 {
+		t.Fatalf("boost ECE = %v", ece)
+	}
+}

@@ -1,0 +1,140 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AUC computes the area under the ROC curve for predicted probabilities
+// against boolean labels — threshold-free ranking quality, the natural
+// companion to accuracy for the imbalanced conflict model. Returns 0.5 for
+// degenerate inputs (all one class).
+func AUC(probs []float64, labels []bool) float64 {
+	type pair struct {
+		p float64
+		y bool
+	}
+	ps := make([]pair, 0, len(probs))
+	pos, neg := 0, 0
+	for i, p := range probs {
+		ps = append(ps, pair{p, labels[i]})
+		if labels[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].p < ps[j].p })
+	// Rank-sum (Mann–Whitney U) with midranks for ties.
+	rankSum := 0.0
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].p == ps[i].p {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if ps[k].y {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}
+
+// CalibrationBin is one reliability-diagram bucket.
+type CalibrationBin struct {
+	Lo, Hi   float64 // predicted-probability range [Lo, Hi)
+	Count    int
+	MeanPred float64
+	FracTrue float64 // empirical positive rate in the bin
+}
+
+// Calibration buckets predictions into n equal-width bins and reports the
+// empirical positive rate per bin — a well-calibrated model has
+// FracTrue ≈ MeanPred everywhere, which is what the speculation math
+// actually depends on (P_needed uses the probabilities as probabilities).
+func Calibration(probs []float64, labels []bool, n int) []CalibrationBin {
+	if n <= 0 {
+		n = 10
+	}
+	bins := make([]CalibrationBin, n)
+	sums := make([]float64, n)
+	trues := make([]int, n)
+	for i := range bins {
+		bins[i].Lo = float64(i) / float64(n)
+		bins[i].Hi = float64(i+1) / float64(n)
+	}
+	for i, p := range probs {
+		k := int(p * float64(n))
+		if k >= n {
+			k = n - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		bins[k].Count++
+		sums[k] += p
+		if labels[i] {
+			trues[k]++
+		}
+	}
+	for i := range bins {
+		if bins[i].Count > 0 {
+			bins[i].MeanPred = sums[i] / float64(bins[i].Count)
+			bins[i].FracTrue = float64(trues[i]) / float64(bins[i].Count)
+		}
+	}
+	return bins
+}
+
+// ExpectedCalibrationError is the count-weighted mean |MeanPred − FracTrue|.
+func ExpectedCalibrationError(bins []CalibrationBin) float64 {
+	total, sum := 0, 0.0
+	for _, b := range bins {
+		total += b.Count
+		sum += float64(b.Count) * abs(b.MeanPred-b.FracTrue)
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CalibrationReport renders the reliability diagram as text.
+func CalibrationReport(bins []CalibrationBin) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s\n", "bin", "count", "mean pred", "frac true")
+	for _, bin := range bins {
+		if bin.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "[%.2f,%.2f) %8d %10.3f %10.3f\n",
+			bin.Lo, bin.Hi, bin.Count, bin.MeanPred, bin.FracTrue)
+	}
+	fmt.Fprintf(&b, "expected calibration error: %.4f\n", ExpectedCalibrationError(bins))
+	return b.String()
+}
+
+// Predictions applies the model to every row (raw features).
+func (m *Model) Predictions(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Predict(row)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package predict
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAUCPerfectRanking(t *testing.T) {
+	probs := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{false, false, true, true}
+	if got := AUC(probs, labels); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+	// Inverted ranking.
+	labels = []bool{true, true, false, false}
+	if got := AUC(probs, labels); got != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if got := AUC([]float64{0.5, 0.6}, []bool{true, true}); got != 0.5 {
+		t.Fatalf("all-positive AUC = %v", got)
+	}
+	if got := AUC(nil, nil); got != 0.5 {
+		t.Fatalf("empty AUC = %v", got)
+	}
+}
+
+func TestAUCTiesGetMidranks(t *testing.T) {
+	// All equal predictions: AUC must be exactly 0.5.
+	probs := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if got := AUC(probs, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCOnTrainedModel(t *testing.T) {
+	X, y := synthData(3000, 3, 5, []float64{3, -2, 1}, 0)
+	m, err := Train(nil, X, y, TrainConfig{Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := AUC(m.Predictions(X), y)
+	if auc < 0.85 {
+		t.Fatalf("AUC = %v, want ranked well", auc)
+	}
+}
+
+func TestCalibrationBins(t *testing.T) {
+	probs := []float64{0.05, 0.05, 0.95, 0.95}
+	labels := []bool{false, false, true, true}
+	bins := Calibration(probs, labels, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Count != 2 || bins[0].FracTrue != 0 {
+		t.Fatalf("low bin = %+v", bins[0])
+	}
+	if bins[9].Count != 2 || bins[9].FracTrue != 1 {
+		t.Fatalf("high bin = %+v", bins[9])
+	}
+	if ece := ExpectedCalibrationError(bins); ece > 0.06 {
+		t.Fatalf("ECE = %v for a perfectly calibrated toy", ece)
+	}
+}
+
+func TestCalibrationEdges(t *testing.T) {
+	// p = 1.0 lands in the last bin; p < 0 clamps to the first.
+	bins := Calibration([]float64{1.0, -0.1}, []bool{true, false}, 4)
+	if bins[3].Count != 1 || bins[0].Count != 1 {
+		t.Fatalf("edge binning wrong: %+v", bins)
+	}
+	if ExpectedCalibrationError(nil) != 0 {
+		t.Fatal("empty ECE should be 0")
+	}
+	// Degenerate bin count defaults.
+	if got := Calibration(nil, nil, 0); len(got) != 10 {
+		t.Fatalf("default bins = %d", len(got))
+	}
+}
+
+func TestCalibrationReportRenders(t *testing.T) {
+	bins := Calibration([]float64{0.2, 0.8}, []bool{false, true}, 5)
+	rep := CalibrationReport(bins)
+	if !strings.Contains(rep, "expected calibration error") {
+		t.Fatalf("report = %q", rep)
+	}
+}
+
+func TestTrainedModelIsCalibrated(t *testing.T) {
+	// Logistic regression on logistic ground truth should calibrate well.
+	X, y := synthData(6000, 3, 9, []float64{2, -1.5, 1}, 0.3)
+	m, err := Train(nil, X, y, TrainConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := Calibration(m.Predictions(X), y, 10)
+	if ece := ExpectedCalibrationError(bins); ece > 0.05 {
+		t.Fatalf("ECE = %v, model poorly calibrated", ece)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	X, y := synthData(800, 3, 21, []float64{2, -1, 1}, 0)
+	m, err := Train([]string{"a", "b", "c"}, X, y, TrainConfig{Epochs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	lm, bm, err := LoadModel(&buf)
+	if err != nil || bm != nil || lm == nil {
+		t.Fatalf("load = %v, %v, %v", lm, bm, err)
+	}
+	for i, row := range X[:50] {
+		if math.Abs(lm.Predict(row)-m.Predict(row)) > 1e-12 {
+			t.Fatalf("prediction drift at %d", i)
+		}
+	}
+}
+
+func TestBoostSaveLoadRoundTrip(t *testing.T) {
+	X, y := synthData(800, 3, 22, []float64{2, -1, 1}, 0)
+	m, err := TrainBoost(nil, X, y, BoostConfig{Rounds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveBoostModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	lm, bm, err := LoadModel(&buf)
+	if err != nil || lm != nil || bm == nil {
+		t.Fatalf("load = %v, %v, %v", lm, bm, err)
+	}
+	for i, row := range X[:50] {
+		if math.Abs(bm.Predict(row)-m.Predict(row)) > 1e-12 {
+			t.Fatalf("prediction drift at %d", i)
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, _, err := LoadModel(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, _, err := LoadModel(strings.NewReader(`{"kind":"weird"}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, _, err := LoadModel(strings.NewReader(`{"kind":"logistic","logistic":{"Weights":[1],"Means":[],"Stds":[]}}`)); err == nil {
+		t.Fatal("inconsistent dims accepted")
+	}
+	if _, _, err := LoadModel(strings.NewReader(`{"kind":"boost"}`)); err == nil {
+		t.Fatal("empty boost accepted")
+	}
+}

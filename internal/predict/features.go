@@ -1,0 +1,123 @@
+package predict
+
+import (
+	"path"
+
+	"mastergreen/internal/change"
+)
+
+// SuccessFeatureNames lists, in order, the features fed to the
+// change-success model. They follow §7.2's categories: change, revision,
+// developer, and (dynamic) speculation features.
+var SuccessFeatureNames = []string{
+	"affected_targets",
+	"git_commits",
+	"files_changed",
+	"lines_added",
+	"lines_removed",
+	"hunks_changed",
+	"binaries_added",
+	"binaries_removed",
+	"initial_tests_passed",
+	"initial_tests_failed",
+	"revision_submit_count",
+	"revision_test_plan",
+	"revision_revert_plan",
+	"dev_level",
+	"dev_employment_months",
+	"spec_succeeded",
+	"spec_failed",
+}
+
+// SuccessFeatures extracts the success-model feature vector from a change.
+func SuccessFeatures(c *change.Change) []float64 {
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	var submitCount float64
+	var testPlan, revertPlan float64
+	if c.Revision != nil {
+		submitCount = float64(c.Revision.SubmitCount)
+		testPlan = b2f(c.Revision.TestPlan)
+		revertPlan = b2f(c.Revision.RevertPlan)
+	}
+	return []float64{
+		float64(c.Stats.AffectedTargets),
+		float64(c.Stats.NumGitCommits),
+		float64(c.Stats.FilesChanged),
+		float64(c.Stats.LinesAdded),
+		float64(c.Stats.LinesRemoved),
+		float64(c.Stats.HunksChanged),
+		float64(c.Stats.BinariesAdded),
+		float64(c.Stats.BinariesRemoved),
+		float64(c.Stats.InitialTestsPassed),
+		float64(c.Stats.InitialTestsFailed),
+		submitCount,
+		testPlan,
+		revertPlan,
+		float64(c.Author.Level),
+		float64(c.Author.EmploymentMonths),
+		float64(c.Spec.Succeeded),
+		float64(c.Spec.Failed),
+	}
+}
+
+// ConflictFeatureNames lists the features fed to the pairwise conflict model.
+var ConflictFeatureNames = []string{
+	"shared_paths",
+	"shared_dirs",
+	"same_team",
+	"same_author",
+	"combined_files_changed",
+	"combined_targets",
+	"min_dev_level",
+	"sum_initial_failures",
+}
+
+// ConflictFeatures extracts the conflict-model feature vector from a pair of
+// changes. It is symmetric in its arguments.
+func ConflictFeatures(ci, cj *change.Change) []float64 {
+	pathsI := ci.Patch.Paths()
+	pathsJ := cj.Patch.Paths()
+	setJ := make(map[string]bool, len(pathsJ))
+	dirsJ := map[string]bool{}
+	for _, p := range pathsJ {
+		setJ[p] = true
+		dirsJ[path.Dir(p)] = true
+	}
+	sharedPaths, sharedDirs := 0, 0
+	seenDir := map[string]bool{}
+	for _, p := range pathsI {
+		if setJ[p] {
+			sharedPaths++
+		}
+		d := path.Dir(p)
+		if dirsJ[d] && !seenDir[d] {
+			seenDir[d] = true
+			sharedDirs++
+		}
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	minLevel := ci.Author.Level
+	if cj.Author.Level < minLevel {
+		minLevel = cj.Author.Level
+	}
+	return []float64{
+		float64(sharedPaths),
+		float64(sharedDirs),
+		b2f(ci.Author.Team == cj.Author.Team && ci.Author.Team != ""),
+		b2f(ci.Author.Name == cj.Author.Name && ci.Author.Name != ""),
+		float64(ci.Stats.FilesChanged + cj.Stats.FilesChanged),
+		float64(ci.Stats.AffectedTargets + cj.Stats.AffectedTargets),
+		float64(minLevel),
+		float64(ci.Stats.InitialTestsFailed + cj.Stats.InitialTestsFailed),
+	}
+}

@@ -1,0 +1,320 @@
+// Package predict implements the paper's probabilistic model (§4.2, §7.2):
+// logistic regression trained on historical changes to estimate P_succ(C) —
+// the probability a change's build independently succeeds — and
+// P_conf(Ci,Cj) — the probability two changes conflict. It also provides the
+// Oracle and constant predictors the evaluation compares against (§8), and a
+// recursive-feature-elimination pass mirroring the paper's use of RFE.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Errors returned by training.
+var (
+	ErrNoData     = errors.New("predict: no training data")
+	ErrDimension  = errors.New("predict: inconsistent feature dimensions")
+	ErrNotTrained = errors.New("predict: model not trained")
+)
+
+// TrainConfig controls logistic-regression training.
+type TrainConfig struct {
+	Epochs       int     // full passes over the data (default 200)
+	LearningRate float64 // SGD step size (default 0.1)
+	L2           float64 // ridge penalty (default 1e-4)
+	BatchSize    int     // mini-batch size (default 64)
+	Seed         int64   // shuffle seed (default 1)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Model is a trained logistic-regression classifier with input
+// standardization baked in.
+type Model struct {
+	Names   []string  // feature names, len d
+	Weights []float64 // len d
+	Bias    float64
+	Means   []float64 // standardization means, len d
+	Stds    []float64 // standardization stds, len d (never zero)
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Train fits a logistic-regression model on X (n×d) with boolean labels y.
+// names may be nil; if given it must have length d.
+func Train(names []string, X [][]float64, y []bool, cfg TrainConfig) (*Model, error) {
+	if len(X) == 0 || len(y) != len(X) {
+		return nil, fmt.Errorf("%w: %d rows, %d labels", ErrNoData, len(X), len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("%w: zero-width rows", ErrDimension)
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDimension, i, len(row), d)
+		}
+	}
+	if names != nil && len(names) != d {
+		return nil, fmt.Errorf("%w: %d names for %d features", ErrDimension, len(names), d)
+	}
+	cfg = cfg.withDefaults()
+
+	m := &Model{
+		Names:   append([]string(nil), names...),
+		Weights: make([]float64, d),
+		Means:   make([]float64, d),
+		Stds:    make([]float64, d),
+	}
+	// Standardize: z = (x - mean) / std.
+	n := float64(len(X))
+	for j := 0; j < d; j++ {
+		s := 0.0
+		for _, row := range X {
+			s += row[j]
+		}
+		m.Means[j] = s / n
+	}
+	for j := 0; j < d; j++ {
+		s := 0.0
+		for _, row := range X {
+			dx := row[j] - m.Means[j]
+			s += dx * dx
+		}
+		m.Stds[j] = math.Sqrt(s / n)
+		if m.Stds[j] < 1e-12 {
+			m.Stds[j] = 1
+		}
+	}
+	Z := make([][]float64, len(X))
+	for i, row := range X {
+		z := make([]float64, d)
+		for j := range row {
+			z[j] = (row[j] - m.Means[j]) / m.Stds[j]
+		}
+		Z[i] = z
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(Z))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		lr := cfg.LearningRate / (1 + 0.01*float64(epoch)) // mild decay
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			gw := make([]float64, d)
+			gb := 0.0
+			for _, i := range idx[start:end] {
+				z := m.Bias
+				for j, v := range Z[i] {
+					z += m.Weights[j] * v
+				}
+				p := Sigmoid(z)
+				t := 0.0
+				if y[i] {
+					t = 1
+				}
+				e := p - t
+				for j, v := range Z[i] {
+					gw[j] += e * v
+				}
+				gb += e
+			}
+			bs := float64(end - start)
+			for j := range m.Weights {
+				m.Weights[j] -= lr * (gw[j]/bs + cfg.L2*m.Weights[j])
+			}
+			m.Bias -= lr * gb / bs
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the probability of the positive class for raw features x.
+func (m *Model) Predict(x []float64) float64 {
+	z := m.Bias
+	for j, v := range x {
+		if j >= len(m.Weights) {
+			break
+		}
+		z += m.Weights[j] * (v - m.Means[j]) / m.Stds[j]
+	}
+	return Sigmoid(z)
+}
+
+// Metrics summarizes classifier quality on a labeled set.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	N         int
+}
+
+// Evaluate computes Metrics at the 0.5 decision threshold.
+func Evaluate(m *Model, X [][]float64, y []bool) Metrics {
+	var tp, fp, tn, fn int
+	for i, row := range X {
+		pred := m.Predict(row) >= 0.5
+		switch {
+		case pred && y[i]:
+			tp++
+		case pred && !y[i]:
+			fp++
+		case !pred && !y[i]:
+			tn++
+		default:
+			fn++
+		}
+	}
+	var mt Metrics
+	mt.N = len(X)
+	if mt.N == 0 {
+		return mt
+	}
+	mt.Accuracy = float64(tp+tn) / float64(mt.N)
+	if tp+fp > 0 {
+		mt.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		mt.Recall = float64(tp) / float64(tp+fn)
+	}
+	if mt.Precision+mt.Recall > 0 {
+		mt.F1 = 2 * mt.Precision * mt.Recall / (mt.Precision + mt.Recall)
+	}
+	return mt
+}
+
+// Split partitions (X, y) into train/validate sets with the given training
+// fraction (the paper used 70/30), shuffled with seed.
+func Split(X [][]float64, y []bool, trainFrac float64, seed int64) (trX [][]float64, trY []bool, vaX [][]float64, vaY []bool) {
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+	cut := int(trainFrac * float64(len(idx)))
+	for i, k := range idx {
+		if i < cut {
+			trX = append(trX, X[k])
+			trY = append(trY, y[k])
+		} else {
+			vaX = append(vaX, X[k])
+			vaY = append(vaY, y[k])
+		}
+	}
+	return
+}
+
+// FeatureImportance pairs a feature name with its standardized weight.
+type FeatureImportance struct {
+	Name   string
+	Weight float64
+}
+
+// Importances returns features sorted by descending |weight|.
+func (m *Model) Importances() []FeatureImportance {
+	out := make([]FeatureImportance, len(m.Weights))
+	for i, w := range m.Weights {
+		name := fmt.Sprintf("f%d", i)
+		if i < len(m.Names) && m.Names[i] != "" {
+			name = m.Names[i]
+		}
+		out[i] = FeatureImportance{Name: name, Weight: w}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return math.Abs(out[i].Weight) > math.Abs(out[j].Weight)
+	})
+	return out
+}
+
+// RFE performs recursive feature elimination (§7.2): it repeatedly trains on
+// the surviving features and drops the one with the smallest |standardized
+// weight| until keep features remain. It returns the final model and the
+// indices (into the original feature space) of the kept features, sorted.
+func RFE(names []string, X [][]float64, y []bool, cfg TrainConfig, keep int) (*Model, []int, error) {
+	if len(X) == 0 {
+		return nil, nil, ErrNoData
+	}
+	d := len(X[0])
+	if keep <= 0 || keep > d {
+		keep = d
+	}
+	alive := make([]int, d)
+	for i := range alive {
+		alive[i] = i
+	}
+	project := func(cols []int) ([][]float64, []string) {
+		px := make([][]float64, len(X))
+		for i, row := range X {
+			pr := make([]float64, len(cols))
+			for k, c := range cols {
+				pr[k] = row[c]
+			}
+			px[i] = pr
+		}
+		var pn []string
+		if names != nil {
+			pn = make([]string, len(cols))
+			for k, c := range cols {
+				pn[k] = names[c]
+			}
+		}
+		return px, pn
+	}
+	for len(alive) > keep {
+		px, pn := project(alive)
+		m, err := Train(pn, px, y, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		worst, worstAbs := 0, math.Inf(1)
+		for j, w := range m.Weights {
+			if a := math.Abs(w); a < worstAbs {
+				worst, worstAbs = j, a
+			}
+		}
+		alive = append(alive[:worst], alive[worst+1:]...)
+	}
+	px, pn := project(alive)
+	m, err := Train(pn, px, y, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, append([]int(nil), alive...), nil
+}

@@ -1,0 +1,244 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthData generates a linearly separable-ish dataset: label is a logistic
+// draw from trueW·x + b with the given noise.
+func synthData(n, d int, seed int64, trueW []float64, bias float64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		z := bias
+		for j := 0; j < d; j++ {
+			row[j] = rng.NormFloat64()
+			if j < len(trueW) {
+				z += trueW[j] * row[j]
+			}
+		}
+		X[i] = row
+		y[i] = rng.Float64() < Sigmoid(z)
+	}
+	return X, y
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(100); got <= 0.999 {
+		t.Fatalf("Sigmoid(100) = %v", got)
+	}
+	if got := Sigmoid(-100); got >= 0.001 {
+		t.Fatalf("Sigmoid(-100) = %v", got)
+	}
+	// Symmetry property: sigmoid(-z) = 1 - sigmoid(z).
+	f := func(z float64) bool {
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		return math.Abs(Sigmoid(-z)-(1-Sigmoid(z))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainLearnsSeparableData(t *testing.T) {
+	trueW := []float64{3, -2, 0, 0}
+	X, y := synthData(3000, 4, 42, trueW, 0.5)
+	m, err := Train([]string{"a", "b", "c", "d"}, X, y, TrainConfig{Epochs: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := Evaluate(m, X, y)
+	if mt.Accuracy < 0.85 {
+		t.Fatalf("train accuracy = %v, want >= 0.85", mt.Accuracy)
+	}
+	// Signs of informative weights recovered.
+	if m.Weights[0] <= 0 || m.Weights[1] >= 0 {
+		t.Fatalf("weights = %v, want +,-", m.Weights[:2])
+	}
+	// Uninformative features near zero relative to informative ones.
+	if math.Abs(m.Weights[2]) > math.Abs(m.Weights[0])/3 {
+		t.Fatalf("noise weight too large: %v", m.Weights)
+	}
+}
+
+func TestTrainValidationSplit(t *testing.T) {
+	X, y := synthData(4000, 3, 7, []float64{4, -3, 2}, 0)
+	trX, trY, vaX, vaY := Split(X, y, 0.7, 99)
+	if len(trX) != 2800 || len(vaX) != 1200 {
+		t.Fatalf("split sizes = %d/%d", len(trX), len(vaX))
+	}
+	m, err := Train(nil, trX, trY, TrainConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := Evaluate(m, vaX, vaY)
+	if mt.Accuracy < 0.8 {
+		t.Fatalf("validation accuracy = %v", mt.Accuracy)
+	}
+	if mt.N != 1200 {
+		t.Fatalf("metrics N = %d", mt.N)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, nil, TrainConfig{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Train(nil, [][]float64{{1}, {1, 2}}, []bool{true, false}, TrainConfig{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("ragged err = %v", err)
+	}
+	if _, err := Train(nil, [][]float64{{}}, []bool{true}, TrainConfig{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("zero-width err = %v", err)
+	}
+	if _, err := Train([]string{"a", "b"}, [][]float64{{1}}, []bool{true}, TrainConfig{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("name mismatch err = %v", err)
+	}
+	if _, err := Train(nil, [][]float64{{1}}, []bool{true, false}, TrainConfig{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("label mismatch err = %v", err)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	X, y := synthData(500, 3, 5, []float64{1, 1, -1}, 0)
+	m1, err := Train(nil, X, y, TrainConfig{Epochs: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(nil, X, y, TrainConfig{Epochs: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range m1.Weights {
+		if m1.Weights[j] != m2.Weights[j] {
+			t.Fatal("training not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestConstantFeatureDoesNotNaN(t *testing.T) {
+	// A zero-variance feature must not divide by zero.
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	y := []bool{false, false, true, true}
+	m, err := Train(nil, X, y, TrainConfig{Epochs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict([]float64{2.5, 5})
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		t.Fatalf("Predict = %v", p)
+	}
+}
+
+func TestPredictShortVector(t *testing.T) {
+	X, y := synthData(200, 3, 11, []float64{1, 1, 1}, 0)
+	m, err := Train(nil, X, y, TrainConfig{Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorter vector than trained dimension: uses available prefix.
+	p := m.Predict([]float64{1})
+	if math.IsNaN(p) {
+		t.Fatal("NaN on short vector")
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Means: []float64{0}, Stds: []float64{1}}
+	mt := Evaluate(m, nil, nil)
+	if mt.N != 0 || mt.Accuracy != 0 {
+		t.Fatalf("empty metrics = %+v", mt)
+	}
+}
+
+func TestMetricsPrecisionRecall(t *testing.T) {
+	// Hand-built model: predicts positive iff x > 0.
+	m := &Model{Weights: []float64{10}, Means: []float64{0}, Stds: []float64{1}}
+	X := [][]float64{{1}, {1}, {-1}, {-1}}
+	y := []bool{true, false, true, false}
+	mt := Evaluate(m, X, y)
+	if mt.Accuracy != 0.5 || mt.Precision != 0.5 || mt.Recall != 0.5 {
+		t.Fatalf("metrics = %+v", mt)
+	}
+	if math.Abs(mt.F1-0.5) > 1e-12 {
+		t.Fatalf("f1 = %v", mt.F1)
+	}
+}
+
+func TestImportancesSorted(t *testing.T) {
+	m := &Model{
+		Names:   []string{"small", "big", "mid"},
+		Weights: []float64{0.1, -5, 2},
+		Means:   []float64{0, 0, 0},
+		Stds:    []float64{1, 1, 1},
+	}
+	imp := m.Importances()
+	if imp[0].Name != "big" || imp[1].Name != "mid" || imp[2].Name != "small" {
+		t.Fatalf("importances = %v", imp)
+	}
+	// Unnamed model falls back to f<i>.
+	m.Names = nil
+	if got := m.Importances()[0].Name; got != "f1" {
+		t.Fatalf("fallback name = %q", got)
+	}
+}
+
+func TestRFEKeepsInformativeFeatures(t *testing.T) {
+	// Features 0 and 2 are informative; 1 and 3 are noise.
+	trueW := []float64{4, 0, -4, 0}
+	X, y := synthData(2500, 4, 13, trueW, 0)
+	m, kept, err := RFE([]string{"a", "noise1", "c", "noise2"}, X, y, TrainConfig{Epochs: 40}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept = %v", kept)
+	}
+	has := map[int]bool{}
+	for _, k := range kept {
+		has[k] = true
+	}
+	if !has[0] || !has[2] {
+		t.Fatalf("RFE kept wrong features: %v", kept)
+	}
+	if len(m.Weights) != 2 {
+		t.Fatalf("final model width = %d", len(m.Weights))
+	}
+	if mt := Evaluate(m, projectCols(X, kept), y); mt.Accuracy < 0.8 {
+		t.Fatalf("RFE model accuracy = %v", mt.Accuracy)
+	}
+}
+
+func projectCols(X [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		pr := make([]float64, len(cols))
+		for k, c := range cols {
+			pr[k] = row[c]
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+func TestRFEErrorsAndDefaults(t *testing.T) {
+	if _, _, err := RFE(nil, nil, nil, TrainConfig{}, 1); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	// keep out of range defaults to all features.
+	X, y := synthData(100, 2, 3, []float64{1, 1}, 0)
+	m, kept, err := RFE(nil, X, y, TrainConfig{Epochs: 5}, 0)
+	if err != nil || len(kept) != 2 || len(m.Weights) != 2 {
+		t.Fatalf("defaulted RFE = %v, %v, %v", m, kept, err)
+	}
+}

@@ -1,0 +1,54 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model serialization: trained models persist as JSON so the production
+// service can load them at startup instead of retraining (the paper trains
+// offline in scikit and serves the coefficients).
+
+// modelFile wraps either model kind with a type tag.
+type modelFile struct {
+	Kind     string      `json:"kind"` // "logistic" or "boost"
+	Logistic *Model      `json:"logistic,omitempty"`
+	Boost    *BoostModel `json:"boost,omitempty"`
+}
+
+// SaveModel writes a logistic model as JSON.
+func SaveModel(w io.Writer, m *Model) error {
+	return json.NewEncoder(w).Encode(modelFile{Kind: "logistic", Logistic: m})
+}
+
+// SaveBoostModel writes a boosted model as JSON.
+func SaveBoostModel(w io.Writer, m *BoostModel) error {
+	return json.NewEncoder(w).Encode(modelFile{Kind: "boost", Boost: m})
+}
+
+// LoadModel reads a model saved with SaveModel or SaveBoostModel. Exactly
+// one of the returns is non-nil on success.
+func LoadModel(r io.Reader) (*Model, *BoostModel, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, nil, fmt.Errorf("predict: decode model: %w", err)
+	}
+	switch mf.Kind {
+	case "logistic":
+		if mf.Logistic == nil || len(mf.Logistic.Weights) == 0 {
+			return nil, nil, fmt.Errorf("predict: empty logistic model")
+		}
+		if len(mf.Logistic.Means) != len(mf.Logistic.Weights) || len(mf.Logistic.Stds) != len(mf.Logistic.Weights) {
+			return nil, nil, fmt.Errorf("predict: inconsistent logistic model dimensions")
+		}
+		return mf.Logistic, nil, nil
+	case "boost":
+		if mf.Boost == nil {
+			return nil, nil, fmt.Errorf("predict: empty boost model")
+		}
+		return nil, mf.Boost, nil
+	default:
+		return nil, nil, fmt.Errorf("predict: unknown model kind %q", mf.Kind)
+	}
+}

@@ -1,0 +1,103 @@
+package predict
+
+import (
+	"math"
+
+	"mastergreen/internal/change"
+)
+
+// Predictor supplies the two probabilities the speculation engine consumes:
+// P_succ(C) and P_conf(Ci, Cj) (§4.2).
+type Predictor interface {
+	// PredictSuccess estimates the probability the change's build succeeds
+	// against the current HEAD with no other pending change applied.
+	PredictSuccess(c *change.Change) float64
+	// PredictConflict estimates the probability Ci and Cj really conflict:
+	// each succeeds alone but they fail together.
+	PredictConflict(ci, cj *change.Change) float64
+}
+
+// Static is the predictor used by the Speculate-all baseline (§8): a fixed
+// success probability (the paper assumes 50%) and a fixed conflict
+// probability.
+type Static struct {
+	Success  float64
+	Conflict float64
+}
+
+// PredictSuccess implements Predictor.
+func (s Static) PredictSuccess(*change.Change) float64 { return clampProb(s.Success) }
+
+// PredictConflict implements Predictor.
+func (s Static) PredictConflict(*change.Change, *change.Change) float64 {
+	return clampProb(s.Conflict)
+}
+
+// Oracle perfectly predicts outcomes using ground-truth callbacks; it is the
+// normalization baseline of §8 ("can perfectly predict the outcome of a
+// change").
+type Oracle struct {
+	Success  func(id change.ID) bool
+	Conflict func(a, b change.ID) bool
+}
+
+// PredictSuccess implements Predictor.
+func (o Oracle) PredictSuccess(c *change.Change) float64 {
+	if o.Success != nil && o.Success(c.ID) {
+		return 1
+	}
+	return 0
+}
+
+// PredictConflict implements Predictor.
+func (o Oracle) PredictConflict(ci, cj *change.Change) float64 {
+	if o.Conflict != nil && o.Conflict(ci.ID, cj.ID) {
+		return 1
+	}
+	return 0
+}
+
+// Learned wraps the two trained logistic-regression models, exactly as
+// SubmitQueue runs in production (§7.2).
+type Learned struct {
+	SuccessModel  *Model
+	ConflictModel *Model
+}
+
+// PredictSuccess implements Predictor.
+func (l Learned) PredictSuccess(c *change.Change) float64 {
+	if l.SuccessModel == nil {
+		return 0.5
+	}
+	return clampProb(l.SuccessModel.Predict(SuccessFeatures(c)))
+}
+
+// PredictConflict implements Predictor.
+func (l Learned) PredictConflict(ci, cj *change.Change) float64 {
+	if l.ConflictModel == nil {
+		return 0
+	}
+	return clampProb(l.ConflictModel.Predict(ConflictFeatures(ci, cj)))
+}
+
+// clampProb keeps probabilities strictly inside (0,1) so speculation math
+// never saturates to impossible certainty.
+func clampProb(p float64) float64 {
+	if math.IsNaN(p) {
+		return 0.5
+	}
+	if p < 1e-4 {
+		return 1e-4
+	}
+	if p > 1-1e-4 {
+		return 1 - 1e-4
+	}
+	return p
+}
+
+// Interface checks.
+var (
+	_ Predictor = Static{}
+	_ Predictor = Oracle{}
+	_ Predictor = Learned{}
+)

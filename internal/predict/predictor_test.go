@@ -1,0 +1,168 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+func chg(id, author, team string, paths ...string) *change.Change {
+	var fcs []repo.FileChange
+	for _, p := range paths {
+		fcs = append(fcs, repo.FileChange{Path: p, Op: repo.OpCreate, NewContent: "x"})
+	}
+	return &change.Change{
+		ID:     change.ID(id),
+		Author: change.Developer{Name: author, Team: team, Level: 3, EmploymentMonths: 24},
+		Patch:  repo.Patch{Changes: fcs},
+		Stats:  change.Stats{FilesChanged: len(paths), AffectedTargets: len(paths)},
+	}
+}
+
+func TestStaticPredictor(t *testing.T) {
+	s := Static{Success: 0.5, Conflict: 0.1}
+	if got := s.PredictSuccess(chg("a", "dev", "t", "f")); got != 0.5 {
+		t.Fatalf("success = %v", got)
+	}
+	if got := s.PredictConflict(nil, nil); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("conflict = %v", got)
+	}
+	// Out-of-range values are clamped into (0,1).
+	if got := (Static{Success: 2}).PredictSuccess(nil); got >= 1 {
+		t.Fatalf("clamped success = %v", got)
+	}
+	if got := (Static{Success: -1}).PredictSuccess(nil); got <= 0 {
+		t.Fatalf("clamped success = %v", got)
+	}
+	if got := (Static{Success: math.NaN()}).PredictSuccess(nil); got != 0.5 {
+		t.Fatalf("NaN clamp = %v", got)
+	}
+}
+
+func TestOraclePredictor(t *testing.T) {
+	o := Oracle{
+		Success:  func(id change.ID) bool { return id == "good" },
+		Conflict: func(a, b change.ID) bool { return a == "x" && b == "y" },
+	}
+	if got := o.PredictSuccess(chg("good", "d", "t", "f")); got != 1 {
+		t.Fatalf("good = %v", got)
+	}
+	if got := o.PredictSuccess(chg("bad", "d", "t", "f")); got != 0 {
+		t.Fatalf("bad = %v", got)
+	}
+	if got := o.PredictConflict(chg("x", "d", "t", "f"), chg("y", "d", "t", "g")); got != 1 {
+		t.Fatalf("conflict = %v", got)
+	}
+	// Nil callbacks behave as "never".
+	var empty Oracle
+	if empty.PredictSuccess(chg("a", "d", "t", "f")) != 0 || empty.PredictConflict(nil, nil) != 0 {
+		t.Fatal("nil-callback oracle should predict 0")
+	}
+}
+
+func TestLearnedPredictorFallbacks(t *testing.T) {
+	var l Learned
+	if got := l.PredictSuccess(chg("a", "d", "t", "f")); got != 0.5 {
+		t.Fatalf("nil success model = %v", got)
+	}
+	if got := l.PredictConflict(chg("a", "d", "t", "f"), chg("b", "d", "t", "g")); got != 0 {
+		t.Fatalf("nil conflict model = %v", got)
+	}
+}
+
+func TestLearnedPredictorUsesModels(t *testing.T) {
+	// Train a success model where initial_tests_failed strongly predicts
+	// failure, then check the predictor orders changes sensibly.
+	var X [][]float64
+	var y []bool
+	for i := 0; i < 600; i++ {
+		good := chg("g", "d", "t", "f")
+		good.Stats.InitialTestsPassed = 10
+		bad := chg("b", "d", "t", "f")
+		bad.Stats.InitialTestsFailed = 5 + i%3
+		X = append(X, SuccessFeatures(good), SuccessFeatures(bad))
+		y = append(y, true, false)
+	}
+	m, err := Train(SuccessFeatureNames, X, y, TrainConfig{Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Learned{SuccessModel: m}
+	good := chg("g", "d", "t", "f")
+	good.Stats.InitialTestsPassed = 10
+	bad := chg("b", "d", "t", "f")
+	bad.Stats.InitialTestsFailed = 6
+	pg, pb := l.PredictSuccess(good), l.PredictSuccess(bad)
+	if pg <= pb {
+		t.Fatalf("good %.3f should outrank bad %.3f", pg, pb)
+	}
+	if pg <= 0 || pg >= 1 || pb <= 0 || pb >= 1 {
+		t.Fatalf("probabilities not clamped: %v %v", pg, pb)
+	}
+}
+
+func TestSuccessFeaturesShape(t *testing.T) {
+	c := chg("a", "dev", "team", "f1", "f2")
+	c.Revision = &change.Revision{SubmitCount: 3, TestPlan: true}
+	f := SuccessFeatures(c)
+	if len(f) != len(SuccessFeatureNames) {
+		t.Fatalf("len = %d, want %d", len(f), len(SuccessFeatureNames))
+	}
+	// revision_submit_count position.
+	idx := -1
+	for i, n := range SuccessFeatureNames {
+		if n == "revision_submit_count" {
+			idx = i
+		}
+	}
+	if f[idx] != 3 {
+		t.Fatalf("submit count = %v", f[idx])
+	}
+	// Nil revision yields zeros, no panic.
+	c.Revision = nil
+	f = SuccessFeatures(c)
+	if f[idx] != 0 {
+		t.Fatalf("nil revision submit count = %v", f[idx])
+	}
+}
+
+func TestConflictFeaturesSymmetric(t *testing.T) {
+	a := chg("a", "alice", "riders", "app/x.go", "app/y.go")
+	b := chg("b", "bob", "riders", "app/x.go", "lib/z.go")
+	fab := ConflictFeatures(a, b)
+	fba := ConflictFeatures(b, a)
+	if len(fab) != len(ConflictFeatureNames) {
+		t.Fatalf("len = %d", len(fab))
+	}
+	for i := range fab {
+		if fab[i] != fba[i] {
+			t.Fatalf("asymmetric at %s: %v vs %v", ConflictFeatureNames[i], fab[i], fba[i])
+		}
+	}
+	// shared_paths = 1 (app/x.go), shared_dirs = 1 (app), same_team = 1.
+	if fab[0] != 1 || fab[1] != 1 || fab[2] != 1 {
+		t.Fatalf("features = %v", fab)
+	}
+	// Different teams and no overlap.
+	c := chg("c", "carol", "eats", "other/w.go")
+	fac := ConflictFeatures(a, c)
+	if fac[0] != 0 || fac[1] != 0 || fac[2] != 0 {
+		t.Fatalf("disjoint features = %v", fac)
+	}
+}
+
+func TestConflictFeaturesSameAuthor(t *testing.T) {
+	a := chg("a", "alice", "t", "f1")
+	b := chg("b", "alice", "t", "f2")
+	f := ConflictFeatures(a, b)
+	if f[3] != 1 {
+		t.Fatalf("same_author = %v", f[3])
+	}
+	// Empty names never count as same.
+	a.Author.Name, b.Author.Name = "", ""
+	if got := ConflictFeatures(a, b); got[3] != 0 {
+		t.Fatalf("empty-name same_author = %v", got[3])
+	}
+}

@@ -1,0 +1,110 @@
+package queue
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Coordinator assigns queue shards to core-service nodes, the role Apache
+// Helix plays in the paper's deployment (§7.1: "Apache Helix for sharding
+// queues across machines"). It implements rendezvous (highest-random-weight)
+// hashing: every shard is owned by exactly one live node, assignments are
+// balanced, and when membership changes only the shards of the affected node
+// move — the stability property that makes rebalancing cheap.
+type Coordinator struct {
+	mu     sync.RWMutex
+	shards int
+	nodes  map[string]bool
+}
+
+// NewCoordinator manages the given number of shards (minimum 1).
+func NewCoordinator(shards int) *Coordinator {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Coordinator{shards: shards, nodes: map[string]bool{}}
+}
+
+// Join adds a node to the cluster.
+func (c *Coordinator) Join(node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[node] = true
+}
+
+// Leave removes a node (crash or drain); its shards fail over on the next
+// Owner call.
+func (c *Coordinator) Leave(node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.nodes, node)
+}
+
+// Nodes returns the live members, sorted.
+func (c *Coordinator) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.shards }
+
+// weight is the rendezvous score of (shard, node).
+func weight(shard int, node string) uint64 {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d|%s", shard, node)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Owner returns the node owning the shard, or "" if the cluster is empty.
+func (c *Coordinator) Owner(shard int) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	best, bestW := "", uint64(0)
+	for n := range c.nodes {
+		if w := weight(shard, n); best == "" || w > bestW || (w == bestW && n < best) {
+			best, bestW = n, w
+		}
+	}
+	return best
+}
+
+// Assignment returns the full shard→node map.
+func (c *Coordinator) Assignment() map[int]string {
+	out := make(map[int]string, c.shards)
+	for s := 0; s < c.shards; s++ {
+		out[s] = c.Owner(s)
+	}
+	return out
+}
+
+// OwnedBy returns the shards owned by the node, ascending.
+func (c *Coordinator) OwnedBy(node string) []int {
+	var out []int
+	for s := 0; s < c.shards; s++ {
+		if c.Owner(s) == node {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Moved reports which shards changed owner between two assignments.
+func Moved(before, after map[int]string) []int {
+	var out []int
+	for s, b := range before {
+		if after[s] != b {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,150 @@
+package queue
+
+import (
+	"fmt"
+	"testing"
+)
+
+func cluster(shards int, nodes ...string) *Coordinator {
+	c := NewCoordinator(shards)
+	for _, n := range nodes {
+		c.Join(n)
+	}
+	return c
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	c1 := cluster(16, "a", "b", "c")
+	c2 := cluster(16, "c", "a", "b") // join order must not matter
+	for s := 0; s < 16; s++ {
+		if c1.Owner(s) != c2.Owner(s) {
+			t.Fatalf("shard %d owner differs by join order", s)
+		}
+	}
+}
+
+func TestEveryShardOwned(t *testing.T) {
+	c := cluster(64, "a", "b", "c", "d")
+	for s, n := range c.Assignment() {
+		if n == "" {
+			t.Fatalf("shard %d unowned", s)
+		}
+	}
+}
+
+func TestEmptyClusterNoOwner(t *testing.T) {
+	c := NewCoordinator(4)
+	if got := c.Owner(0); got != "" {
+		t.Fatalf("owner of empty cluster = %q", got)
+	}
+}
+
+func TestBalancedAssignment(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	c := cluster(500, nodes...)
+	counts := map[string]int{}
+	for _, n := range c.Assignment() {
+		counts[n]++
+	}
+	for _, n := range nodes {
+		got := counts[n]
+		// Expect 100 ± 50% — rendezvous hashing balances well at this scale.
+		if got < 50 || got > 150 {
+			t.Fatalf("node %s owns %d of 500 shards", n, got)
+		}
+	}
+}
+
+func TestLeaveMovesOnlyFailedNodesShards(t *testing.T) {
+	c := cluster(256, "a", "b", "c", "d")
+	before := c.Assignment()
+	c.Leave("b")
+	after := c.Assignment()
+	moved := Moved(before, after)
+	for _, s := range moved {
+		if before[s] != "b" {
+			t.Fatalf("shard %d moved but was owned by %s, not the failed node", s, before[s])
+		}
+		if after[s] == "b" || after[s] == "" {
+			t.Fatalf("shard %d not reassigned: %q", s, after[s])
+		}
+	}
+	// Everything b owned must have moved.
+	for s, n := range before {
+		if n == "b" && after[s] == "b" {
+			t.Fatalf("shard %d still owned by departed node", s)
+		}
+	}
+}
+
+func TestJoinStealsBoundedShare(t *testing.T) {
+	c := cluster(400, "a", "b", "c", "d")
+	before := c.Assignment()
+	c.Join("e")
+	after := c.Assignment()
+	moved := Moved(before, after)
+	// The newcomer should take roughly 1/5 of the shards and nothing else
+	// should shuffle between survivors.
+	for _, s := range moved {
+		if after[s] != "e" {
+			t.Fatalf("shard %d moved to %s, not the new node", s, after[s])
+		}
+	}
+	if len(moved) < 40 || len(moved) > 160 {
+		t.Fatalf("moved %d of 400 shards on join, want ≈80", len(moved))
+	}
+}
+
+func TestOwnedByPartitions(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	c := cluster(48, nodes...)
+	seen := map[int]bool{}
+	total := 0
+	for _, n := range nodes {
+		for _, s := range c.OwnedBy(n) {
+			if seen[s] {
+				t.Fatalf("shard %d owned twice", s)
+			}
+			seen[s] = true
+			total++
+		}
+	}
+	if total != 48 {
+		t.Fatalf("covered %d of 48", total)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	c := cluster(4, "zeta", "alpha", "mid")
+	got := c.Nodes()
+	if len(got) != 3 || got[0] != "alpha" || got[2] != "zeta" {
+		t.Fatalf("Nodes = %v", got)
+	}
+	c.Leave("mid")
+	if len(c.Nodes()) != 2 {
+		t.Fatal("leave not applied")
+	}
+}
+
+func TestCoordinatorWithQueueShards(t *testing.T) {
+	// End to end: the queue's shard of a change maps to a node via the
+	// coordinator, and every pending change has exactly one responsible node.
+	q := New(8)
+	c := cluster(8, "core-0", "core-1")
+	for i := 0; i < 40; i++ {
+		if err := q.Enqueue(mk(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perNode := map[string]int{}
+	for s := 0; s < q.Shards(); s++ {
+		node := c.Owner(s)
+		if node == "" {
+			t.Fatalf("shard %d unowned", s)
+		}
+		perNode[node] += len(q.ShardPending(s))
+	}
+	if perNode["core-0"]+perNode["core-1"] != 40 {
+		t.Fatalf("coverage = %v", perNode)
+	}
+}

@@ -1,0 +1,186 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+func mk(id string) *change.Change {
+	return &change.Change{
+		ID: change.ID(id),
+		Patch: repo.Patch{Changes: []repo.FileChange{
+			{Path: "f", Op: repo.OpCreate, NewContent: "x"},
+		}},
+		BuildSteps: change.DefaultBuildSteps(),
+	}
+}
+
+func TestEnqueueOrder(t *testing.T) {
+	q := New(4)
+	for _, id := range []string{"c3", "c1", "c2"} {
+		if err := q.Enqueue(mk(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := q.Pending()
+	if len(got) != 3 || got[0].ID != "c3" || got[1].ID != "c1" || got[2].ID != "c2" {
+		t.Fatalf("order = %v", got)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestEnqueueValidates(t *testing.T) {
+	q := New(1)
+	bad := &change.Change{ID: "x"} // no patch, no steps
+	if err := q.Enqueue(bad); err == nil {
+		t.Fatal("invalid change accepted")
+	}
+}
+
+func TestDuplicateEnqueue(t *testing.T) {
+	q := New(1)
+	if err := q.Enqueue(mk("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(mk("c1")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoveGetContains(t *testing.T) {
+	q := New(2)
+	if err := q.Enqueue(mk("c1")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := q.Get("c1")
+	if err != nil || c.ID != "c1" {
+		t.Fatalf("Get = %v, %v", c, err)
+	}
+	if !q.Contains("c1") {
+		t.Fatal("Contains = false")
+	}
+	if err := q.Remove("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if q.Contains("c1") || q.Len() != 0 {
+		t.Fatal("remove did not take effect")
+	}
+	if err := q.Remove("c1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if _, err := q.Get("c1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get removed err = %v", err)
+	}
+	if _, err := q.Seq("c1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Seq removed err = %v", err)
+	}
+}
+
+func TestSeqMonotone(t *testing.T) {
+	q := New(3)
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("c%d", i)
+		if err := q.Enqueue(mk(id)); err != nil {
+			t.Fatal(err)
+		}
+		s, err := q.Seq(change.ID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && s <= prev {
+			t.Fatalf("seq not monotone: %d after %d", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestShardsPartitionPending(t *testing.T) {
+	q := New(4)
+	n := 50
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(mk(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	seen := map[change.ID]bool{}
+	for s := 0; s < q.Shards(); s++ {
+		part := q.ShardPending(s)
+		total += len(part)
+		var prevSeq uint64
+		for i, c := range part {
+			if seen[c.ID] {
+				t.Fatalf("change %s in two shards", c.ID)
+			}
+			seen[c.ID] = true
+			sq, _ := q.Seq(c.ID)
+			if i > 0 && sq <= prevSeq {
+				t.Fatalf("shard %d order broken", s)
+			}
+			prevSeq = sq
+		}
+	}
+	if total != n {
+		t.Fatalf("shards cover %d of %d", total, n)
+	}
+}
+
+func TestShardAssignmentStable(t *testing.T) {
+	q1, q2 := New(8), New(8)
+	if q1.shardOf("c42") != q2.shardOf("c42") {
+		t.Fatal("shard mapping not consistent across instances")
+	}
+}
+
+func TestMinimumOneShard(t *testing.T) {
+	q := New(0)
+	if q.Shards() != 1 {
+		t.Fatalf("shards = %d", q.Shards())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	q := New(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("c%d-%d", w, i)
+				if err := q.Enqueue(mk(id)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if err := q.Remove(change.ID(id)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != 8*25 {
+		t.Fatalf("len = %d, want %d", q.Len(), 8*25)
+	}
+	// Pending is globally ordered.
+	pend := q.Pending()
+	var prev uint64
+	for i, c := range pend {
+		s, _ := q.Seq(c.ID)
+		if i > 0 && s <= prev {
+			t.Fatal("global order broken")
+		}
+		prev = s
+	}
+}

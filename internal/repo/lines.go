@@ -1,0 +1,134 @@
+package repo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpEditLines is a line-range edit: replace OldLines at (around) StartLine
+// with NewLines. Unlike OpModify — which conflicts whenever anyone else
+// touched the file — line edits merge like git hunks: edits to disjoint
+// regions of the same file compose, and the hunk is located by content with
+// positional fuzz, so edits above a hunk shifting line numbers do not break
+// it. A real conflict (someone rewrote the same lines) still fails with
+// ErrMergeConflict.
+const OpEditLines FileOp = 3
+
+// editLinesFuzz is how far from StartLine the hunk's context may have moved.
+const editLinesFuzz = 40
+
+// applyEditLines applies a line-range edit to content, preserving the
+// file's trailing-newline convention.
+func applyEditLines(content string, fc FileChange) (string, error) {
+	out, err := applyEditLinesRaw(content, fc)
+	if err != nil {
+		return "", err
+	}
+	if content != "" && !strings.HasSuffix(content, "\n") {
+		out = strings.TrimSuffix(out, "\n")
+	}
+	return out, nil
+}
+
+func applyEditLinesRaw(content string, fc FileChange) (string, error) {
+	lines := splitLines(content)
+	start := fc.StartLine - 1 // to 0-based
+	if start < 0 {
+		return "", fmt.Errorf("repo: %s: bad StartLine %d", fc.Path, fc.StartLine)
+	}
+	if len(fc.OldLines) == 0 {
+		// Pure insertion at (possibly clamped) position.
+		if start > len(lines) {
+			start = len(lines)
+		}
+		out := make([]string, 0, len(lines)+len(fc.NewLines))
+		out = append(out, lines[:start]...)
+		out = append(out, fc.NewLines...)
+		out = append(out, lines[start:]...)
+		return joinLines(out), nil
+	}
+	// Locate the hunk: exact position first, then fuzz outward.
+	pos, err := locateHunk(lines, fc.OldLines, start, fc.Path)
+	if err != nil {
+		return "", err
+	}
+	out := make([]string, 0, len(lines)-len(fc.OldLines)+len(fc.NewLines))
+	out = append(out, lines[:pos]...)
+	out = append(out, fc.NewLines...)
+	out = append(out, lines[pos+len(fc.OldLines):]...)
+	return joinLines(out), nil
+}
+
+// locateHunk finds where old appears in lines, preferring positions close to
+// want. Ambiguity within the fuzz window is a conflict (cannot merge safely).
+func locateHunk(lines, old []string, want int, path string) (int, error) {
+	matchAt := func(pos int) bool {
+		if pos < 0 || pos+len(old) > len(lines) {
+			return false
+		}
+		for i, l := range old {
+			if lines[pos+i] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if matchAt(want) {
+		return want, nil
+	}
+	found := -1
+	for d := 1; d <= editLinesFuzz; d++ {
+		for _, pos := range []int{want - d, want + d} {
+			if matchAt(pos) {
+				if found >= 0 && found != pos {
+					return 0, fmt.Errorf("%w: %s: hunk at line %d is ambiguous", ErrMergeConflict, path, want+1)
+				}
+				if found < 0 {
+					found = pos
+				}
+			}
+		}
+		if found >= 0 {
+			return found, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s: lines around %d changed since patch base", ErrMergeConflict, path, want+1)
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	trimmed := strings.TrimSuffix(s, "\n")
+	return strings.Split(trimmed, "\n")
+}
+
+func joinLines(lines []string) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// EditLines builds a line-range FileChange: replace the file's lines
+// [startLine, startLine+len(oldLines)) — verified against oldLines — with
+// newLines. Line numbers are 1-based.
+func EditLines(path string, startLine int, oldLines, newLines []string) FileChange {
+	return FileChange{
+		Path:      path,
+		Op:        OpEditLines,
+		StartLine: startLine,
+		OldLines:  append([]string(nil), oldLines...),
+		NewLines:  append([]string(nil), newLines...),
+	}
+}
+
+// InsertLines builds a pure-insertion FileChange at the 1-based line.
+func InsertLines(path string, startLine int, newLines []string) FileChange {
+	return FileChange{
+		Path:      path,
+		Op:        OpEditLines,
+		StartLine: startLine,
+		NewLines:  append([]string(nil), newLines...),
+	}
+}

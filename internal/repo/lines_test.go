@@ -1,0 +1,190 @@
+package repo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const poem = "alpha\nbravo\ncharlie\ndelta\necho\nfoxtrot\n"
+
+func TestEditLinesBasic(t *testing.T) {
+	s := NewSnapshot(map[string]string{"f.txt": poem})
+	p := Patch{Changes: []FileChange{
+		EditLines("f.txt", 3, []string{"charlie"}, []string{"CHARLIE", "charlie-2"}),
+	}}
+	next, err := s.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := next.Read("f.txt")
+	want := "alpha\nbravo\nCHARLIE\ncharlie-2\ndelta\necho\nfoxtrot\n"
+	if got != want {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEditLinesDeletion(t *testing.T) {
+	s := NewSnapshot(map[string]string{"f.txt": poem})
+	p := Patch{Changes: []FileChange{
+		EditLines("f.txt", 2, []string{"bravo", "charlie"}, nil),
+	}}
+	next, err := s.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := next.Read("f.txt")
+	if got != "alpha\ndelta\necho\nfoxtrot\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInsertLines(t *testing.T) {
+	s := NewSnapshot(map[string]string{"f.txt": poem})
+	next, err := s.Apply(Patch{Changes: []FileChange{
+		InsertLines("f.txt", 1, []string{"zero"}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := next.Read("f.txt")
+	if !strings.HasPrefix(got, "zero\nalpha\n") {
+		t.Fatalf("got %q", got)
+	}
+	// Insertion past EOF clamps to append.
+	next, err = s.Apply(Patch{Changes: []FileChange{
+		InsertLines("f.txt", 99, []string{"omega"}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = next.Read("f.txt")
+	if !strings.HasSuffix(got, "foxtrot\nomega\n") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestDisjointLineEditsMerge is the point of line-level patches: two changes
+// editing different regions of the same file both land, in either order.
+func TestDisjointLineEditsMerge(t *testing.T) {
+	s := NewSnapshot(map[string]string{"f.txt": poem})
+	p1 := Patch{Changes: []FileChange{
+		EditLines("f.txt", 1, []string{"alpha"}, []string{"ALPHA", "alpha-extra"}),
+	}}
+	p2 := Patch{Changes: []FileChange{
+		EditLines("f.txt", 5, []string{"echo"}, []string{"ECHO"}),
+	}}
+	// p1 then p2: p2's hunk moved down one line; fuzz finds it.
+	mid, err := s.Apply(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := mid.Apply(p2)
+	if err != nil {
+		t.Fatalf("disjoint edits conflicted: %v", err)
+	}
+	got, _ := both.Read("f.txt")
+	want := "ALPHA\nalpha-extra\nbravo\ncharlie\ndelta\nECHO\nfoxtrot\n"
+	if got != want {
+		t.Fatalf("got %q", got)
+	}
+	// Reverse order gives the same result (commutes).
+	mid2, err := s.Apply(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both2, err := mid2.Apply(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := both2.Read("f.txt")
+	if got2 != want {
+		t.Fatalf("order-dependent merge: %q vs %q", got2, want)
+	}
+}
+
+func TestOverlappingLineEditsConflict(t *testing.T) {
+	s := NewSnapshot(map[string]string{"f.txt": poem})
+	p1 := Patch{Changes: []FileChange{
+		EditLines("f.txt", 3, []string{"charlie"}, []string{"C1"}),
+	}}
+	p2 := Patch{Changes: []FileChange{
+		EditLines("f.txt", 3, []string{"charlie"}, []string{"C2"}),
+	}}
+	mid, err := s.Apply(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mid.Apply(p2); !errors.Is(err, ErrMergeConflict) {
+		t.Fatalf("overlapping edits should conflict: %v", err)
+	}
+}
+
+func TestEditLinesAmbiguousHunkConflicts(t *testing.T) {
+	// Two identical regions near the target: the hunk location is ambiguous
+	// and must be refused rather than guessed.
+	content := "x\ndup\nx\ndup\nx\n"
+	s := NewSnapshot(map[string]string{"f.txt": content})
+	p := Patch{Changes: []FileChange{
+		EditLines("f.txt", 3, []string{"dup"}, []string{"DUP"}),
+	}}
+	if _, err := s.Apply(p); !errors.Is(err, ErrMergeConflict) {
+		t.Fatalf("ambiguous hunk should conflict: %v", err)
+	}
+}
+
+func TestEditLinesErrors(t *testing.T) {
+	s := NewSnapshot(map[string]string{"f.txt": poem})
+	// Missing file.
+	if _, err := s.Apply(Patch{Changes: []FileChange{
+		EditLines("nope.txt", 1, []string{"x"}, nil),
+	}}); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("err = %v", err)
+	}
+	// Bad start line.
+	if _, err := s.Apply(Patch{Changes: []FileChange{
+		EditLines("f.txt", 0, []string{"alpha"}, nil),
+	}}); err == nil {
+		t.Fatal("StartLine 0 accepted")
+	}
+	// Old lines nowhere near: conflict.
+	if _, err := s.Apply(Patch{Changes: []FileChange{
+		EditLines("f.txt", 2, []string{"not-there"}, []string{"x"}),
+	}}); !errors.Is(err, ErrMergeConflict) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEditLinesEmptyFile(t *testing.T) {
+	s := NewSnapshot(map[string]string{"f.txt": ""})
+	next, err := s.Apply(Patch{Changes: []FileChange{
+		InsertLines("f.txt", 1, []string{"first"}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := next.Read("f.txt"); got != "first\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEditLinesOpString(t *testing.T) {
+	if OpEditLines.String() != "edit-lines" {
+		t.Fatalf("String = %q", OpEditLines.String())
+	}
+}
+
+func TestEditLinesThroughCommit(t *testing.T) {
+	r := New(map[string]string{"src/main.go": "package main\n\nfunc main() {\n\tprintln(1)\n}\n"})
+	head := r.Head()
+	p := Patch{Changes: []FileChange{
+		EditLines("src/main.go", 4, []string{"\tprintln(1)"}, []string{"\tprintln(2)"}),
+	}}
+	if _, err := r.CommitPatch(head.ID, p, "dev", "bump", head.Time); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Head().Snapshot().Read("src/main.go")
+	if !strings.Contains(got, "println(2)") {
+		t.Fatalf("got %q", got)
+	}
+}

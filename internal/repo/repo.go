@@ -1,0 +1,365 @@
+// Package repo implements the monorepo substrate SubmitQueue manages: an
+// in-memory, content-addressed, versioned file store with a single mainline
+// branch, atomic patch application, and git-style "expected base" merge
+// conflict detection.
+//
+// The paper's SubmitQueue sits in front of a giant git monorepo; the only
+// repository operations it needs are (1) read the snapshot at HEAD, (2) apply
+// a change's patch on top of an arbitrary snapshot, and (3) advance HEAD by
+// one commit if and only if HEAD has not moved (serializability). This
+// package provides exactly those, with full history so any commit point can
+// be checked out (the paper's "roll back to any previously committed
+// change").
+package repo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by patch application and commit.
+var (
+	// ErrMergeConflict is returned when a patch edits or deletes a file whose
+	// content at the base snapshot differs from the content the patch was
+	// authored against.
+	ErrMergeConflict = errors.New("repo: merge conflict")
+	// ErrStaleHead is returned by CommitPatch when HEAD moved since the
+	// caller observed it.
+	ErrStaleHead = errors.New("repo: stale head")
+	// ErrNoSuchCommit is returned for unknown commit IDs.
+	ErrNoSuchCommit = errors.New("repo: no such commit")
+	// ErrNoSuchFile is returned when a patch modifies or deletes a file that
+	// does not exist at the base snapshot.
+	ErrNoSuchFile = errors.New("repo: no such file")
+	// ErrFileExists is returned when a patch creates a file that already
+	// exists at the base snapshot.
+	ErrFileExists = errors.New("repo: file exists")
+)
+
+// HashContent returns the content hash used for merge-base checks.
+func HashContent(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(sum[:8])
+}
+
+// FileOp is the kind of edit a FileChange performs.
+type FileOp int
+
+// File operations.
+const (
+	OpCreate FileOp = iota
+	OpModify
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (op FileOp) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpModify:
+		return "modify"
+	case OpDelete:
+		return "delete"
+	case OpEditLines:
+		return "edit-lines"
+	default:
+		return fmt.Sprintf("FileOp(%d)", int(op))
+	}
+}
+
+// FileChange is a single-file edit within a Patch. For OpModify and OpDelete,
+// BaseHash must equal the hash of the file's content at the snapshot the
+// patch is applied to; a mismatch is a merge conflict, mirroring git's
+// three-way merge failing when both sides touched the same file. OpEditLines
+// edits a line range instead (see lines.go): disjoint line edits to the same
+// file merge rather than conflicting.
+type FileChange struct {
+	Path       string
+	Op         FileOp
+	BaseHash   string // required for OpModify, OpDelete
+	NewContent string // used for OpCreate, OpModify
+
+	// Line-edit fields (OpEditLines only). StartLine is 1-based.
+	StartLine int
+	OldLines  []string
+	NewLines  []string
+}
+
+// Patch is an atomic set of file edits, all of which must apply cleanly.
+type Patch struct {
+	Changes []FileChange
+}
+
+// Paths returns the sorted set of file paths the patch touches.
+func (p Patch) Paths() []string {
+	seen := make(map[string]bool, len(p.Changes))
+	var out []string
+	for _, fc := range p.Changes {
+		if !seen[fc.Path] {
+			seen[fc.Path] = true
+			out = append(out, fc.Path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot is an immutable view of the repository tree: path -> content.
+// Snapshots share storage; callers must not mutate the returned maps.
+type Snapshot struct {
+	files map[string]string
+}
+
+// NewSnapshot builds a snapshot from a path->content map (copied).
+func NewSnapshot(files map[string]string) Snapshot {
+	m := make(map[string]string, len(files))
+	for k, v := range files {
+		m[k] = v
+	}
+	return Snapshot{files: m}
+}
+
+// Read returns the content of path and whether it exists.
+func (s Snapshot) Read(path string) (string, bool) {
+	c, ok := s.files[path]
+	return c, ok
+}
+
+// Len returns the number of files in the snapshot.
+func (s Snapshot) Len() int { return len(s.files) }
+
+// Paths returns all file paths in sorted order.
+func (s Snapshot) Paths() []string {
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PathsUnder returns sorted paths with the given directory prefix
+// (e.g. "app/rider/"). An empty prefix returns all paths.
+func (s Snapshot) PathsUnder(prefix string) []string {
+	var out []string
+	for p := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply produces a new snapshot with the patch applied, or an error
+// describing the first conflict encountered. The receiver is unchanged.
+func (s Snapshot) Apply(p Patch) (Snapshot, error) {
+	next := make(map[string]string, len(s.files)+len(p.Changes))
+	for k, v := range s.files {
+		next[k] = v
+	}
+	for _, fc := range p.Changes {
+		cur, exists := next[fc.Path]
+		switch fc.Op {
+		case OpCreate:
+			if exists {
+				return Snapshot{}, fmt.Errorf("%w: create %s", ErrFileExists, fc.Path)
+			}
+			next[fc.Path] = fc.NewContent
+		case OpModify:
+			if !exists {
+				return Snapshot{}, fmt.Errorf("%w: modify %s", ErrNoSuchFile, fc.Path)
+			}
+			if HashContent(cur) != fc.BaseHash {
+				return Snapshot{}, fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
+			}
+			next[fc.Path] = fc.NewContent
+		case OpDelete:
+			if !exists {
+				return Snapshot{}, fmt.Errorf("%w: delete %s", ErrNoSuchFile, fc.Path)
+			}
+			if HashContent(cur) != fc.BaseHash {
+				return Snapshot{}, fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
+			}
+			delete(next, fc.Path)
+		case OpEditLines:
+			if !exists {
+				return Snapshot{}, fmt.Errorf("%w: edit %s", ErrNoSuchFile, fc.Path)
+			}
+			edited, err := applyEditLines(cur, fc)
+			if err != nil {
+				return Snapshot{}, err
+			}
+			next[fc.Path] = edited
+		default:
+			return Snapshot{}, fmt.Errorf("repo: unknown op %v for %s", fc.Op, fc.Path)
+		}
+	}
+	return Snapshot{files: next}, nil
+}
+
+// DiffPatch builds the patch that transforms s into other. Useful for tests
+// and for synthesizing changes from edited working copies.
+func (s Snapshot) DiffPatch(other Snapshot) Patch {
+	var p Patch
+	for path, newC := range other.files {
+		oldC, ok := s.files[path]
+		switch {
+		case !ok:
+			p.Changes = append(p.Changes, FileChange{Path: path, Op: OpCreate, NewContent: newC})
+		case oldC != newC:
+			p.Changes = append(p.Changes, FileChange{Path: path, Op: OpModify, BaseHash: HashContent(oldC), NewContent: newC})
+		}
+	}
+	for path, oldC := range s.files {
+		if _, ok := other.files[path]; !ok {
+			p.Changes = append(p.Changes, FileChange{Path: path, Op: OpDelete, BaseHash: HashContent(oldC)})
+		}
+	}
+	sort.Slice(p.Changes, func(i, j int) bool { return p.Changes[i].Path < p.Changes[j].Path })
+	return p
+}
+
+// CommitID identifies a commit.
+type CommitID string
+
+// Commit is one point in mainline history.
+type Commit struct {
+	ID       CommitID
+	Parent   CommitID // empty for the root commit
+	Message  string
+	Author   string
+	Time     time.Time
+	Seq      int // 0-based position in mainline history
+	snapshot Snapshot
+}
+
+// Snapshot returns the full repository tree at this commit.
+func (c *Commit) Snapshot() Snapshot { return c.snapshot }
+
+// Repo is a single-branch (mainline/trunk) repository with linear history.
+// All methods are safe for concurrent use.
+type Repo struct {
+	mu      sync.RWMutex
+	commits map[CommitID]*Commit
+	order   []CommitID // mainline history, oldest first
+	nextSeq int
+}
+
+// New creates a repository whose root commit contains the given files.
+func New(initial map[string]string) *Repo {
+	r := &Repo{commits: make(map[CommitID]*Commit)}
+	root := &Commit{
+		ID:       r.makeID("", "root"),
+		Message:  "root",
+		Author:   "system",
+		Seq:      0,
+		snapshot: NewSnapshot(initial),
+	}
+	r.commits[root.ID] = root
+	r.order = []CommitID{root.ID}
+	r.nextSeq = 1
+	return r
+}
+
+func (r *Repo) makeID(parent CommitID, msg string) CommitID {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d", parent, msg, r.nextSeq)))
+	return CommitID(hex.EncodeToString(sum[:10]))
+}
+
+// Head returns the current mainline HEAD commit.
+func (r *Repo) Head() *Commit {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.commits[r.order[len(r.order)-1]]
+}
+
+// Lookup returns the commit with the given ID.
+func (r *Repo) Lookup(id CommitID) (*Commit, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.commits[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchCommit, id)
+	}
+	return c, nil
+}
+
+// At returns the commit at mainline position seq (0 = root).
+func (r *Repo) At(seq int) (*Commit, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if seq < 0 || seq >= len(r.order) {
+		return nil, fmt.Errorf("%w: seq %d", ErrNoSuchCommit, seq)
+	}
+	return r.commits[r.order[seq]], nil
+}
+
+// Len returns the number of commits in mainline history.
+func (r *Repo) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}
+
+// History returns mainline commit IDs, oldest first. The slice is a copy.
+func (r *Repo) History() []CommitID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]CommitID(nil), r.order...)
+}
+
+// CommitPatch atomically applies patch on top of expectedHead and advances
+// HEAD. It fails with ErrStaleHead if HEAD is no longer expectedHead, and
+// with a patch-application error if the patch does not apply cleanly. This
+// compare-and-swap is what gives SubmitQueue its serializability guarantee.
+func (r *Repo) CommitPatch(expectedHead CommitID, patch Patch, author, message string, when time.Time) (*Commit, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	head := r.order[len(r.order)-1]
+	if head != expectedHead {
+		return nil, fmt.Errorf("%w: head is %s, expected %s", ErrStaleHead, head, expectedHead)
+	}
+	snap, err := r.commits[head].snapshot.Apply(patch)
+	if err != nil {
+		return nil, err
+	}
+	c := &Commit{
+		ID:       r.makeID(head, message),
+		Parent:   head,
+		Message:  message,
+		Author:   author,
+		Time:     when,
+		Seq:      r.nextSeq,
+		snapshot: snap,
+	}
+	r.commits[c.ID] = c
+	r.order = append(r.order, c.ID)
+	r.nextSeq++
+	return c, nil
+}
+
+// Merged returns the snapshot of base's commit with the given patches applied
+// in order, without committing anything. This is the H ⊕ C1 ⊕ … ⊕ Ck
+// operation that speculation builds execute against.
+func (r *Repo) Merged(base CommitID, patches ...Patch) (Snapshot, error) {
+	c, err := r.Lookup(base)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	snap := c.snapshot
+	for i, p := range patches {
+		snap, err = snap.Apply(p)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("applying patch %d: %w", i, err)
+		}
+	}
+	return snap, nil
+}

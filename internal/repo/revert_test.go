@@ -1,0 +1,118 @@
+package repo
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// landEdit commits a single-file modification and returns the commit.
+func landEdit(t *testing.T, r *Repo, path, content, msg string) *Commit {
+	t.Helper()
+	head := r.Head()
+	cur, ok := head.Snapshot().Read(path)
+	fc := FileChange{Path: path, Op: OpCreate, NewContent: content}
+	if ok {
+		fc = FileChange{Path: path, Op: OpModify, BaseHash: HashContent(cur), NewContent: content}
+	}
+	c, err := r.CommitPatch(head.ID, Patch{Changes: []FileChange{fc}}, "dev", msg, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRevertRestoresContent(t *testing.T) {
+	r := New(map[string]string{"f.txt": "v1", "g.txt": "g1"})
+	c1 := landEdit(t, r, "f.txt", "v2", "edit f")
+	landEdit(t, r, "g.txt", "g2", "edit g") // unrelated later commit
+
+	rc, err := r.Revert(c1.ID, "sheriff", time.Unix(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Head().Snapshot().Read("f.txt"); got != "v1" {
+		t.Fatalf("f.txt = %q, want v1", got)
+	}
+	// The unrelated later edit survives.
+	if got, _ := r.Head().Snapshot().Read("g.txt"); got != "g2" {
+		t.Fatalf("g.txt = %q, want g2", got)
+	}
+	if rc.Author != "sheriff" || rc.Parent == "" {
+		t.Fatalf("revert commit metadata: %+v", rc)
+	}
+}
+
+func TestRevertConflictsWithLaterEdit(t *testing.T) {
+	r := New(map[string]string{"f.txt": "v1"})
+	c1 := landEdit(t, r, "f.txt", "v2", "edit f")
+	landEdit(t, r, "f.txt", "v3", "edit f again") // same file, later
+
+	if _, err := r.Revert(c1.ID, "sheriff", time.Time{}); !errors.Is(err, ErrMergeConflict) {
+		t.Fatalf("err = %v, want ErrMergeConflict", err)
+	}
+	// Head unchanged by the failed revert.
+	if got, _ := r.Head().Snapshot().Read("f.txt"); got != "v3" {
+		t.Fatalf("f.txt = %q", got)
+	}
+}
+
+func TestRevertCreateDeletesFile(t *testing.T) {
+	r := New(map[string]string{})
+	head := r.Head()
+	c1, err := r.CommitPatch(head.ID, Patch{Changes: []FileChange{
+		{Path: "new.txt", Op: OpCreate, NewContent: "n"},
+	}}, "dev", "add new", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Revert(c1.ID, "dev", time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Head().Snapshot().Read("new.txt"); ok {
+		t.Fatal("reverted create should delete the file")
+	}
+}
+
+func TestRevertDeleteRestoresFile(t *testing.T) {
+	r := New(map[string]string{"old.txt": "keep"})
+	head := r.Head()
+	c1, err := r.CommitPatch(head.ID, Patch{Changes: []FileChange{
+		{Path: "old.txt", Op: OpDelete, BaseHash: HashContent("keep")},
+	}}, "dev", "drop old", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Revert(c1.ID, "dev", time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Head().Snapshot().Read("old.txt"); got != "keep" {
+		t.Fatalf("old.txt = %q", got)
+	}
+}
+
+func TestRevertRootFails(t *testing.T) {
+	r := New(map[string]string{"f": "v"})
+	if _, err := r.Revert(r.Head().ID, "dev", time.Time{}); err == nil {
+		t.Fatal("reverting root must fail")
+	}
+	if _, err := r.RevertPatch("bogus"); !errors.Is(err, ErrNoSuchCommit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRollbackState(t *testing.T) {
+	r := New(map[string]string{"f": "v1"})
+	landEdit(t, r, "f", "v2", "e1")
+	landEdit(t, r, "f", "v3", "e2")
+	snap, err := r.RollbackState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := snap.Read("f"); got != "v2" {
+		t.Fatalf("state@1 = %q", got)
+	}
+	if _, err := r.RollbackState(99); !errors.Is(err, ErrNoSuchCommit) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,913 @@
+// Package sim is the discrete-event simulator behind the paper's evaluation
+// (§8): it replays a synthetic workload (arrivals, build durations, ground
+// truth conflicts) against a pluggable scheduling strategy on a bounded
+// worker pool, under exactly SubmitQueue's serializability semantics:
+//
+//   - A build applies an assumption set (conflicting predecessors speculated
+//     to commit) plus its subject change on top of the mainline at start.
+//   - A change commits only when every potentially-conflicting predecessor
+//     is resolved and a finished build exists whose assumptions match what
+//     actually happened; otherwise the relevant strategy keeps scheduling.
+//   - Build outcomes come from the workload's ground truth: a build fails iff
+//     some applied change fails individually, two applied changes really
+//     conflict, or an applied change really conflicts with an already
+//     committed one.
+//
+// Time is virtual; a simulated hour costs microseconds, which is what lets
+// the harness sweep the paper's full {changes/hour} × {workers} grids.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"mastergreen/internal/metrics"
+	"mastergreen/internal/workload"
+)
+
+// BuildSpec is one desired build, expressed over workload change indices.
+type BuildSpec struct {
+	// Subject is the change this build decides.
+	Subject int
+	// Assumed are conflicting predecessors speculated to commit, in
+	// submission order. They are applied before Subject.
+	Assumed []int
+	// AssumedRejected are conflicting predecessors speculated to be
+	// rejected (not applied).
+	AssumedRejected []int
+	// Priority orders build starts when workers are scarce (higher first).
+	Priority float64
+	// Batch, when non-empty, turns this into a batch build (Chromium
+	// commit-queue style): all listed changes are applied and commit
+	// atomically on success. Subject must be the last batch member.
+	Batch []int
+	// AllowReorder permits this build to decide its subject even while
+	// conflicting predecessors are still pending (§10 "change reordering"):
+	// the subject may commit ahead of them, and they must then rebuild on
+	// top of it. The mainline stays green; only the commit order among
+	// conflicting changes deviates from submission order.
+	AllowReorder bool
+}
+
+// applied returns the changes the build applies, in order.
+func (b BuildSpec) applied() []int {
+	if len(b.Batch) > 0 {
+		return append(append([]int(nil), b.Assumed...), b.Batch...)
+	}
+	return append(append([]int(nil), b.Assumed...), b.Subject)
+}
+
+// RunningBuild is an in-flight build visible to strategies.
+type RunningBuild struct {
+	Spec        BuildSpec
+	BaseCommits int // mainline commit count when started
+	Start       time.Duration
+	Finish      time.Duration
+}
+
+// FinishedBuild is a completed build visible to strategies.
+type FinishedBuild struct {
+	Spec        BuildSpec
+	BaseCommits int
+	OK          bool
+	FinishedAt  time.Duration
+}
+
+// State is the view a strategy plans from. Strategies must treat it as
+// read-only; they see no ground truth (the Oracle strategy carries its own).
+type State struct {
+	Now         time.Duration
+	W           *workload.Workload
+	Pending     []int // submission order (== index order)
+	Running     []RunningBuild
+	Finished    []FinishedBuild // non-aborted completed builds, oldest first
+	Committed   []int           // commit order
+	Workers     int
+	UseAnalyzer bool
+
+	rejected map[int]bool
+	pending  map[int]bool
+}
+
+// IsPending reports whether change i is still undecided and submitted.
+func (s *State) IsPending(i int) bool { return s.pending[i] }
+
+// IsRejected reports whether change i was rejected.
+func (s *State) IsRejected(i int) bool { return s.rejected[i] }
+
+// PotentialConflict reports the conflict-analyzer view of a pair: with the
+// analyzer enabled it returns the workload's potential-conflict relation;
+// without it (Fig. 13's ablation) every pair conflicts.
+func (s *State) PotentialConflict(i, j int) bool {
+	if i == j {
+		return false
+	}
+	if !s.UseAnalyzer {
+		return true
+	}
+	return s.W.Changes[i].PotentialConflicts[j]
+}
+
+// PendingConflictingPredecessors returns the still-pending changes submitted
+// before i that (per the analyzer view) conflict with it, ascending.
+func (s *State) PendingConflictingPredecessors(i int) []int {
+	var out []int
+	if s.UseAnalyzer {
+		for j := range s.W.Changes[i].PotentialConflicts {
+			if j < i && s.pending[j] {
+				out = append(out, j)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	for _, j := range s.Pending {
+		if j >= i {
+			break
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// HasPendingConflictingPredecessor is the cheap form of the above.
+func (s *State) HasPendingConflictingPredecessor(i int) bool {
+	if s.UseAnalyzer {
+		for j := range s.W.Changes[i].PotentialConflicts {
+			if j < i && s.pending[j] {
+				return true
+			}
+		}
+		return false
+	}
+	return len(s.Pending) > 0 && s.Pending[0] < i
+}
+
+// Strategy plans the desired build set from the current state.
+type Strategy interface {
+	Name() string
+	// Plan returns the builds the strategy wants running now, in priority
+	// order. The engine reconciles: running builds that stay wanted keep
+	// running, unwanted ones are aborted, and new ones start while workers
+	// are free.
+	Plan(st *State) []BuildSpec
+}
+
+// Config tunes a simulation run.
+type Config struct {
+	Workers     int
+	UseAnalyzer bool // conflict analyzer on (the paper's default)
+	// MaxVirtualTime aborts runaway simulations (default: 10000 h).
+	MaxVirtualTime time.Duration
+	// PlanEvery throttles strategy re-planning: between build finishes and
+	// decisions, plain arrivals trigger at most one re-plan per interval
+	// (default 30 s of virtual time). This mirrors the paper's epoch-driven
+	// planner (§6: "the planner engine contacts the speculation engine on
+	// every epoch").
+	PlanEvery time.Duration
+	// IncrementalFactor models §6's minimal build steps + artifact caching:
+	// once any build of a subject has finished, later builds of the same
+	// subject (under different assumptions) reuse cached per-target
+	// artifacts and cost this fraction of the full duration. Default 0.4;
+	// set 1 to disable.
+	IncrementalFactor float64
+	// Trace, when non-nil, receives a line per engine decision and
+	// reconcile summary (debugging aid).
+	Trace io.Writer
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Strategy  string
+	Workers   int
+	Committed int
+	Rejected  int
+	// TurnaroundMin are per-change turnaround times in minutes (submission →
+	// terminal decision), for committed changes and for all changes.
+	TurnaroundCommittedMin []float64
+	TurnaroundAllMin       []float64
+	// Makespan is first-arrival → last-decision.
+	Makespan time.Duration
+	// ThroughputPerHour is commits divided by makespan hours.
+	ThroughputPerHour float64
+	BuildsStarted     int
+	BuildsAborted     int
+	BuildsFinished    int
+	// WorkerBusy is cumulative worker-occupied time (including time spent on
+	// builds that were later aborted); divided by Workers × Makespan it
+	// yields utilization.
+	WorkerBusy time.Duration
+	// GreenViolations counts commits that would have broken the mainline
+	// (must be zero for every strategy under these semantics).
+	GreenViolations int
+	// Undecided counts changes never resolved before the virtual-time cap
+	// (nonzero only for pathological strategy/load combinations).
+	Undecided int
+}
+
+// Summary returns the order statistics of committed-change turnaround.
+func (r *Result) Summary() metrics.Summary {
+	return metrics.Summarize(r.TurnaroundCommittedMin)
+}
+
+// Utilization returns the fraction of worker capacity occupied over the
+// makespan (speculative and aborted work included).
+func (r *Result) Utilization() float64 {
+	if r.Workers <= 0 || r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.WorkerBusy) / (float64(r.Workers) * float64(r.Makespan))
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evFinish
+)
+
+type event struct {
+	at   time.Duration
+	kind int
+	idx  int // arrival: change index; finish: running-build slot id
+	seq  int // tiebreak for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind // arrivals before finishes at same instant
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runningSlot is the engine's bookkeeping for one in-flight build.
+type runningSlot struct {
+	spec    BuildSpec
+	base    int
+	start   time.Duration
+	finish  time.Duration
+	aborted bool
+	ident   identCache
+}
+
+// identCache memoizes a build's dynamic identity; it is valid until the next
+// commit or rejection (the decisions epoch).
+type identCache struct {
+	epoch int // decisions epoch the value was computed at; 0 = never
+	val   string
+	valid bool
+}
+
+// engine executes one simulation.
+type engine struct {
+	w   *workload.Workload
+	cfg Config
+	st  *State
+
+	events   eventHeap
+	seq      int
+	now      time.Duration
+	slots    map[int]*runningSlot
+	nextSlot int
+
+	committedSet map[int]bool
+	commitIndex  map[int]int // change -> mainline position
+	decidedAt    map[int]time.Duration
+
+	// finishedBySubject indexes st.Finished entries by subject change.
+	finishedBySubject map[int][]int
+	// worklist holds changes whose decidability may have changed.
+	worklist []int
+	inWork   map[int]bool
+
+	// Plan throttling: dirty forces a re-plan (set by finishes/decisions);
+	// otherwise arrivals re-plan at most once per cfg.PlanEvery.
+	dirty    bool
+	havePlan bool
+	lastPlan time.Duration
+
+	// decisionsEpoch counts commits+rejections; identCaches keyed on it.
+	decisionsEpoch int
+	finishedIdent  []identCache // parallel to st.Finished
+	// builtBefore marks subjects with at least one finished build, whose
+	// later builds run incrementally (§6).
+	builtBefore map[int]bool
+
+	res *Result
+}
+
+// Run simulates the workload under the strategy and returns measurements.
+func Run(w *workload.Workload, s Strategy, cfg Config) *Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 100
+	}
+	if cfg.MaxVirtualTime <= 0 {
+		cfg.MaxVirtualTime = 10000 * time.Hour
+	}
+	if cfg.PlanEvery <= 0 {
+		cfg.PlanEvery = 30 * time.Second
+	}
+	if cfg.IncrementalFactor <= 0 {
+		cfg.IncrementalFactor = 0.4
+	}
+	if cfg.IncrementalFactor > 1 {
+		cfg.IncrementalFactor = 1
+	}
+	e := &engine{
+		w:   w,
+		cfg: cfg,
+		st: &State{
+			W:           w,
+			Workers:     cfg.Workers,
+			UseAnalyzer: cfg.UseAnalyzer,
+			rejected:    map[int]bool{},
+			pending:     map[int]bool{},
+		},
+		slots:             map[int]*runningSlot{},
+		committedSet:      map[int]bool{},
+		commitIndex:       map[int]int{},
+		decidedAt:         map[int]time.Duration{},
+		finishedBySubject: map[int][]int{},
+		builtBefore:       map[int]bool{},
+		inWork:            map[int]bool{},
+		res:               &Result{Strategy: s.Name(), Workers: cfg.Workers},
+	}
+	heap.Init(&e.events)
+	for _, c := range w.Changes {
+		heap.Push(&e.events, event{at: c.SubmitAt, kind: evArrival, idx: c.Index, seq: e.seq})
+		e.seq++
+	}
+
+	for e.events.Len() > 0 && e.now <= cfg.MaxVirtualTime {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.st.Now = e.now
+		e.handle(ev)
+		// Drain all events at the same timestamp before re-planning.
+		for e.events.Len() > 0 && e.events[0].at == e.now {
+			e.handle(heap.Pop(&e.events).(event))
+		}
+		e.decide()
+		if !e.havePlan || e.dirty || e.now-e.lastPlan >= e.cfg.PlanEvery {
+			e.reconcile(s)
+			e.havePlan = true
+			e.dirty = false
+			e.lastPlan = e.now
+		}
+	}
+	e.finishMetrics(w)
+	return e.res
+}
+
+func (e *engine) pushWork(i int) {
+	if !e.inWork[i] {
+		e.inWork[i] = true
+		e.worklist = append(e.worklist, i)
+	}
+}
+
+func (e *engine) handle(ev event) {
+	switch ev.kind {
+	case evArrival:
+		e.st.Pending = append(e.st.Pending, ev.idx)
+		e.st.pending[ev.idx] = true
+		e.pushWork(ev.idx)
+	case evFinish:
+		slot, ok := e.slots[ev.idx]
+		if !ok || slot.aborted {
+			return
+		}
+		delete(e.slots, ev.idx)
+		e.res.WorkerBusy += e.now - slot.start
+		fb := FinishedBuild{
+			Spec:        slot.spec,
+			BaseCommits: slot.base,
+			OK:          e.groundTruthOK(slot),
+			FinishedAt:  e.now,
+		}
+		e.finishedBySubject[fb.Spec.Subject] = append(e.finishedBySubject[fb.Spec.Subject], len(e.st.Finished))
+		e.st.Finished = append(e.st.Finished, fb)
+		e.finishedIdent = append(e.finishedIdent, slot.ident)
+		e.builtBefore[fb.Spec.Subject] = true
+		e.res.BuildsFinished++
+		e.pushWork(fb.Spec.Subject)
+		e.dirty = true
+	}
+}
+
+// groundTruthOK evaluates a build's outcome from the workload ground truth.
+func (e *engine) groundTruthOK(slot *runningSlot) bool {
+	applied := slot.spec.applied()
+	for _, i := range applied {
+		if !e.w.Changes[i].Succeeds {
+			return false
+		}
+	}
+	for a := 0; a < len(applied); a++ {
+		for b := a + 1; b < len(applied); b++ {
+			if e.w.Changes[applied[a]].RealConflicts[applied[b]] {
+				return false
+			}
+		}
+	}
+	// Conflicts with changes committed before the build's base.
+	for _, i := range applied {
+		for j := range e.w.Changes[i].RealConflicts {
+			if pos, ok := e.commitIndex[j]; ok && pos < slot.base {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// normalize advances a build's base through the committed list, consuming
+// assumed changes (in any order — out-of-order commits can only involve
+// mutually independent assumptions) and skipping independent commits. It
+// reports whether the build is still valid (assumptions not falsified) and,
+// if so, the assumptions not yet realized, in submission order.
+func (e *engine) normalize(spec BuildSpec, base int) (remaining []int, valid bool) {
+	if len(spec.Batch) > 0 {
+		// Batch members must not have been separately resolved.
+		for _, m := range spec.Batch {
+			if e.committedSet[m] || e.st.rejected[m] {
+				return nil, false
+			}
+		}
+	}
+	var rejectedAssumption map[int]bool
+	for _, r := range spec.AssumedRejected {
+		if e.committedSet[r] {
+			return nil, false // assumed rejected but actually committed
+		}
+		if rejectedAssumption == nil {
+			rejectedAssumption = make(map[int]bool, len(spec.AssumedRejected))
+		}
+		rejectedAssumption[r] = true
+	}
+	var assumedSet map[int]bool
+	for _, a := range spec.Assumed {
+		if e.st.rejected[a] {
+			return nil, false // assumed committed but actually rejected
+		}
+		if assumedSet == nil {
+			assumedSet = make(map[int]bool, len(spec.Assumed))
+		}
+		assumedSet[a] = true
+	}
+	for pos := base; pos < len(e.st.Committed); pos++ {
+		c := e.st.Committed[pos]
+		if assumedSet[c] {
+			delete(assumedSet, c) // assumption realized
+			continue
+		}
+		if e.conflictsWithBuild(spec, c) || rejectedAssumption[c] {
+			return nil, false // a conflicting commit the build did not include
+		}
+		// Independent commit; build result unaffected.
+	}
+	for _, a := range spec.Assumed {
+		if assumedSet[a] {
+			remaining = append(remaining, a)
+		}
+	}
+	return remaining, true
+}
+
+// conflictsWithBuild reports whether a committed change c (not applied by
+// the build) invalidates the build's result: it conflicts with the subject
+// or, for batch builds, with any batch member.
+func (e *engine) conflictsWithBuild(spec BuildSpec, c int) bool {
+	if e.st.PotentialConflict(spec.Subject, c) {
+		return true
+	}
+	for _, m := range spec.Batch {
+		if e.st.PotentialConflict(m, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// decide commits/rejects changes whose fate is determined, processing the
+// worklist of changes whose decidability may have changed.
+func (e *engine) decide() {
+	for len(e.worklist) > 0 {
+		i := e.worklist[0]
+		e.worklist = e.worklist[1:]
+		e.inWork[i] = false
+		if !e.st.pending[i] {
+			continue
+		}
+		fb, ok := e.decisiveBuild(i)
+		if !ok {
+			continue
+		}
+		if len(fb.Spec.Batch) > 0 {
+			if fb.OK {
+				for _, m := range fb.Spec.Batch {
+					e.commit(m)
+				}
+			} else if len(fb.Spec.Batch) == 1 {
+				e.reject(fb.Spec.Batch[0])
+			}
+			// Failed multi-change batches are left to the strategy to split
+			// and retry (Chromium CQ behavior).
+			continue
+		}
+		if fb.OK {
+			e.commit(i)
+		} else {
+			e.reject(i)
+		}
+	}
+}
+
+// decisiveBuild finds a finished build that decides change i given the
+// current committed/rejected reality. A change is decidable only when every
+// pending conflicting predecessor is accounted for: resolved, or (for batch
+// builds) a member of the same batch.
+func (e *engine) decisiveBuild(i int) (FinishedBuild, bool) {
+	preds := e.st.PendingConflictingPredecessors(i)
+	idxs := e.finishedBySubject[i]
+	for k := len(idxs) - 1; k >= 0; k-- {
+		fb := e.st.Finished[idxs[k]]
+		if len(preds) > 0 && !fb.Spec.AllowReorder {
+			if len(fb.Spec.Batch) == 0 {
+				continue
+			}
+			inBatch := make(map[int]bool, len(fb.Spec.Batch))
+			for _, m := range fb.Spec.Batch {
+				inBatch[m] = true
+			}
+			blocked := false
+			for _, p := range preds {
+				if !inBatch[p] {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+		}
+		remaining, valid := e.normalize(fb.Spec, fb.BaseCommits)
+		if !valid || len(remaining) > 0 {
+			continue
+		}
+		ok := true
+		for _, r := range fb.Spec.AssumedRejected {
+			if !e.st.rejected[r] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		return fb, true
+	}
+	return FinishedBuild{}, false
+}
+
+// onResolved pushes every pending change that might be unblocked by the
+// resolution of i onto the worklist.
+func (e *engine) onResolved(i int) {
+	if e.st.UseAnalyzer {
+		for j := range e.w.Changes[i].PotentialConflicts {
+			if j > i && e.st.pending[j] {
+				e.pushWork(j)
+			}
+		}
+	} else if len(e.st.Pending) > 0 {
+		e.pushWork(e.st.Pending[0])
+	}
+}
+
+func (e *engine) commit(i int) {
+	e.dirty = true
+	e.decisionsEpoch++
+	if !e.st.pending[i] {
+		return
+	}
+	// Green-mainline invariant check: committing a change that fails or
+	// really conflicts with a prior commit would break master.
+	if !e.w.Changes[i].Succeeds {
+		e.res.GreenViolations++
+	}
+	for j := range e.w.Changes[i].RealConflicts {
+		if e.committedSet[j] {
+			e.res.GreenViolations++
+		}
+	}
+	e.commitIndex[i] = len(e.st.Committed)
+	e.st.Committed = append(e.st.Committed, i)
+	e.committedSet[i] = true
+	e.removePending(i)
+	e.decidedAt[i] = e.now
+	e.res.Committed++
+	e.onResolved(i)
+}
+
+func (e *engine) reject(i int) {
+	e.dirty = true
+	e.decisionsEpoch++
+	if !e.st.pending[i] {
+		return
+	}
+	e.st.rejected[i] = true
+	e.removePending(i)
+	e.decidedAt[i] = e.now
+	e.res.Rejected++
+	e.onResolved(i)
+}
+
+func (e *engine) removePending(i int) {
+	delete(e.st.pending, i)
+	// Pending is ascending; binary search for the slot.
+	k := sort.SearchInts(e.st.Pending, i)
+	if k < len(e.st.Pending) && e.st.Pending[k] == i {
+		e.st.Pending = append(e.st.Pending[:k], e.st.Pending[k+1:]...)
+	}
+}
+
+// specIdentity canonically identifies a build for reconciliation: the
+// remaining assumptions after normalization, the subject, the batch, and the
+// still-unresolved rejection assumptions.
+func (e *engine) specIdentity(spec BuildSpec, base int) (string, bool) {
+	remaining, valid := e.normalize(spec, base)
+	if !valid {
+		return "", false
+	}
+	var rej []int
+	for _, r := range spec.AssumedRejected {
+		if e.st.pending[r] {
+			rej = append(rej, r)
+		}
+	}
+	sort.Ints(rej)
+	buf := make([]byte, 0, 8*(len(remaining)+len(rej)+len(spec.Batch)+1))
+	for _, a := range remaining {
+		buf = strconv.AppendInt(buf, int64(a), 10)
+		buf = append(buf, '+')
+	}
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(spec.Subject), 10)
+	buf = append(buf, '!')
+	for _, r := range rej {
+		buf = strconv.AppendInt(buf, int64(r), 10)
+		buf = append(buf, ',')
+	}
+	if len(spec.Batch) > 0 {
+		buf = append(buf, 'B')
+		for _, m := range spec.Batch {
+			buf = strconv.AppendInt(buf, int64(m), 10)
+			buf = append(buf, ',')
+		}
+	}
+	if spec.AllowReorder {
+		buf = append(buf, 'R')
+	}
+	return string(buf), true
+}
+
+// slotIdentity is specIdentity memoized per decisions epoch.
+func (e *engine) slotIdentity(slot *runningSlot) (string, bool) {
+	if slot.ident.epoch == e.decisionsEpoch+1 {
+		return slot.ident.val, slot.ident.valid
+	}
+	v, ok := e.specIdentity(slot.spec, slot.base)
+	slot.ident = identCache{epoch: e.decisionsEpoch + 1, val: v, valid: ok}
+	return v, ok
+}
+
+// finishedIdentity is specIdentity for st.Finished[k], memoized.
+func (e *engine) finishedIdentity(k int) (string, bool) {
+	c := &e.finishedIdent[k]
+	if c.epoch == e.decisionsEpoch+1 {
+		return c.val, c.valid
+	}
+	fb := e.st.Finished[k]
+	v, ok := e.specIdentity(fb.Spec, fb.BaseCommits)
+	*c = identCache{epoch: e.decisionsEpoch + 1, val: v, valid: ok}
+	return v, ok
+}
+
+// reconcile aligns running builds with the strategy's desired set.
+func (e *engine) reconcile(s Strategy) {
+	// Refresh the State's running view first.
+	e.st.Running = e.st.Running[:0]
+	for _, slot := range e.slots {
+		e.st.Running = append(e.st.Running, RunningBuild{
+			Spec: slot.spec, BaseCommits: slot.base, Start: slot.start, Finish: slot.finish,
+		})
+	}
+	sort.Slice(e.st.Running, func(a, b int) bool {
+		if e.st.Running[a].Start != e.st.Running[b].Start {
+			return e.st.Running[a].Start < e.st.Running[b].Start
+		}
+		return e.st.Running[a].Spec.Subject < e.st.Running[b].Spec.Subject
+	})
+
+	desired := s.Plan(e.st)
+
+	base := len(e.st.Committed)
+	want := map[string]BuildSpec{}
+	var order []string
+	skippedFinished, skippedInvalid := 0, 0
+	for _, spec := range desired {
+		if len(want) >= e.cfg.Workers {
+			break
+		}
+		id, valid := e.specIdentity(spec, base)
+		if !valid {
+			skippedInvalid++
+			continue
+		}
+		if _, dup := want[id]; dup {
+			continue
+		}
+		// Skip builds whose result already exists and is still valid.
+		if e.haveFinished(spec.Subject, id) {
+			skippedFinished++
+			continue
+		}
+		want[id] = spec
+		order = append(order, id)
+	}
+	if e.cfg.Trace != nil {
+		fmt.Fprintf(e.cfg.Trace, "t=%v pending=%d desired=%d want=%d skippedFin=%d skippedInv=%d running=%d\n",
+			e.now, len(e.st.Pending), len(desired), len(want), skippedFinished, skippedInvalid, len(e.slots))
+		if len(want) == 0 && len(e.slots) == 0 && len(e.st.Pending) > 0 {
+			for _, spec := range desired {
+				id, valid := e.specIdentity(spec, base)
+				fb, have := FinishedBuild{}, false
+				if valid {
+					fb, have = e.finishedMatch(spec.Subject, id)
+				}
+				fmt.Fprintf(e.cfg.Trace, "  STUCK spec subj=%d assumed=%v rej=%v batch=%v id=%q valid=%v haveFin=%v fbOK=%v fbBatch=%v\n",
+					spec.Subject, spec.Assumed, spec.AssumedRejected, spec.Batch, id, valid, have, fb.OK, fb.Spec.Batch)
+				if have {
+					preds := e.st.PendingConflictingPredecessors(spec.Subject)
+					fmt.Fprintf(e.cfg.Trace, "  subject preds=%v\n", preds)
+				}
+			}
+		}
+	}
+
+	// Abort running builds whose assumptions have been falsified. Builds that
+	// are merely absent from the plan (e.g. the planner's budget truncated
+	// them this round) stay running while workers are free: their results may
+	// still be needed, and rebuilding them later would only add latency.
+	runningBy := map[string]bool{}
+	var unwanted []int // slot IDs of valid-but-unplanned builds
+	for slotID, slot := range e.slots {
+		id, valid := e.slotIdentity(slot)
+		if !valid {
+			slot.aborted = true
+			delete(e.slots, slotID)
+			e.res.WorkerBusy += e.now - slot.start
+			e.res.BuildsAborted++
+			continue
+		}
+		if _, wanted := want[id]; wanted && !runningBy[id] {
+			runningBy[id] = true
+			continue
+		}
+		unwanted = append(unwanted, slotID)
+	}
+
+	// New builds to start, in priority order.
+	var starts []string
+	for _, id := range order {
+		if !runningBy[id] {
+			starts = append(starts, id)
+		}
+	}
+	// Preempt valid-but-unplanned builds only when a selected build needs the
+	// worker (the paper's planner aborts builds that fall out of the selected
+	// set; we do so lazily, on demand), and only when the newcomer's value
+	// clearly exceeds the running build's — a damping margin that prevents
+	// churn between near-equal-value builds as probabilities drift.
+	free := e.cfg.Workers - len(e.slots)
+	if free < len(starts) && len(unwanted) > 0 {
+		// Lowest-value, newest-started builds are sacrificed first.
+		sort.Slice(unwanted, func(a, b int) bool {
+			sa, sb := e.slots[unwanted[a]], e.slots[unwanted[b]]
+			if sa.spec.Priority != sb.spec.Priority {
+				return sa.spec.Priority < sb.spec.Priority
+			}
+			if sa.start != sb.start {
+				return sa.start > sb.start
+			}
+			return sa.spec.Subject > sb.spec.Subject
+		})
+		k := 0
+		for _, id := range starts {
+			if free >= len(starts) || k >= len(unwanted) {
+				break
+			}
+			slot := e.slots[unwanted[k]]
+			margin := 0.02 + 0.2*math.Abs(slot.spec.Priority)
+			if want[id].Priority <= slot.spec.Priority+margin {
+				continue // not clearly better; let the running build finish
+			}
+			slot.aborted = true
+			delete(e.slots, unwanted[k])
+			e.res.WorkerBusy += e.now - slot.start
+			e.res.BuildsAborted++
+			free++
+			k++
+		}
+	}
+	for _, id := range starts {
+		if free <= 0 {
+			break
+		}
+		spec := want[id]
+		dur := e.w.Changes[spec.Subject].Duration
+		if e.builtBefore[spec.Subject] {
+			// §6: minimal build steps + artifact cache make re-builds of the
+			// same subject under new assumptions substantially cheaper.
+			dur = time.Duration(float64(dur) * e.cfg.IncrementalFactor)
+		}
+		slot := &runningSlot{
+			spec:   spec,
+			base:   len(e.st.Committed),
+			start:  e.now,
+			finish: e.now + dur,
+		}
+		e.slots[e.nextSlot] = slot
+		heap.Push(&e.events, event{at: slot.finish, kind: evFinish, idx: e.nextSlot, seq: e.seq})
+		e.seq++
+		e.nextSlot++
+		e.res.BuildsStarted++
+		free--
+	}
+}
+
+// haveFinished reports whether a finished, still-valid build with the given
+// identity exists for the subject.
+func (e *engine) haveFinished(subject int, id string) bool {
+	_, ok := e.finishedMatch(subject, id)
+	return ok
+}
+
+// finishedMatch returns the finished, still-valid build with the given
+// identity for the subject, if any.
+func (e *engine) finishedMatch(subject int, id string) (FinishedBuild, bool) {
+	idxs := e.finishedBySubject[subject]
+	for k := len(idxs) - 1; k >= 0; k-- {
+		fid, valid := e.finishedIdentity(idxs[k])
+		if valid && fid == id {
+			return e.st.Finished[idxs[k]], true
+		}
+	}
+	return FinishedBuild{}, false
+}
+
+// finishMetrics computes turnaround and throughput after the run.
+func (e *engine) finishMetrics(w *workload.Workload) {
+	var firstArrival, lastDecision time.Duration
+	if len(w.Changes) > 0 {
+		firstArrival = w.Changes[0].SubmitAt
+	}
+	for _, c := range w.Changes {
+		at, ok := e.decidedAt[c.Index]
+		if !ok {
+			e.res.Undecided++
+			continue
+		}
+		if at > lastDecision {
+			lastDecision = at
+		}
+		turn := (at - c.SubmitAt).Minutes()
+		e.res.TurnaroundAllMin = append(e.res.TurnaroundAllMin, turn)
+		if e.committedSet[c.Index] {
+			e.res.TurnaroundCommittedMin = append(e.res.TurnaroundCommittedMin, turn)
+		}
+	}
+	e.res.Makespan = lastDecision - firstArrival
+	if e.res.Makespan > 0 {
+		e.res.ThroughputPerHour = float64(e.res.Committed) / e.res.Makespan.Hours()
+	}
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/workload"
+)
+
+// change6 formats a workload change ID from an index.
+func change6(i int) change.ID { return change.ID(fmt.Sprintf("c%06d", i)) }
+
+// serialStrategy builds one change at a time, strictly in order — the
+// simplest correct strategy, used to validate engine mechanics.
+type serialStrategy struct{}
+
+func (serialStrategy) Name() string { return "serial" }
+func (serialStrategy) Plan(st *State) []BuildSpec {
+	if len(st.Pending) == 0 {
+		return nil
+	}
+	return []BuildSpec{{Subject: st.Pending[0]}}
+}
+
+// chainStrategy builds every pending change on top of all pending
+// predecessors (analyzer-blind optimistic chain).
+type chainStrategy struct{}
+
+func (chainStrategy) Name() string { return "chain" }
+func (chainStrategy) Plan(st *State) []BuildSpec {
+	var out []BuildSpec
+	for _, i := range st.Pending {
+		out = append(out, BuildSpec{
+			Subject:  i,
+			Assumed:  st.PendingConflictingPredecessors(i),
+			Priority: -float64(i),
+		})
+	}
+	return out
+}
+
+func smallWorkload(seed int64, n int) *workload.Workload {
+	return workload.Generate(workload.Config{Seed: seed, Count: n, RatePerHour: 120})
+}
+
+func TestSerialStrategyDrains(t *testing.T) {
+	w := smallWorkload(1, 60)
+	res := Run(w, serialStrategy{}, Config{Workers: 4, UseAnalyzer: false})
+	if res.Committed+res.Rejected != 60 {
+		t.Fatalf("decided %d+%d of 60 (undecided %d)", res.Committed, res.Rejected, res.Undecided)
+	}
+	if res.GreenViolations != 0 {
+		t.Fatalf("green violations: %d", res.GreenViolations)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+func TestOutcomesMatchEventualGroundTruth(t *testing.T) {
+	// Any correct strategy must produce exactly the workload's eventual
+	// outcomes (they are scheduling independent).
+	w := smallWorkload(2, 120)
+	eventual := w.EventualOutcomes()
+	for _, cfgAnalyzer := range []bool{true, false} {
+		res := Run(w, chainStrategy{}, Config{Workers: 16, UseAnalyzer: cfgAnalyzer})
+		if res.Committed+res.Rejected != len(w.Changes) {
+			t.Fatalf("analyzer=%v: decided %d of %d", cfgAnalyzer,
+				res.Committed+res.Rejected, len(w.Changes))
+		}
+		wantCommits := 0
+		for _, v := range eventual {
+			if v {
+				wantCommits++
+			}
+		}
+		if res.Committed != wantCommits {
+			t.Fatalf("analyzer=%v: committed %d, ground truth %d",
+				cfgAnalyzer, res.Committed, wantCommits)
+		}
+		if res.GreenViolations != 0 {
+			t.Fatalf("green violations: %d", res.GreenViolations)
+		}
+	}
+}
+
+func TestAnalyzerSpeedsUpDraining(t *testing.T) {
+	// With the conflict analyzer, independent changes commit in parallel, so
+	// turnaround must improve over the analyzer-less run.
+	w := smallWorkload(3, 150)
+	with := Run(w, chainStrategy{}, Config{Workers: 32, UseAnalyzer: true})
+	without := Run(w, chainStrategy{}, Config{Workers: 32, UseAnalyzer: false})
+	if with.Summary().P95 >= without.Summary().P95 {
+		t.Fatalf("analyzer did not help: with=%.1f without=%.1f",
+			with.Summary().P95, without.Summary().P95)
+	}
+}
+
+func TestWorkerLimitRespected(t *testing.T) {
+	w := smallWorkload(4, 80)
+	// A strategy demanding everything at once.
+	res := Run(w, chainStrategy{}, Config{Workers: 2, UseAnalyzer: true})
+	// The engine can never run more than Workers builds; validated
+	// indirectly: builds started - aborted - finished == 0 at drain and
+	// makespan is long under 2 workers.
+	if res.Committed+res.Rejected != 80 {
+		t.Fatalf("did not drain: %d", res.Committed+res.Rejected)
+	}
+	res16 := Run(w, chainStrategy{}, Config{Workers: 64, UseAnalyzer: true})
+	if res16.Summary().P95 > res.Summary().P95 {
+		t.Fatalf("more workers should not hurt: %v vs %v",
+			res16.Summary().P95, res.Summary().P95)
+	}
+}
+
+func TestSpeculativeResultReusedAcrossCommits(t *testing.T) {
+	// Two conflicting, succeeding changes; chain strategy builds c2 on c1
+	// speculatively. After c1 commits, c2's speculative build must decide it
+	// without a restart: total finished builds == 2.
+	w := &workload.Workload{
+		Cfg: workload.Config{Count: 2},
+		Changes: []*workload.Change{
+			{
+				Index: 0, ID: "c000000", SubmitAt: 0,
+				Duration: 30 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{1: true},
+				RealConflicts:      map[int]bool{},
+			},
+			{
+				Index: 1, ID: "c000001", SubmitAt: time.Minute,
+				Duration: 30 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{0: true},
+				RealConflicts:      map[int]bool{},
+			},
+		},
+	}
+	res := Run(w, chainStrategy{}, Config{Workers: 4, UseAnalyzer: true})
+	if res.Committed != 2 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.BuildsFinished != 2 || res.BuildsAborted != 0 {
+		t.Fatalf("builds finished=%d aborted=%d, want 2/0",
+			res.BuildsFinished, res.BuildsAborted)
+	}
+	// c2's decision should come right after c1's build finished plus its own
+	// remaining time: both started within the first minute, so total
+	// makespan ≈ 31 minutes, NOT 60+.
+	if res.Makespan > 40*time.Minute {
+		t.Fatalf("makespan = %v, speculation not reused", res.Makespan)
+	}
+}
+
+func TestMisspeculationAbortsAndRecovers(t *testing.T) {
+	// c1 fails; chain builds c1 and c1+c2. After c1 is rejected, the c1+c2
+	// build is falsified and aborted; c2 rebuilds alone and commits.
+	w := &workload.Workload{
+		Cfg: workload.Config{Count: 2},
+		Changes: []*workload.Change{
+			{
+				Index: 0, ID: "c000000", SubmitAt: 0,
+				Duration: 30 * time.Minute, Succeeds: false,
+				PotentialConflicts: map[int]bool{1: true},
+				RealConflicts:      map[int]bool{},
+			},
+			{
+				Index: 1, ID: "c000001", SubmitAt: time.Minute,
+				Duration: 30 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{0: true},
+				RealConflicts:      map[int]bool{},
+			},
+		},
+	}
+	res := Run(w, chainStrategy{}, Config{Workers: 4, UseAnalyzer: true})
+	if res.Committed != 1 || res.Rejected != 1 {
+		t.Fatalf("committed=%d rejected=%d", res.Committed, res.Rejected)
+	}
+	if res.BuildsAborted == 0 {
+		t.Fatal("expected the misspeculated build to be aborted")
+	}
+	// c2's turnaround: ~31 min wasted + 30 min rebuild ≈ 60 min.
+	if res.Makespan < 55*time.Minute {
+		t.Fatalf("makespan = %v, expected restart cost", res.Makespan)
+	}
+}
+
+func TestRealConflictRejectsSecondChange(t *testing.T) {
+	// Both succeed alone but really conflict: first commits, second rejected.
+	w := &workload.Workload{
+		Cfg: workload.Config{Count: 2},
+		Changes: []*workload.Change{
+			{
+				Index: 0, ID: "c000000", SubmitAt: 0,
+				Duration: 10 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{1: true},
+				RealConflicts:      map[int]bool{1: true},
+			},
+			{
+				Index: 1, ID: "c000001", SubmitAt: time.Minute,
+				Duration: 10 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{0: true},
+				RealConflicts:      map[int]bool{0: true},
+			},
+		},
+	}
+	res := Run(w, chainStrategy{}, Config{Workers: 4, UseAnalyzer: true})
+	if res.Committed != 1 || res.Rejected != 1 {
+		t.Fatalf("committed=%d rejected=%d", res.Committed, res.Rejected)
+	}
+	if res.GreenViolations != 0 {
+		t.Fatalf("green violations: %d", res.GreenViolations)
+	}
+}
+
+func TestIndependentCommitDoesNotInvalidateBuilds(t *testing.T) {
+	// c0 ⊥ c1: both build in parallel; c0's commit must not abort c1's
+	// running build (normalization skips independent commits).
+	w := &workload.Workload{
+		Cfg: workload.Config{Count: 2},
+		Changes: []*workload.Change{
+			{
+				Index: 0, ID: "c000000", SubmitAt: 0,
+				Duration: 10 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{},
+				RealConflicts:      map[int]bool{},
+			},
+			{
+				Index: 1, ID: "c000001", SubmitAt: 0,
+				Duration: 30 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{},
+				RealConflicts:      map[int]bool{},
+			},
+		},
+	}
+	res := Run(w, chainStrategy{}, Config{Workers: 4, UseAnalyzer: true})
+	if res.Committed != 2 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.BuildsAborted != 0 || res.BuildsFinished != 2 {
+		t.Fatalf("aborted=%d finished=%d, want 0/2", res.BuildsAborted, res.BuildsFinished)
+	}
+	if res.Makespan > 31*time.Minute {
+		t.Fatalf("makespan = %v, parallel independent commits expected", res.Makespan)
+	}
+}
+
+func TestBatchCommitsAtomically(t *testing.T) {
+	// Three mutually-conflicting succeeding changes in one batch commit
+	// together after a single build.
+	mk := func(i int, at time.Duration) *workload.Change {
+		pc := map[int]bool{}
+		for j := 0; j < 3; j++ {
+			if j != i {
+				pc[j] = true
+			}
+		}
+		return &workload.Change{
+			Index: i, ID: change6(i), SubmitAt: at,
+			Duration: 20 * time.Minute, Succeeds: true,
+			PotentialConflicts: pc, RealConflicts: map[int]bool{},
+		}
+	}
+	w := &workload.Workload{
+		Cfg:     workload.Config{Count: 3},
+		Changes: []*workload.Change{mk(0, 0), mk(1, 0), mk(2, 0)},
+	}
+	batch := batchStrategy{}
+	res := Run(w, batch, Config{Workers: 4, UseAnalyzer: true})
+	if res.Committed != 3 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.BuildsFinished != 1 {
+		t.Fatalf("finished = %d, want single batch build", res.BuildsFinished)
+	}
+}
+
+type batchStrategy struct{}
+
+func (batchStrategy) Name() string { return "batch-test" }
+func (batchStrategy) Plan(st *State) []BuildSpec {
+	if len(st.Pending) == 0 {
+		return nil
+	}
+	batch := append([]int(nil), st.Pending...)
+	return []BuildSpec{{Subject: batch[len(batch)-1], Batch: batch}}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	w := smallWorkload(5, 100)
+	a := Run(w, chainStrategy{}, Config{Workers: 8, UseAnalyzer: true})
+	b := Run(w, chainStrategy{}, Config{Workers: 8, UseAnalyzer: true})
+	if a.Committed != b.Committed || a.Rejected != b.Rejected ||
+		a.Makespan != b.Makespan || a.BuildsStarted != b.BuildsStarted {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	w := &workload.Workload{}
+	res := Run(w, serialStrategy{}, Config{Workers: 1})
+	if res.Committed != 0 || res.Rejected != 0 || len(res.TurnaroundAllMin) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	w := smallWorkload(6, 60)
+	res := Run(w, serialStrategy{}, Config{Workers: 1, UseAnalyzer: false})
+	u := res.Utilization()
+	// A single worker processing a serial queue stays mostly busy.
+	if u <= 0.3 || u > 1.001 {
+		t.Fatalf("utilization = %v", u)
+	}
+	// Degenerate result has zero utilization.
+	var empty Result
+	if empty.Utilization() != 0 {
+		t.Fatal("empty utilization should be 0")
+	}
+}

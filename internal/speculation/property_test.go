@@ -1,0 +1,176 @@
+package speculation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
+	"mastergreen/internal/predict"
+)
+
+// randPredictor assigns random but fixed probabilities per change/pair.
+type randPredictor struct {
+	succ map[change.ID]float64
+	conf map[string]float64
+}
+
+func newRandPredictor(rng *rand.Rand, pending []*change.Change) randPredictor {
+	p := randPredictor{succ: map[change.ID]float64{}, conf: map[string]float64{}}
+	for _, c := range pending {
+		p.succ[c.ID] = 0.05 + 0.9*rng.Float64()
+	}
+	for i, a := range pending {
+		for j := i + 1; j < len(pending); j++ {
+			b := pending[j]
+			k := string(a.ID) + "|" + string(b.ID)
+			p.conf[k] = 0.3 * rng.Float64()
+		}
+	}
+	return p
+}
+
+func (p randPredictor) PredictSuccess(c *change.Change) float64 { return p.succ[c.ID] }
+func (p randPredictor) PredictConflict(a, b *change.Change) float64 {
+	k := string(a.ID) + "|" + string(b.ID)
+	if a.ID > b.ID {
+		k = string(b.ID) + "|" + string(a.ID)
+	}
+	return p.conf[k]
+}
+
+// TestLeafProbabilitiesPartitionUnity: for every subject, the P_needed of
+// its fully-enumerated leaves partitions the outcome space of its
+// predecessors — the probabilities must sum to 1 (up to clamping effects;
+// with unclamped q values the identity is exact).
+func TestLeafProbabilitiesPartitionUnity(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 2 + rng.Intn(6)
+		pending := make([]*change.Change, n)
+		for i := range pending {
+			pending[i] = &change.Change{ID: change.ID(fmt.Sprintf("c%d", i))}
+		}
+		// Random conflict graph.
+		cg := conflict.NewGraph(nil)
+		for _, c := range pending {
+			cg.AddChange(c.ID)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					cg.AddEdge(pending[i].ID, pending[j].ID)
+				}
+			}
+		}
+		e := New(newRandPredictor(rng, pending))
+		plan := e.Plan(Request{Pending: pending, Conflicts: cg, Budget: 0})
+		sums := map[change.ID]float64{}
+		for _, b := range plan.Builds {
+			sums[b.Subject] += b.PNeeded
+		}
+		for id, s := range sums {
+			// Clamping at 0/1 can only lose mass, never create it.
+			if s > 1+1e-9 {
+				t.Fatalf("trial %d: subject %s leaf probabilities sum to %v > 1", trial, id, s)
+			}
+			if s < 0.5 {
+				t.Fatalf("trial %d: subject %s leaf probabilities sum to %v, lost too much mass", trial, id, s)
+			}
+		}
+		if len(sums) != n {
+			t.Fatalf("trial %d: %d subjects emitted, want %d", trial, len(sums), n)
+		}
+	}
+}
+
+// TestChainDepthValueMonotone: along the optimistic chain (all assumptions
+// = commit), P_needed never increases with depth.
+func TestChainDepthValueMonotone(t *testing.T) {
+	e := New(predict.Static{Success: 0.9, Conflict: 0.05})
+	n := 8
+	pending := mkChanges(n)
+	plan := e.Plan(Request{Pending: pending, Budget: 0})
+	chainP := map[int]float64{}
+	for _, b := range plan.Builds {
+		if len(b.AssumedRejected) == 0 {
+			chainP[len(b.Changes)] = b.PNeeded
+		}
+	}
+	prev := math.Inf(1)
+	for d := 1; d <= n; d++ {
+		p, ok := chainP[d]
+		if !ok {
+			t.Fatalf("missing chain build of depth %d", d)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("chain P_needed increased at depth %d: %v > %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestPlanScalesToHundreds: the engine must handle hundreds of pending
+// changes within the safety caps (O(n + budget) space per §7.1).
+func TestPlanScalesToHundreds(t *testing.T) {
+	n := 400
+	pending := mkChanges(n)
+	cg := conflict.NewGraph(nil)
+	for _, c := range pending {
+		cg.AddChange(c.ID)
+	}
+	// Sparse conflicts: each change conflicts with the previous two.
+	for i := 2; i < n; i++ {
+		cg.AddEdge(pending[i].ID, pending[i-1].ID)
+		cg.AddEdge(pending[i].ID, pending[i-2].ID)
+	}
+	e := New(predict.Static{Success: 0.85, Conflict: 0.1})
+	plan := e.Plan(Request{Pending: pending, Conflicts: cg, Budget: 300})
+	if len(plan.Builds) != 300 {
+		t.Fatalf("builds = %d, want 300", len(plan.Builds))
+	}
+	// Selection is value-driven, so a few old subjects with deep conflict
+	// chains may be outranked by younger, likelier builds (the paper defers
+	// starvation/fairness to §10's future work on change reordering) — but
+	// the bulk of the oldest subjects must be covered.
+	seen := map[change.ID]bool{}
+	for _, b := range plan.Builds {
+		seen[b.Subject] = true
+	}
+	missing := 0
+	for i := 0; i < 100; i++ {
+		if !seen[pending[i].ID] {
+			missing++
+		}
+	}
+	if missing > 40 {
+		t.Fatalf("%d of the oldest 100 subjects have no selected build", missing)
+	}
+}
+
+// TestIndexFieldsConsistent: the index-form fields must mirror the ID lists.
+func TestIndexFieldsConsistent(t *testing.T) {
+	e := New(predict.Static{Success: 0.7, Conflict: 0.2})
+	pending := mkChanges(5)
+	plan := e.Plan(Request{Pending: pending, Budget: 0})
+	for _, b := range plan.Builds {
+		if pending[b.SubjectIdx].ID != b.Subject {
+			t.Fatalf("subject index mismatch: %d vs %s", b.SubjectIdx, b.Subject)
+		}
+		if len(b.AssumedIdx) != len(b.Assumed) || len(b.AssumedRejectedIdx) != len(b.AssumedRejected) {
+			t.Fatalf("index list length mismatch in %s", b.Key())
+		}
+		for k, idx := range b.AssumedIdx {
+			if pending[idx].ID != b.Assumed[k] {
+				t.Fatalf("assumed index mismatch in %s", b.Key())
+			}
+		}
+		for k, idx := range b.AssumedRejectedIdx {
+			if pending[idx].ID != b.AssumedRejected[k] {
+				t.Fatalf("rejected index mismatch in %s", b.Key())
+			}
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package speculation implements the paper's speculation engine (§4): given
+// the pending changes, the conflict graph, and a probability model, it
+// enumerates the speculation graph — one binary decision tree per pending
+// change over that change's conflicting predecessors — and returns the
+// builds most likely to be needed, in decreasing value order
+// (V = Benefit·P_needed, §4.2.1).
+//
+// The math follows §4.2 exactly on chains:
+//
+//	P_needed(B_1)     = 1                          (Eq. before 1)
+//	P_needed(B_1.2)   = P_succ(C1)                 (Eq. 2)
+//	P_needed(B_2)     = 1 − P_succ(C1)             (Eq. 2)
+//	P_needed(B_1.2.3) = P_succ(C1)·(P_succ(C2) − P_conf(C1,C2))   (Eq. 5)
+//
+// and generalizes to the speculation graph of §5: a build for subject C_k
+// fixes an assumption (commit or reject) for each conflicting predecessor in
+// D_k; the probability of a predecessor committing is evaluated *in context*
+// — predecessors assumed rejected contribute no conflict mass, predecessors
+// assumed committed contribute their full P_conf, and conflicting changes
+// outside D_k contribute expected conflict P_conf·P_commit.
+//
+// Enumeration is lazy greedy best-first (§7.1): a global max-heap of partial
+// assignments, expanded most-probable-first, so the engine never materializes
+// the 2^n-node graph; space is O(n + budget). Partial assignments are
+// bitmasks over the subject's branching predecessors, keeping node expansion
+// allocation-free.
+package speculation
+
+import (
+	"container/heap"
+	"sort"
+	"strings"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
+	"mastergreen/internal/predict"
+)
+
+// DefaultMaxSpecDepth bounds how many conflicting predecessors a single
+// subject branches over; beyond it, predecessors are fixed to their most
+// likely outcome instead of doubling the tree.
+const DefaultMaxSpecDepth = 16
+
+// maxBranchBits is the hard ceiling on branching (bitmask width).
+const maxBranchBits = 30
+
+// defaultMaxExpansions bounds total best-first pops per Plan call when the
+// caller sets no budget.
+const defaultMaxExpansions = 4096
+
+// Build is one node of the speculation graph: build steps for
+// H ⊕ (Assumed…) ⊕ Subject, whose success or failure decides Subject's fate
+// under the assumption that every change in Assumed commits and every change
+// in AssumedRejected is rejected.
+type Build struct {
+	Subject change.ID
+	// Assumed are the conflicting predecessors speculated to commit, in
+	// submission order.
+	Assumed []change.ID
+	// AssumedRejected are the remaining conflicting predecessors, speculated
+	// to be rejected.
+	AssumedRejected []change.ID
+	// Changes is Assumed followed by Subject: the patches the build applies
+	// on top of HEAD, in submission order.
+	Changes []change.ID
+	// PNeeded is the probability this build's result will be used (§4.2.1).
+	PNeeded float64
+	// Value is PNeeded weighted by the subject's Benefit (V = B·P_needed,
+	// §4.2.1); the plan is ordered by Value.
+	Value float64
+
+	// Index forms of the above (positions in Request.Pending), for callers
+	// that work with indices.
+	SubjectIdx         int
+	AssumedIdx         []int
+	AssumedRejectedIdx []int
+}
+
+// Key returns a canonical identifier for the build: the applied change IDs
+// joined with '+', with rejected assumptions appended after '!'. Two builds
+// with equal keys are interchangeable.
+func (b Build) Key() string {
+	var sb strings.Builder
+	for i, id := range b.Changes {
+		if i > 0 {
+			sb.WriteByte('+')
+		}
+		sb.WriteString(string(id))
+	}
+	if len(b.AssumedRejected) > 0 {
+		sb.WriteByte('!')
+		for i, id := range b.AssumedRejected {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(string(id))
+		}
+	}
+	return sb.String()
+}
+
+// Engine computes speculation plans.
+type Engine struct {
+	// Predictor supplies P_succ and P_conf (trained model, oracle, or
+	// constant for Speculate-all).
+	Predictor predict.Predictor
+	// MaxSpecDepth caps branching per subject (DefaultMaxSpecDepth if 0).
+	MaxSpecDepth int
+}
+
+// New creates an Engine with the given predictor.
+func New(p predict.Predictor) *Engine { return &Engine{Predictor: p} }
+
+// Request is the input to Plan.
+type Request struct {
+	// Pending changes in submission order.
+	Pending []*change.Change
+	// Conflicts is the conflict graph over Pending (and possibly more). A
+	// nil graph means "assume every pair conflicts" (§4's speculation tree),
+	// unless Preds is supplied.
+	Conflicts *conflict.Graph
+	// Preds, if non-nil, overrides Conflicts: Preds[i] lists the positions
+	// (into Pending) of the conflicting predecessors of Pending[i], in
+	// ascending order. This avoids graph construction in hot paths.
+	Preds [][]int
+	// Budget is the maximum number of builds to return; <= 0 means
+	// unlimited (bounded internally by a safety cap).
+	Budget int
+}
+
+// Plan is the prioritized output of the engine.
+type Plan struct {
+	// Builds in decreasing Value order (ties: earlier subject first).
+	Builds []Build
+	// PCommit is each pending change's unconditional commit-probability
+	// estimate (used by the planner for preemption and batching decisions).
+	PCommit map[change.ID]float64
+	// PCommitIdx is PCommit indexed by position in Request.Pending.
+	PCommitIdx []float64
+}
+
+// planner is the per-Plan working state.
+type planner struct {
+	e       *Engine
+	pending []*change.Change
+	preds   [][]int     // conflicting predecessor positions per change
+	pSucc   []float64   // P_succ per change
+	pCommit []float64   // global commit-probability estimate per change
+	benefit []float64   // per-change benefit B (default 1), §4.2.1
+	confRow [][]float64 // confRow[i][t] = P_conf(preds[i][t], i), dense cache
+	conf    func(i, j int) float64
+}
+
+// Plan enumerates the speculation graph best-first and returns up to Budget
+// builds. See the package comment for the math.
+func (e *Engine) Plan(req Request) Plan {
+	depth := e.MaxSpecDepth
+	if depth <= 0 {
+		depth = DefaultMaxSpecDepth
+	}
+	if depth > maxBranchBits {
+		depth = maxBranchBits
+	}
+	budget := req.Budget
+	if budget <= 0 {
+		budget = defaultMaxExpansions
+	}
+	// Each emitted build needs up to depth+1 pops along its path; give the
+	// search room for that plus slack, with a floor for small budgets.
+	maxPops := budget * (depth + 2)
+	if maxPops < defaultMaxExpansions {
+		maxPops = defaultMaxExpansions
+	}
+
+	n := len(req.Pending)
+	plan := Plan{PCommit: make(map[change.ID]float64, n)}
+	if n == 0 {
+		return plan
+	}
+
+	p := &planner{e: e, pending: req.Pending}
+	p.conf = func(i, j int) float64 {
+		return clamp01(e.Predictor.PredictConflict(req.Pending[i], req.Pending[j]))
+	}
+
+	// Conflicting predecessors per change, ascending positions.
+	switch {
+	case req.Preds != nil:
+		p.preds = req.Preds
+	case req.Conflicts != nil:
+		order := make(map[change.ID]int, n)
+		for i, c := range req.Pending {
+			order[c.ID] = i
+		}
+		p.preds = make([][]int, n)
+		for i, c := range req.Pending {
+			for _, pr := range req.Conflicts.ConflictingPredecessors(c.ID) {
+				if pi, ok := order[pr]; ok && pi < i {
+					p.preds[i] = append(p.preds[i], pi)
+				}
+			}
+			sort.Ints(p.preds[i])
+		}
+	default:
+		p.preds = make([][]int, n)
+		for i := range req.Pending {
+			p.preds[i] = make([]int, i)
+			for j := 0; j < i; j++ {
+				p.preds[i][j] = j
+			}
+		}
+	}
+
+	// Dense per-plan conflict cache: the best-first expansion reads these
+	// values millions of times, so one predictor call per (pred, change)
+	// pair up front keeps the hot loop map-free.
+	p.confRow = make([][]float64, n)
+	for i := range req.Pending {
+		row := make([]float64, len(p.preds[i]))
+		for t, j := range p.preds[i] {
+			row[t] = p.conf(j, i)
+		}
+		p.confRow[i] = row
+	}
+
+	// Global P_commit in submission order:
+	// P_commit(k) = clamp(P_succ(k) − Σ_{j∈D_k} P_conf(j,k)·P_commit(j)).
+	p.pSucc = make([]float64, n)
+	p.pCommit = make([]float64, n)
+	for i, c := range req.Pending {
+		p.pSucc[i] = clamp01(e.Predictor.PredictSuccess(c))
+		pc := p.pSucc[i]
+		for t, j := range p.preds[i] {
+			pc -= p.confRow[i][t] * p.pCommit[j]
+		}
+		p.pCommit[i] = clamp01(pc)
+	}
+	plan.PCommitIdx = p.pCommit
+	for i, c := range req.Pending {
+		plan.PCommit[c.ID] = p.pCommit[i]
+	}
+
+	// Per-change benefit weights (default 1).
+	p.benefit = make([]float64, n)
+	for i, c := range req.Pending {
+		p.benefit[i] = 1
+		if c.Benefit > 0 {
+			p.benefit[i] = c.Benefit
+		}
+	}
+
+	// Per-subject branch sets: the most recent `depth` conflicting
+	// predecessors; older ones are fixed to their argmax outcome.
+	branch := make([][]int, n)
+	fixed := make([][]int, n)
+	for i := range req.Pending {
+		b := p.preds[i]
+		if len(b) > depth {
+			fixed[i] = b[:len(b)-depth]
+			b = b[len(b)-depth:]
+		}
+		branch[i] = b
+	}
+
+	// Best-first enumeration over bitmask nodes.
+	h := &nodeHeap{}
+	for i := range req.Pending {
+		h.push(node{subject: i, prob: 1, value: p.benefit[i]})
+	}
+	heap.Init(h)
+
+	pops := 0
+	for h.Len() > 0 && len(plan.Builds) < budget && pops < maxPops {
+		nd := heap.Pop(h).(node)
+		pops++
+		if nd.value <= 0 {
+			// Max-heap: every remaining node is zero-value too. A build whose
+			// result can never be needed is pure waste (§4.2.1).
+			break
+		}
+		br := branch[nd.subject]
+		if int(nd.depth) == len(br) {
+			plan.Builds = append(plan.Builds, p.finishBuild(nd, branch[nd.subject], fixed[nd.subject]))
+			continue
+		}
+		// Branch on predecessor br[nd.depth]. Its in-context commit
+		// probability: conflicts with already assumed-committed predecessors
+		// count fully; assumed-rejected count zero; everything else counts
+		// at expected value (P_conf·P_commit).
+		pid := br[nd.depth]
+		q := p.contextCommitProb(pid, nd, br)
+		b := p.benefit[nd.subject]
+		commitChild := node{
+			subject: nd.subject,
+			depth:   nd.depth + 1,
+			mask:    nd.mask | (1 << uint(nd.depth)),
+			prob:    nd.prob * q,
+			value:   nd.prob * q * b,
+		}
+		rejectChild := node{
+			subject: nd.subject,
+			depth:   nd.depth + 1,
+			mask:    nd.mask,
+			prob:    nd.prob * (1 - q),
+			value:   nd.prob * (1 - q) * b,
+		}
+		heap.Push(h, commitChild)
+		heap.Push(h, rejectChild)
+	}
+	return plan
+}
+
+// contextCommitProb evaluates the probability that predecessor pid commits,
+// conditioned on the assumptions already made along the node's path (the
+// first nd.depth entries of br, committed iff the corresponding mask bit is
+// set). Only pid's conflicting predecessors contribute conflict mass.
+func (p *planner) contextCommitProb(pid int, nd node, br []int) float64 {
+	q := p.pSucc[pid]
+	for t, other := range p.preds[pid] {
+		// Find other's decision along the path, if branched already.
+		status := 0 // 0: outside/undecided, 1: assumed committed, 2: assumed rejected
+		for d := 0; d < int(nd.depth); d++ {
+			if br[d] == other {
+				if nd.mask&(1<<uint(d)) != 0 {
+					status = 1
+				} else {
+					status = 2
+				}
+				break
+			}
+		}
+		switch status {
+		case 1:
+			q -= p.confRow[pid][t]
+		case 2:
+			// no conflict mass: the other change never lands
+		default:
+			q -= p.confRow[pid][t] * p.pCommit[other]
+		}
+	}
+	return clamp01(q)
+}
+
+// finishBuild materializes a completed node into a Build.
+func (p *planner) finishBuild(nd node, br, fx []int) Build {
+	var assumedIdx, rejectedIdx []int
+	for d := 0; d < int(nd.depth); d++ {
+		if nd.mask&(1<<uint(d)) != 0 {
+			assumedIdx = append(assumedIdx, br[d])
+		} else {
+			rejectedIdx = append(rejectedIdx, br[d])
+		}
+	}
+	// Fixed (beyond-depth) predecessors take their most likely outcome.
+	for _, f := range fx {
+		if p.pCommit[f] >= 0.5 {
+			assumedIdx = append(assumedIdx, f)
+		} else {
+			rejectedIdx = append(rejectedIdx, f)
+		}
+	}
+	sort.Ints(assumedIdx)
+	sort.Ints(rejectedIdx)
+	b := Build{
+		Subject:            p.pending[nd.subject].ID,
+		SubjectIdx:         nd.subject,
+		AssumedIdx:         assumedIdx,
+		AssumedRejectedIdx: rejectedIdx,
+		PNeeded:            nd.prob,
+		Value:              nd.value,
+	}
+	for _, i := range assumedIdx {
+		b.Assumed = append(b.Assumed, p.pending[i].ID)
+		b.Changes = append(b.Changes, p.pending[i].ID)
+	}
+	b.Changes = append(b.Changes, b.Subject)
+	for _, i := range rejectedIdx {
+		b.AssumedRejected = append(b.AssumedRejected, p.pending[i].ID)
+	}
+	return b
+}
+
+// node is a partial assignment in the best-first search: the first `depth`
+// branching predecessors of `subject` are decided by `mask` bits. value is
+// prob weighted by the subject's benefit and drives the heap order.
+type node struct {
+	subject int
+	depth   uint8
+	mask    uint32
+	prob    float64
+	value   float64
+}
+
+// nodeHeap is a max-heap on node probability; ties prefer earlier subjects
+// (fairness: older changes first) and then shallower nodes.
+type nodeHeap []node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].value != h[j].value {
+		return h[i].value > h[j].value
+	}
+	if h[i].subject != h[j].subject {
+		return h[i].subject < h[j].subject
+	}
+	return h[i].depth < h[j].depth
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// push appends without sifting (callers heap.Init afterwards).
+func (h *nodeHeap) push(n node) { *h = append(*h, n) }
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

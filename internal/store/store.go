@@ -1,0 +1,317 @@
+// Package store is SubmitQueue's durable state backend — the role MySQL
+// plays in the paper's deployment (§7.1). It provides an append-only journal
+// of service events (submissions and final outcomes) with crash-safe replay,
+// plus compaction that drops decided changes. On restart, the core service
+// replays the journal to re-enqueue every change that was pending when the
+// process died, so no developer submission is ever lost.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+// Record kinds.
+const (
+	KindSubmit  = "submit"
+	KindOutcome = "outcome"
+)
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("store: journal closed")
+
+// SubmittedChange is the durable form of a change submission.
+type SubmittedChange struct {
+	ID          change.ID          `json:"id"`
+	Author      change.Developer   `json:"author"`
+	Description string             `json:"description"`
+	SubmittedAt time.Time          `json:"submitted_at"`
+	BaseCommit  repo.CommitID      `json:"base_commit"`
+	Steps       []SubmittedStep    `json:"steps"`
+	Patch       []SubmittedFile    `json:"patch"`
+	Revision    *SubmittedRevision `json:"revision,omitempty"`
+	Stats       change.Stats       `json:"stats"`
+}
+
+// SubmittedStep serializes one build step.
+type SubmittedStep struct {
+	Name    string   `json:"name"`
+	Kind    int      `json:"kind"`
+	Targets []string `json:"targets,omitempty"`
+}
+
+// SubmittedFile serializes one file edit.
+type SubmittedFile struct {
+	Path     string `json:"path"`
+	Op       int    `json:"op"`
+	BaseHash string `json:"base_hash,omitempty"`
+	Content  string `json:"content,omitempty"`
+	// Line-edit fields (repo.OpEditLines).
+	StartLine int      `json:"start_line,omitempty"`
+	OldLines  []string `json:"old_lines,omitempty"`
+	NewLines  []string `json:"new_lines,omitempty"`
+}
+
+// SubmittedRevision serializes the revision container.
+type SubmittedRevision struct {
+	ID          change.RevisionID `json:"id"`
+	SubmitCount int               `json:"submit_count"`
+	TestPlan    bool              `json:"test_plan"`
+	RevertPlan  bool              `json:"revert_plan"`
+}
+
+// OutcomeRecord is the durable form of a final disposition.
+type OutcomeRecord struct {
+	ID     change.ID     `json:"id"`
+	State  string        `json:"state"` // "committed" or "rejected"
+	Reason string        `json:"reason,omitempty"`
+	Commit repo.CommitID `json:"commit,omitempty"`
+	At     time.Time     `json:"at"`
+}
+
+// Record is one journal entry.
+type Record struct {
+	Kind    string           `json:"kind"`
+	Submit  *SubmittedChange `json:"submit,omitempty"`
+	Outcome *OutcomeRecord   `json:"outcome,omitempty"`
+}
+
+// EncodeChange converts a change into its durable form.
+func EncodeChange(c *change.Change) *SubmittedChange {
+	sc := &SubmittedChange{
+		ID:          c.ID,
+		Author:      c.Author,
+		Description: c.Description,
+		SubmittedAt: c.SubmittedAt,
+		BaseCommit:  c.BaseCommit,
+		Stats:       c.Stats,
+	}
+	for _, s := range c.BuildSteps {
+		sc.Steps = append(sc.Steps, SubmittedStep{Name: s.Name, Kind: int(s.Kind), Targets: s.Targets})
+	}
+	for _, fc := range c.Patch.Changes {
+		sc.Patch = append(sc.Patch, SubmittedFile{
+			Path: fc.Path, Op: int(fc.Op), BaseHash: fc.BaseHash, Content: fc.NewContent,
+			StartLine: fc.StartLine, OldLines: fc.OldLines, NewLines: fc.NewLines,
+		})
+	}
+	if c.Revision != nil {
+		sc.Revision = &SubmittedRevision{
+			ID: c.Revision.ID, SubmitCount: c.Revision.SubmitCount,
+			TestPlan: c.Revision.TestPlan, RevertPlan: c.Revision.RevertPlan,
+		}
+	}
+	return sc
+}
+
+// DecodeChange reconstructs a change from its durable form.
+func DecodeChange(sc *SubmittedChange) *change.Change {
+	c := &change.Change{
+		ID:          sc.ID,
+		Author:      sc.Author,
+		Description: sc.Description,
+		SubmittedAt: sc.SubmittedAt,
+		BaseCommit:  sc.BaseCommit,
+		Stats:       sc.Stats,
+	}
+	for _, s := range sc.Steps {
+		c.BuildSteps = append(c.BuildSteps, change.BuildStep{
+			Name: s.Name, Kind: change.StepKind(s.Kind), Targets: s.Targets,
+		})
+	}
+	for _, f := range sc.Patch {
+		c.Patch.Changes = append(c.Patch.Changes, repo.FileChange{
+			Path: f.Path, Op: repo.FileOp(f.Op), BaseHash: f.BaseHash, NewContent: f.Content,
+			StartLine: f.StartLine, OldLines: f.OldLines, NewLines: f.NewLines,
+		})
+	}
+	if sc.Revision != nil {
+		c.Revision = &change.Revision{
+			ID: sc.Revision.ID, Author: sc.Author, SubmitCount: sc.Revision.SubmitCount,
+			TestPlan: sc.Revision.TestPlan, RevertPlan: sc.Revision.RevertPlan,
+		}
+	}
+	return c
+}
+
+// Journal is an append-only JSON-lines log. Safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	w      *bufio.Writer
+	closed bool
+	// SyncEvery controls fsync frequency: every Nth append forces the OS
+	// buffers to disk (1 = always; 0 defaults to 1).
+	SyncEvery int
+	appends   int
+}
+
+// Open creates or appends to a journal file.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f), SyncEvery: 1}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes a record durably.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	j.appends++
+	every := j.SyncEvery
+	if every <= 0 {
+		every = 1
+	}
+	if j.appends%every == 0 {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendSubmit records a submission.
+func (j *Journal) AppendSubmit(c *change.Change) error {
+	return j.Append(Record{Kind: KindSubmit, Submit: EncodeChange(c)})
+}
+
+// AppendOutcome records a final disposition.
+func (j *Journal) AppendOutcome(o OutcomeRecord) error {
+	return j.Append(Record{Kind: KindOutcome, Outcome: &o})
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	return j.f.Close()
+}
+
+// Replay reads all records from a journal file. A trailing partial line
+// (torn write from a crash) is tolerated and ignored; corruption anywhere
+// else is an error.
+func Replay(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: open for replay: %w", err)
+	}
+	defer f.Close()
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("store: replay: %w", err)
+	}
+	var out []Record
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn final record from a crash: ignore
+			}
+			return nil, fmt.Errorf("store: corrupt record at line %d: %w", i+1, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// PendingFromRecords folds a replayed journal into the set of changes that
+// were still undecided, in submission order, plus all recorded outcomes.
+func PendingFromRecords(recs []Record) (pending []*change.Change, outcomes []OutcomeRecord) {
+	decided := map[change.ID]bool{}
+	for _, r := range recs {
+		if r.Kind == KindOutcome && r.Outcome != nil {
+			decided[r.Outcome.ID] = true
+			outcomes = append(outcomes, *r.Outcome)
+		}
+	}
+	for _, r := range recs {
+		if r.Kind == KindSubmit && r.Submit != nil && !decided[r.Submit.ID] {
+			pending = append(pending, DecodeChange(r.Submit))
+		}
+	}
+	return pending, outcomes
+}
+
+// Compact rewrites the journal keeping only undecided submissions and the
+// most recent keepOutcomes outcome records, bounding journal growth.
+func Compact(path string, keepOutcomes int) error {
+	recs, err := Replay(path)
+	if err != nil {
+		return err
+	}
+	pending, outcomes := PendingFromRecords(recs)
+	if keepOutcomes >= 0 && len(outcomes) > keepOutcomes {
+		outcomes = outcomes[len(outcomes)-keepOutcomes:]
+	}
+	tmp := path + ".compact"
+	j, err := Open(tmp)
+	if err != nil {
+		return err
+	}
+	j.SyncEvery = 1 << 30 // one final sync on close
+	for _, o := range outcomes {
+		if err := j.AppendOutcome(o); err != nil {
+			j.Close()
+			return err
+		}
+	}
+	for _, c := range pending {
+		if err := j.AppendSubmit(c); err != nil {
+			j.Close()
+			return err
+		}
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

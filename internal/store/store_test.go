@@ -1,0 +1,211 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "journal.jsonl")
+}
+
+func mkChange(id string) *change.Change {
+	return &change.Change{
+		ID:          change.ID(id),
+		Author:      change.Developer{Name: "alice", Team: "infra", Level: 4, EmploymentMonths: 20},
+		Description: "desc " + id,
+		SubmittedAt: time.Unix(1000, 0).UTC(),
+		BaseCommit:  "base123",
+		BuildSteps:  change.DefaultBuildSteps(),
+		Patch: repo.Patch{Changes: []repo.FileChange{
+			{Path: "a.go", Op: repo.OpModify, BaseHash: "h1", NewContent: "new"},
+			{Path: "b.go", Op: repo.OpCreate, NewContent: "b"},
+		}},
+		Revision: &change.Revision{ID: "r1", SubmitCount: 2, TestPlan: true},
+		Stats:    change.Stats{FilesChanged: 2, LinesAdded: 10},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := mkChange("c1")
+	got := DecodeChange(EncodeChange(c))
+	if got.ID != c.ID || got.Author != c.Author || got.Description != c.Description {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if got.BaseCommit != c.BaseCommit || !got.SubmittedAt.Equal(c.SubmittedAt) {
+		t.Fatalf("base/time mismatch: %+v", got)
+	}
+	if len(got.BuildSteps) != len(c.BuildSteps) || got.BuildSteps[0].Kind != change.StepCompile {
+		t.Fatalf("steps mismatch: %+v", got.BuildSteps)
+	}
+	if len(got.Patch.Changes) != 2 || got.Patch.Changes[0].BaseHash != "h1" {
+		t.Fatalf("patch mismatch: %+v", got.Patch)
+	}
+	if got.Revision == nil || got.Revision.SubmitCount != 2 || !got.Revision.TestPlan {
+		t.Fatalf("revision mismatch: %+v", got.Revision)
+	}
+	if got.Stats != c.Stats {
+		t.Fatalf("stats mismatch: %+v", got.Stats)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSubmit(mkChange("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSubmit(mkChange("c2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendOutcome(OutcomeRecord{ID: "c1", State: "committed", Commit: "abc", At: time.Unix(2000, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent; Append after Close fails.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSubmit(mkChange("c3")); err != ErrClosed {
+		t.Fatalf("append after close = %v", err)
+	}
+
+	recs, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	pending, outcomes := PendingFromRecords(recs)
+	if len(pending) != 1 || pending[0].ID != "c2" {
+		t.Fatalf("pending = %v", pending)
+	}
+	if len(outcomes) != 1 || outcomes[0].Commit != "abc" {
+		t.Fatalf("outcomes = %v", outcomes)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	recs, err := Replay(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: %v, %v", recs, err)
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	_ = j.AppendSubmit(mkChange("c1"))
+	_ = j.Close()
+	// Simulate a crash mid-write: append half a record.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString(`{"kind":"submit","sub`)
+	f.Close()
+	recs, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}
+
+func TestReplayRejectsMidFileCorruption(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	_ = j.AppendSubmit(mkChange("c1"))
+	_ = j.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("GARBAGE\n")
+	f.Close()
+	j2, _ := Open(path)
+	_ = j2.AppendSubmit(mkChange("c2"))
+	_ = j2.Close()
+	if _, err := Replay(path); err == nil {
+		t.Fatal("mid-file corruption must be reported")
+	}
+}
+
+func TestJournalAppendAfterReopen(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	_ = j.AppendSubmit(mkChange("c1"))
+	_ = j.Close()
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = j2.AppendSubmit(mkChange("c2"))
+	_ = j2.Close()
+	recs, err := Replay(path)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs = %d, %v", len(recs), err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	for i := 0; i < 5; i++ {
+		_ = j.AppendSubmit(mkChange(string(rune('a' + i))))
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		_ = j.AppendOutcome(OutcomeRecord{ID: change.ID(id), State: "committed", At: time.Unix(int64(2000), 0)})
+	}
+	_ = j.Close()
+	if err := Compact(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, outcomes := PendingFromRecords(recs)
+	if len(pending) != 2 { // d, e undecided
+		t.Fatalf("pending = %d", len(pending))
+	}
+	if len(outcomes) != 2 { // kept the most recent 2
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+}
+
+func TestSyncEveryBatches(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	j.SyncEvery = 10
+	for i := 0; i < 25; i++ {
+		if err := j.AppendSubmit(mkChange(string(rune('a' + i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = j.Close()
+	recs, err := Replay(path)
+	if err != nil || len(recs) != 25 {
+		t.Fatalf("recs = %d, %v", len(recs), err)
+	}
+}
+
+func TestEncodeDecodeLineEdit(t *testing.T) {
+	c := mkChange("le")
+	c.Patch = repo.Patch{Changes: []repo.FileChange{
+		repo.EditLines("a.go", 7, []string{"old1", "old2"}, []string{"new"}),
+	}}
+	got := DecodeChange(EncodeChange(c))
+	fc := got.Patch.Changes[0]
+	if fc.Op != repo.OpEditLines || fc.StartLine != 7 ||
+		len(fc.OldLines) != 2 || fc.OldLines[1] != "old2" || fc.NewLines[0] != "new" {
+		t.Fatalf("line edit lost in round trip: %+v", fc)
+	}
+}

@@ -1,0 +1,492 @@
+// Package strategies implements the scheduling approaches compared in §8:
+//
+//   - Oracle: perfectly predicts every outcome; schedules exactly the n
+//     builds that will be needed. The normalization baseline.
+//   - SingleQueue: Bors-style — one change at a time per conflict component;
+//     independent changes proceed in parallel.
+//   - Optimistic: Zuul-style — every pending change builds assuming all its
+//     pending conflicting predecessors succeed.
+//   - SpeculateAll: the §4.1 strawman — enumerate the speculation graph
+//     assuming every build succeeds with probability 50%.
+//   - SubmitQueue: the paper's system — probabilistic speculation driven by
+//     a predictor (trained logistic regression in production).
+//   - Batch: the §10 "batching independent changes" extension and the
+//     Chromium commit-queue baseline — group changes, build the whole batch,
+//     bisect on failure.
+//
+// All of them plan over sim.State and reuse the real speculation engine
+// where applicable, so the evaluation exercises the same code path as the
+// live service.
+package strategies
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/predict"
+	"mastergreen/internal/sim"
+	"mastergreen/internal/speculation"
+	"mastergreen/internal/workload"
+)
+
+// indexOf decodes a workload change ID ("c000123") back to its index.
+func indexOf(id change.ID) int {
+	s := strings.TrimPrefix(string(id), "c")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// Oracle schedules, for every pending change, the exact build whose
+// assumptions will come true, using the workload's scheduling-independent
+// eventual outcomes (§8: "Our Oracle implementation can perfectly predict
+// the outcome of a change").
+type Oracle struct {
+	Eventual []bool // EventualOutcomes of the workload
+}
+
+// NewOracle builds an Oracle strategy for the workload.
+func NewOracle(w *workload.Workload) *Oracle {
+	return &Oracle{Eventual: w.EventualOutcomes()}
+}
+
+// Name implements sim.Strategy.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// Plan implements sim.Strategy.
+func (o *Oracle) Plan(st *sim.State) []sim.BuildSpec {
+	var out []sim.BuildSpec
+	for _, i := range planWindow(st) {
+		var assumed, rejected []int
+		for _, j := range st.PendingConflictingPredecessors(i) {
+			if o.Eventual[j] {
+				assumed = append(assumed, j)
+			} else {
+				rejected = append(rejected, j)
+			}
+		}
+		out = append(out, sim.BuildSpec{
+			Subject:         i,
+			Assumed:         assumed,
+			AssumedRejected: rejected,
+			Priority:        -float64(i), // oldest first
+		})
+	}
+	return out
+}
+
+// SingleQueue processes conflicting changes strictly one at a time; only
+// changes with no pending conflicting predecessor build (so independent
+// changes still run in parallel, as in §8's description).
+type SingleQueue struct{}
+
+// Name implements sim.Strategy.
+func (SingleQueue) Name() string { return "Single-Queue" }
+
+// Plan implements sim.Strategy.
+func (SingleQueue) Plan(st *sim.State) []sim.BuildSpec {
+	var out []sim.BuildSpec
+	for _, i := range st.Pending {
+		if st.HasPendingConflictingPredecessor(i) {
+			continue
+		}
+		out = append(out, sim.BuildSpec{Subject: i, Priority: -float64(i)})
+	}
+	return out
+}
+
+// Optimistic assumes every pending change will succeed: each change builds
+// on top of all its pending conflicting predecessors (Zuul). A failure
+// invalidates every downstream build, which the engine aborts on the next
+// reconcile.
+type Optimistic struct{}
+
+// Name implements sim.Strategy.
+func (Optimistic) Name() string { return "Optimistic" }
+
+// Plan implements sim.Strategy.
+func (Optimistic) Plan(st *sim.State) []sim.BuildSpec {
+	var out []sim.BuildSpec
+	for _, i := range planWindow(st) {
+		out = append(out, sim.BuildSpec{
+			Subject:  i,
+			Assumed:  st.PendingConflictingPredecessors(i),
+			Priority: -float64(i),
+		})
+	}
+	return out
+}
+
+// planWindow bounds the pending prefix worth planning. Without the conflict
+// analyzer every pair conflicts, so changes beyond the first
+// workers+slack positions cannot run a useful build yet (their speculation
+// chain exceeds the worker pool); planning over the full multi-thousand
+// backlog would only add O(p²) work. With the analyzer the full pending set
+// is planned.
+func planWindow(st *sim.State) []int {
+	if st.UseAnalyzer {
+		return st.Pending
+	}
+	lim := st.Workers + 64
+	if len(st.Pending) <= lim {
+		return st.Pending
+	}
+	return st.Pending[:lim]
+}
+
+// Speculative runs the real speculation engine over the pending set; the
+// predictor decides the flavor: Static{0.5} reproduces Speculate-all, a
+// trained or oracle predictor reproduces SubmitQueue.
+//
+// A Speculative instance carries per-run speculation-feedback state and must
+// not be shared across sim.Run calls.
+type Speculative struct {
+	Label  string
+	Engine *speculation.Engine
+	W      *workload.Workload
+
+	// feedback implements §7.2's dynamic features ("the number of
+	// speculations that succeeded or failed were also included"): observed
+	// build outcomes shift the per-change success logit, so a change whose
+	// speculative builds keep failing quickly loses speculation priority
+	// even when its static features look healthy. Nil for strategies that
+	// do not adapt (Speculate-all).
+	feedback *feedback
+	scanned  int // st.Finished prefix already folded into feedback
+
+	// ReorderSmall enables the §10 change-reordering extension: a pending
+	// change whose own build is at most ReorderRatio of the total expected
+	// build time of its pending conflicting predecessors additionally gets a
+	// no-assumption build that may commit ahead of them. Commit order among
+	// conflicting changes then deviates from submission order (the paper's
+	// noted fairness trade-off), but the mainline stays green.
+	ReorderSmall bool
+	// ReorderRatio is the size threshold (default 0.5 when ReorderSmall).
+	ReorderRatio float64
+}
+
+// feedback accumulates per-change speculation evidence.
+type feedback struct {
+	succ map[*change.Change]float64
+	fail map[*change.Change]float64
+}
+
+// logit weights for one unit of speculation evidence. A failed build is
+// discounted by its assumption count (the failure may be an assumed
+// predecessor's fault, not the subject's).
+const (
+	fbSuccWeight = 1.2
+	fbFailWeight = 2.5
+)
+
+// feedbackPredictor adjusts the inner model's P_succ with observed
+// speculation outcomes (Bayes-style logit shift); P_conf passes through.
+type feedbackPredictor struct {
+	inner predict.Predictor
+	fb    *feedback
+}
+
+// PredictSuccess implements predict.Predictor.
+func (f feedbackPredictor) PredictSuccess(c *change.Change) float64 {
+	p := f.inner.PredictSuccess(c)
+	s, fl := f.fb.succ[c], f.fb.fail[c]
+	if s == 0 && fl == 0 {
+		return p
+	}
+	if p <= 0 || p >= 1 {
+		return p // a certain predictor (the Oracle) needs no evidence
+	}
+	z := math.Log(p/(1-p)) + fbSuccWeight*s - fbFailWeight*fl
+	return predict.Sigmoid(z)
+}
+
+// PredictConflict implements predict.Predictor.
+func (f feedbackPredictor) PredictConflict(a, b *change.Change) float64 {
+	return f.inner.PredictConflict(a, b)
+}
+
+// NewSpeculateAll returns the §4.1 speculate-everything baseline.
+func NewSpeculateAll(w *workload.Workload) *Speculative {
+	return &Speculative{
+		Label:  "Speculate-all",
+		Engine: speculation.New(predict.Static{Success: 0.5, Conflict: 0}),
+		W:      w,
+	}
+}
+
+// NewSubmitQueue returns the paper's system with the given predictor.
+// Static predictions are memoized per change/pair (feature vectors never
+// change within a simulated workload); on top of them, speculation feedback
+// (§7.2's dynamic features) adapts P_succ as builds finish.
+func NewSubmitQueue(w *workload.Workload, p predict.Predictor) *Speculative {
+	fb := &feedback{succ: map[*change.Change]float64{}, fail: map[*change.Change]float64{}}
+	return &Speculative{
+		Label:    "SubmitQueue",
+		Engine:   speculation.New(feedbackPredictor{inner: newMemoPredictor(p), fb: fb}),
+		W:        w,
+		feedback: fb,
+	}
+}
+
+// memoPredictor caches predictions keyed by change pointers; safe because
+// sim-side feature vectors never change after workload generation.
+type memoPredictor struct {
+	inner predict.Predictor
+	succ  map[*change.Change]float64
+	conf  map[[2]*change.Change]float64
+}
+
+func newMemoPredictor(p predict.Predictor) *memoPredictor {
+	return &memoPredictor{
+		inner: p,
+		succ:  map[*change.Change]float64{},
+		conf:  map[[2]*change.Change]float64{},
+	}
+}
+
+// PredictSuccess implements predict.Predictor.
+func (m *memoPredictor) PredictSuccess(c *change.Change) float64 {
+	if v, ok := m.succ[c]; ok {
+		return v
+	}
+	v := m.inner.PredictSuccess(c)
+	m.succ[c] = v
+	return v
+}
+
+// PredictConflict implements predict.Predictor.
+func (m *memoPredictor) PredictConflict(a, b *change.Change) float64 {
+	k := [2]*change.Change{a, b}
+	if a.ID > b.ID {
+		k = [2]*change.Change{b, a}
+	}
+	if v, ok := m.conf[k]; ok {
+		return v
+	}
+	v := m.inner.PredictConflict(a, b)
+	m.conf[k] = v
+	return v
+}
+
+// Name implements sim.Strategy.
+func (s *Speculative) Name() string { return s.Label }
+
+// Plan implements sim.Strategy.
+func (s *Speculative) Plan(st *sim.State) []sim.BuildSpec {
+	// Fold newly finished builds into the speculation-feedback state.
+	if s.feedback != nil {
+		for ; s.scanned < len(st.Finished); s.scanned++ {
+			fb := st.Finished[s.scanned]
+			if len(fb.Spec.Batch) > 0 {
+				continue
+			}
+			subj := s.W.Changes[fb.Spec.Subject].Meta
+			if fb.OK {
+				s.feedback.succ[subj]++
+			} else {
+				// A failed build blames the subject with confidence inverse
+				// to how much it assumed.
+				s.feedback.fail[subj] += 1 / float64(1+len(fb.Spec.Assumed))
+			}
+		}
+	}
+	if len(st.Pending) == 0 {
+		return nil
+	}
+	// Assemble the engine's view: pending change metas plus the conflicting
+	// predecessors the analyzer reports, as positions into the pending list.
+	window := planWindow(st)
+	pending := make([]*change.Change, len(window))
+	pos := make(map[int]int, len(window)) // workload index -> pending position
+	for k, i := range window {
+		pending[k] = s.W.Changes[i].Meta
+		pos[i] = k
+	}
+	preds := make([][]int, len(window))
+	for k, i := range window {
+		if st.UseAnalyzer {
+			for j := range s.W.Changes[i].PotentialConflicts {
+				if j < i {
+					if pj, ok := pos[j]; ok {
+						preds[k] = append(preds[k], pj)
+					}
+				}
+			}
+			sort.Ints(preds[k])
+		} else {
+			// Every earlier pending change conflicts. The speculation engine
+			// only branches over the most recent MaxSpecDepth anyway, and in
+			// this saturated regime P_commit estimates are insensitive to
+			// predecessors beyond a small window — so cap the list and keep
+			// planning O(p·window) instead of O(p²).
+			lo := k - 2*speculation.DefaultMaxSpecDepth
+			if lo < 0 {
+				lo = 0
+			}
+			preds[k] = make([]int, 0, k-lo)
+			for j := lo; j < k; j++ {
+				preds[k] = append(preds[k], j)
+			}
+		}
+	}
+	plan := s.Engine.Plan(speculation.Request{
+		Pending: pending,
+		Preds:   preds,
+		Budget:  st.Workers,
+	})
+	out := make([]sim.BuildSpec, 0, len(plan.Builds))
+	for _, b := range plan.Builds {
+		spec := sim.BuildSpec{
+			Subject:  window[b.SubjectIdx],
+			Priority: b.PNeeded,
+		}
+		for _, a := range b.AssumedIdx {
+			spec.Assumed = append(spec.Assumed, window[a])
+		}
+		for _, r := range b.AssumedRejectedIdx {
+			spec.AssumedRejected = append(spec.AssumedRejected, window[r])
+		}
+		out = append(out, spec)
+	}
+	if s.ReorderSmall {
+		out = append(out, s.reorderSpecs(st)...)
+	}
+	return out
+}
+
+// reorderSpecs synthesizes §10 reorder builds: for each pending change much
+// smaller than the conflicting work ahead of it, a no-assumption build that
+// may commit immediately.
+func (s *Speculative) reorderSpecs(st *sim.State) []sim.BuildSpec {
+	ratio := s.ReorderRatio
+	if ratio <= 0 {
+		ratio = 0.5
+	}
+	var out []sim.BuildSpec
+	for _, i := range st.Pending {
+		preds := st.PendingConflictingPredecessors(i)
+		if len(preds) == 0 {
+			continue // the ordinary plan already decides it
+		}
+		var ahead float64
+		for _, j := range preds {
+			ahead += s.W.Changes[j].Duration.Minutes()
+		}
+		own := s.W.Changes[i].Duration.Minutes()
+		if own > ratio*ahead {
+			continue
+		}
+		out = append(out, sim.BuildSpec{
+			Subject:      i,
+			AllowReorder: true,
+			Priority:     0.9, // hedge: high but below certain decisive builds
+		})
+	}
+	return out
+}
+
+// Batch groups up to BatchSize ready changes per conflict component and
+// builds them as one unit; on failure it bisects the batch (Chromium
+// commit-queue). With BatchSize 1 it degenerates to SingleQueue.
+type Batch struct {
+	BatchSize int
+}
+
+// Name implements sim.Strategy.
+func (b *Batch) Name() string { return fmt.Sprintf("Batch-%d", b.size()) }
+
+func (b *Batch) size() int {
+	if b.BatchSize <= 1 {
+		return 4
+	}
+	return b.BatchSize
+}
+
+// Plan implements sim.Strategy.
+func (b *Batch) Plan(st *sim.State) []sim.BuildSpec {
+	// Group ready changes greedily: a change joins the current batch if it
+	// has no pending conflicting predecessor outside the batch.
+	var out []sim.BuildSpec
+	curSet := map[int]bool{}
+	var cur []int
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		batch := append([]int(nil), cur...)
+		out = append(out, sim.BuildSpec{
+			Subject:  batch[len(batch)-1],
+			Batch:    batch,
+			Priority: -float64(batch[0]),
+		})
+		cur = nil
+		curSet = map[int]bool{}
+	}
+	for _, i := range st.Pending {
+		// A change may only join the batch that already contains all of its
+		// pending conflicting predecessors; cross-batch dependencies would
+		// break atomic batch commits.
+		ready := true
+		for _, j := range st.PendingConflictingPredecessors(i) {
+			if !curSet[j] {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		// A failed batch containing i means we must split: fall back to
+		// smaller batches after a recent failure.
+		cur = append(cur, i)
+		curSet[i] = true
+		if len(cur) >= b.effectiveSize(st, cur) {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// effectiveSize implements bisect-on-failure: a change that appeared in a
+// failed batch build may only join a batch half that batch's size, so
+// repeated failures shrink to singletons, whose failures the engine resolves
+// as terminal rejections.
+func (b *Batch) effectiveSize(st *sim.State, cur []int) int {
+	size := b.size()
+	for k := len(st.Finished) - 1; k >= 0 && k >= len(st.Finished)-64; k-- {
+		fb := st.Finished[k]
+		if fb.OK || len(fb.Spec.Batch) < 2 {
+			continue
+		}
+		for _, m := range fb.Spec.Batch {
+			for _, c := range cur {
+				if m == c {
+					half := len(fb.Spec.Batch) / 2
+					if half < 1 {
+						half = 1
+					}
+					if half < size {
+						size = half
+					}
+				}
+			}
+		}
+	}
+	return size
+}
+
+// Interface checks.
+var (
+	_ sim.Strategy = (*Oracle)(nil)
+	_ sim.Strategy = SingleQueue{}
+	_ sim.Strategy = Optimistic{}
+	_ sim.Strategy = (*Speculative)(nil)
+	_ sim.Strategy = (*Batch)(nil)
+)

@@ -1,0 +1,207 @@
+// Package textplot renders the paper's figures as ASCII art so the benchmark
+// harness can regenerate every figure in a terminal: line/CDF plots,
+// worker×rate heatmaps (Fig. 11), and grouped bar series (Figs. 12–14).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a line plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LinePlot renders one or more series on a shared grid of the given
+// width×height (in characters). Each series uses its own glyph.
+func LinePlot(title string, width, height int, series ...Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	fmt.Fprintf(&b, "%8.2f ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.2f └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          %-12.2f%*s%.2f\n", minX, width-24, "", maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "          %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Heatmap renders a matrix of values with row/column labels, mimicking the
+// paper's Fig. 11 grids (rows = changes/hour, cols = workers).
+// cells[r][c] corresponds to rowLabels[r], colLabels[c].
+func Heatmap(title string, rowLabels, colLabels []string, cells [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	rowW := 0
+	for _, r := range rowLabels {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := 7
+	fmt.Fprintf(&b, "%*s", rowW+1, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&b, "%*s", colW, c)
+	}
+	b.WriteByte('\n')
+	for r, row := range cells {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "%*s ", rowW, label)
+		for _, v := range row {
+			fmt.Fprintf(&b, "%*.2f", colW, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BarGroup is a named list of values aligned with a shared category axis.
+type BarGroup struct {
+	Name   string
+	Values []float64
+}
+
+// Bars renders grouped horizontal bars (one row per category, one bar per
+// group), scaled so the longest bar spans width characters.
+func Bars(title string, categories []string, width int, groups ...BarGroup) string {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if maxV == 0 {
+		maxV = 1
+	}
+	catW := 0
+	for _, c := range categories {
+		if len(c) > catW {
+			catW = len(c)
+		}
+	}
+	nameW := 0
+	for _, g := range groups {
+		if len(g.Name) > nameW {
+			nameW = len(g.Name)
+		}
+	}
+	for ci, cat := range categories {
+		for gi, g := range groups {
+			v := 0.0
+			if ci < len(g.Values) {
+				v = g.Values[ci]
+			}
+			n := int(v / maxV * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			label := ""
+			if gi == 0 {
+				label = cat
+			}
+			fmt.Fprintf(&b, "%*s %*s │%s %.3f\n", catW, label, nameW, g.Name,
+				strings.Repeat("█", n), v)
+		}
+	}
+	return b.String()
+}
+
+// Table renders a simple aligned table with a header row.
+func Table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

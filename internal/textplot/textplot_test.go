@@ -1,0 +1,98 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinePlotBasics(t *testing.T) {
+	out := LinePlot("fig", 40, 10,
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	)
+	if !strings.Contains(out, "fig") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no plotted glyphs")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("empty", 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("expected no-data marker:\n%s", out)
+	}
+}
+
+func TestLinePlotDegenerateRange(t *testing.T) {
+	// Single point: both axes degenerate; must not panic or divide by zero.
+	out := LinePlot("pt", 2, 2, Series{Name: "p", X: []float64{5}, Y: []float64{5}})
+	if !strings.Contains(out, "p") {
+		t.Fatal("missing series name")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("hm", []string{"500", "400"}, []string{"100", "200"},
+		[][]float64{{2.56, 1.77}, {2.57, 1.87}})
+	for _, want := range []string{"hm", "500", "400", "100", "200", "2.56", "1.87"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmapRaggedLabels(t *testing.T) {
+	// More cell rows than labels must not panic.
+	out := Heatmap("hm", []string{"only"}, []string{"c"}, [][]float64{{1}, {2}})
+	if !strings.Contains(out, "2.00") {
+		t.Fatalf("missing unlabeled row:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("fig12", []string{"100w", "200w"}, 20,
+		BarGroup{Name: "SubmitQueue", Values: []float64{0.4, 0.8}},
+		BarGroup{Name: "Oracle", Values: []float64{1.0, 1.0}},
+	)
+	for _, want := range []string{"fig12", "100w", "SubmitQueue", "Oracle", "0.400", "1.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("z", []string{"a"}, 10, BarGroup{Name: "g", Values: []float64{0}})
+	if !strings.Contains(out, "0.000") {
+		t.Fatalf("zero bar missing:\n%s", out)
+	}
+}
+
+func TestBarsShortValueSlice(t *testing.T) {
+	// Group with fewer values than categories renders zeros, no panic.
+	out := Bars("s", []string{"a", "b"}, 10, BarGroup{Name: "g", Values: []float64{1}})
+	if strings.Count(out, "│") != 2 {
+		t.Fatalf("expected two bars:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("t", []string{"name", "value"}, [][]string{{"p50", "1.26"}, {"p95", "1.22"}})
+	for _, want := range []string{"name", "value", "p50", "1.26", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRaggedRow(t *testing.T) {
+	out := Table("", []string{"a"}, [][]string{{"x", "extra"}})
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell lost:\n%s", out)
+	}
+}

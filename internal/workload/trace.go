@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+// tracefile is the on-disk form of a workload: enough to replay the exact
+// change stream (arrivals, durations, ground truth, model features) in a
+// different process — the equivalent of the paper replaying recorded
+// production changes (§8.1).
+type traceFile struct {
+	Version int           `json:"version"`
+	Cfg     Config        `json:"config"`
+	Changes []traceChange `json:"changes"`
+}
+
+type traceChange struct {
+	ID         change.ID     `json:"id"`
+	SubmitAt   time.Duration `json:"submit_at_ns"`
+	Duration   time.Duration `json:"duration_ns"`
+	Components []int         `json:"components"`
+	Succeeds   bool          `json:"succeeds"`
+	Potential  []int         `json:"potential_conflicts"`
+	Real       []int         `json:"real_conflicts"`
+
+	// Feature-bearing metadata (flattened from change.Change).
+	Author   change.Developer `json:"author"`
+	Stats    change.Stats     `json:"stats"`
+	Revision change.Revision  `json:"revision"`
+	Paths    []string         `json:"paths"`
+}
+
+// Export writes the workload as a self-contained JSON trace.
+func (w *Workload) Export(out io.Writer) error {
+	tf := traceFile{Version: 1, Cfg: w.Cfg}
+	for _, c := range w.Changes {
+		tc := traceChange{
+			ID:         c.ID,
+			SubmitAt:   c.SubmitAt,
+			Duration:   c.Duration,
+			Components: c.Components,
+			Succeeds:   c.Succeeds,
+			Author:     c.Meta.Author,
+			Stats:      c.Meta.Stats,
+			Paths:      c.Meta.Patch.Paths(),
+		}
+		if c.Meta.Revision != nil {
+			tc.Revision = *c.Meta.Revision
+		}
+		for j := range c.PotentialConflicts {
+			tc.Potential = append(tc.Potential, j)
+		}
+		for j := range c.RealConflicts {
+			tc.Real = append(tc.Real, j)
+		}
+		tf.Changes = append(tf.Changes, tc)
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(tf)
+}
+
+// Import reads a trace written by Export.
+func Import(in io.Reader) (*Workload, error) {
+	var tf traceFile
+	if err := json.NewDecoder(in).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	if tf.Version != 1 {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", tf.Version)
+	}
+	w := &Workload{Cfg: tf.Cfg}
+	for i, tc := range tf.Changes {
+		rev := tc.Revision
+		meta := &change.Change{
+			ID:       tc.ID,
+			Author:   tc.Author,
+			Stats:    tc.Stats,
+			Revision: &rev,
+		}
+		// Rebuild the patch from paths (contents are immaterial to features).
+		for _, p := range tc.Paths {
+			meta.Patch.Changes = append(meta.Patch.Changes, patchFileFor(p, i))
+		}
+		meta.BuildSteps = change.DefaultBuildSteps()
+		c := &Change{
+			Index:              i,
+			ID:                 tc.ID,
+			SubmitAt:           tc.SubmitAt,
+			Duration:           tc.Duration,
+			Components:         tc.Components,
+			Succeeds:           tc.Succeeds,
+			Meta:               meta,
+			PotentialConflicts: map[int]bool{},
+			RealConflicts:      map[int]bool{},
+		}
+		for _, j := range tc.Potential {
+			c.PotentialConflicts[j] = true
+		}
+		for _, j := range tc.Real {
+			c.RealConflicts[j] = true
+		}
+		w.Changes = append(w.Changes, c)
+	}
+	// Validate symmetry of conflict relations.
+	for _, c := range w.Changes {
+		for j := range c.RealConflicts {
+			if j < 0 || j >= len(w.Changes) {
+				return nil, fmt.Errorf("workload: change %d real-conflicts with out-of-range %d", c.Index, j)
+			}
+			if !c.PotentialConflicts[j] {
+				return nil, fmt.Errorf("workload: change %d real conflict %d is not potential", c.Index, j)
+			}
+			if !w.Changes[j].RealConflicts[c.Index] {
+				return nil, fmt.Errorf("workload: asymmetric real conflict %d-%d", c.Index, j)
+			}
+		}
+	}
+	return w, nil
+}
+
+// patchFileFor synthesizes a file change for a replayed path.
+func patchFileFor(path string, i int) repo.FileChange {
+	return repo.FileChange{Path: path, Op: repo.OpCreate, NewContent: fmt.Sprintf("replayed %d", i)}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mastergreen/internal/predict"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	w := Generate(Config{Seed: 3, Count: 300, RatePerHour: 200})
+	var buf bytes.Buffer
+	if err := w.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Changes) != len(w.Changes) {
+		t.Fatalf("count = %d, want %d", len(got.Changes), len(w.Changes))
+	}
+	for i, c := range w.Changes {
+		g := got.Changes[i]
+		if g.ID != c.ID || g.SubmitAt != c.SubmitAt || g.Duration != c.Duration || g.Succeeds != c.Succeeds {
+			t.Fatalf("change %d core fields differ", i)
+		}
+		if len(g.PotentialConflicts) != len(c.PotentialConflicts) || len(g.RealConflicts) != len(c.RealConflicts) {
+			t.Fatalf("change %d conflicts differ", i)
+		}
+		for j := range c.RealConflicts {
+			if !g.RealConflicts[j] {
+				t.Fatalf("change %d missing real conflict %d", i, j)
+			}
+		}
+		// Features survive: same success-model vector.
+		fa := predict.SuccessFeatures(c.Meta)
+		fb := predict.SuccessFeatures(g.Meta)
+		for k := range fa {
+			if fa[k] != fb[k] {
+				t.Fatalf("change %d feature %s differs: %v vs %v",
+					i, predict.SuccessFeatureNames[k], fa[k], fb[k])
+			}
+		}
+	}
+	// Eventual outcomes identical.
+	a, b := w.EventualOutcomes(), got.EventualOutcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("eventual outcome %d differs", i)
+		}
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := Import(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := Import(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Asymmetric conflicts rejected.
+	bad := `{"version":1,"config":{},"changes":[
+	  {"id":"c000000","submit_at_ns":0,"duration_ns":1,"succeeds":true,
+	   "potential_conflicts":[1],"real_conflicts":[1],
+	   "author":{},"stats":{},"revision":{},"paths":["f"]},
+	  {"id":"c000001","submit_at_ns":1,"duration_ns":1,"succeeds":true,
+	   "potential_conflicts":[0],"real_conflicts":[],
+	   "author":{},"stats":{},"revision":{},"paths":["f"]}]}`
+	if _, err := Import(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "asymmetric") {
+		t.Fatalf("asymmetric conflict accepted: %v", err)
+	}
+	// Out-of-range conflict index rejected.
+	bad2 := strings.Replace(bad, `"real_conflicts":[1]`, `"real_conflicts":[9]`, 1)
+	bad2 = strings.Replace(bad2, `"potential_conflicts":[1]`, `"potential_conflicts":[9]`, 1)
+	if _, err := Import(strings.NewReader(bad2)); err == nil {
+		t.Fatal("out-of-range conflict accepted")
+	}
+}

@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mastergreen/internal/metrics"
+	"mastergreen/internal/predict"
+)
+
+func gen(t *testing.T, cfg Config) *Workload {
+	t.Helper()
+	w := Generate(cfg)
+	if len(w.Changes) != w.Cfg.Count {
+		t.Fatalf("count = %d, want %d", len(w.Changes), w.Cfg.Count)
+	}
+	return w
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, Count: 200})
+	b := Generate(Config{Seed: 7, Count: 200})
+	for i := range a.Changes {
+		ca, cb := a.Changes[i], b.Changes[i]
+		if ca.SubmitAt != cb.SubmitAt || ca.Duration != cb.Duration || ca.Succeeds != cb.Succeeds {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	c := Generate(Config{Seed: 8, Count: 200})
+	same := true
+	for i := range a.Changes {
+		if a.Changes[i].SubmitAt != c.Changes[i].SubmitAt {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestArrivalRate(t *testing.T) {
+	w := gen(t, Config{Seed: 1, Count: 3000, RatePerHour: 300})
+	last := w.Changes[len(w.Changes)-1].SubmitAt
+	gotRate := float64(len(w.Changes)) / last.Hours()
+	if gotRate < 250 || gotRate > 350 {
+		t.Fatalf("empirical rate = %.1f/h, want ≈300", gotRate)
+	}
+	// Arrivals are monotone.
+	for i := 1; i < len(w.Changes); i++ {
+		if w.Changes[i].SubmitAt < w.Changes[i-1].SubmitAt {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+func TestDurationDistributionMatchesFig9(t *testing.T) {
+	w := gen(t, Config{Seed: 2, Count: 5000})
+	var mins []float64
+	for _, c := range w.Changes {
+		m := c.Duration.Minutes()
+		if m < 5 || m > 120 {
+			t.Fatalf("duration %.1f outside [5,120]", m)
+		}
+		mins = append(mins, m)
+	}
+	s := metrics.Summarize(mins)
+	if s.P50 < 20 || s.P50 > 35 {
+		t.Fatalf("median duration = %.1f min, want ≈27", s.P50)
+	}
+	if s.P95 < 50 || s.P95 > 115 {
+		t.Fatalf("p95 duration = %.1f min", s.P95)
+	}
+}
+
+func TestSuccessRateRealistic(t *testing.T) {
+	w := gen(t, Config{Seed: 3, Count: 5000})
+	ok := 0
+	for _, c := range w.Changes {
+		if c.Succeeds {
+			ok++
+		}
+	}
+	rate := float64(ok) / float64(len(w.Changes))
+	// Most changes pass pre-submit review; expect a high but not total rate.
+	if rate < 0.70 || rate > 0.98 {
+		t.Fatalf("success rate = %.3f", rate)
+	}
+}
+
+func TestConflictsSymmetricAndSubset(t *testing.T) {
+	w := gen(t, Config{Seed: 4, Count: 1000})
+	for _, c := range w.Changes {
+		for j := range c.PotentialConflicts {
+			if !w.Changes[j].PotentialConflicts[c.Index] {
+				t.Fatalf("potential conflict not symmetric: %d-%d", c.Index, j)
+			}
+		}
+		for j := range c.RealConflicts {
+			if !c.PotentialConflicts[j] {
+				t.Fatalf("real conflict %d-%d not potential", c.Index, j)
+			}
+			if !w.Changes[j].RealConflicts[c.Index] {
+				t.Fatalf("real conflict not symmetric: %d-%d", c.Index, j)
+			}
+		}
+	}
+}
+
+func TestPotentialConflictsShareComponent(t *testing.T) {
+	w := gen(t, Config{Seed: 5, Count: 500})
+	for _, c := range w.Changes {
+		compSet := map[int]bool{}
+		for _, comp := range c.Components {
+			compSet[comp] = true
+		}
+		for j := range c.PotentialConflicts {
+			shared := false
+			for _, comp := range w.Changes[j].Components {
+				if compSet[comp] {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				t.Fatalf("potential conflict %d-%d without shared component", c.Index, j)
+			}
+		}
+	}
+}
+
+// TestFig1Shape verifies the calibration: among n concurrent potentially
+// conflicting changes, P(the nth really conflicts with one of the first
+// n−1) grows from a few percent at n=2 to tens of percent at n=16.
+func TestFig1Shape(t *testing.T) {
+	w := gen(t, IOSConfig(6, 12000, 600))
+	probAt := func(n int) float64 {
+		trials, hits := 0, 0
+		for _, c := range w.Changes {
+			var pot []int
+			for j := range c.PotentialConflicts {
+				if j < c.Index {
+					pot = append(pot, j)
+				}
+			}
+			if len(pot) < n-1 {
+				continue
+			}
+			trials++
+			conflicted := false
+			for _, j := range pot[:n-1] {
+				if c.RealConflicts[j] {
+					conflicted = true
+					break
+				}
+			}
+			if conflicted {
+				hits++
+			}
+		}
+		if trials == 0 {
+			t.Fatalf("no trials for n=%d", n)
+		}
+		return float64(hits) / float64(trials)
+	}
+	p2 := probAt(2)
+	p16 := probAt(16)
+	if p2 < 0.02 || p2 > 0.15 {
+		t.Fatalf("P(real conflict | n=2) = %.3f, want ≈0.05", p2)
+	}
+	if p16 < 0.25 || p16 > 0.75 {
+		t.Fatalf("P(real conflict | n=16) = %.3f, want ≈0.4", p16)
+	}
+	if p16 <= p2 {
+		t.Fatal("conflict probability must grow with concurrency")
+	}
+}
+
+func TestEventualOutcomes(t *testing.T) {
+	w := gen(t, Config{Seed: 7, Count: 2000})
+	out := w.EventualOutcomes()
+	for i, c := range w.Changes {
+		if !c.Succeeds && out[i] {
+			t.Fatalf("failing change %d marked committing", i)
+		}
+		if out[i] {
+			for j := range c.RealConflicts {
+				if j < i && out[j] {
+					t.Fatalf("both sides of real conflict %d-%d commit", i, j)
+				}
+			}
+		}
+	}
+	// Commit rate should be close to (but below) the success rate.
+	commits := 0
+	succ := 0
+	for i, c := range w.Changes {
+		if out[i] {
+			commits++
+		}
+		if c.Succeeds {
+			succ++
+		}
+	}
+	if commits >= succ {
+		t.Fatalf("commits %d >= successes %d (conflicts must reject some)", commits, succ)
+	}
+	if float64(commits) < 0.55*float64(succ) {
+		t.Fatalf("commits %d implausibly low vs %d successes", commits, succ)
+	}
+}
+
+func TestOraclePredictor(t *testing.T) {
+	w := gen(t, Config{Seed: 8, Count: 300})
+	o := w.OraclePredictor()
+	eventual := w.EventualOutcomes()
+	for _, c := range w.Changes[:50] {
+		want := 0.0
+		if eventual[c.Index] {
+			want = 1.0
+		}
+		if got := o.PredictSuccess(c.Meta); got != want {
+			t.Fatalf("oracle success %s = %v, want %v", c.ID, got, want)
+		}
+		for j := range c.RealConflicts {
+			if got := o.PredictConflict(c.Meta, w.Changes[j].Meta); got != 1 {
+				t.Fatalf("oracle conflict = %v", got)
+			}
+		}
+	}
+}
+
+// TestModelReachesPaperAccuracy trains the success model on a 70/30 split:
+// on isolated build outcomes it must reach the paper's headline ~97%; on
+// final (eventual) outcomes the achievable accuracy is lower because
+// conflict rejections depend on concurrent traffic.
+func TestModelReachesPaperAccuracy(t *testing.T) {
+	w := gen(t, Config{Seed: 9, Count: 6000})
+
+	X, y := w.IsolatedTrainingData()
+	trX, trY, vaX, vaY := predict.Split(X, y, 0.7, 42)
+	m, err := predict.Train(predict.SuccessFeatureNames, trX, trY, predict.TrainConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := predict.Evaluate(m, vaX, vaY).Accuracy; acc < 0.95 {
+		t.Fatalf("isolated-outcome accuracy = %.3f, want >= 0.95 (paper: ~97%%)", acc)
+	}
+
+	X, y = w.TrainingData()
+	trX, trY, vaX, vaY = predict.Split(X, y, 0.7, 42)
+	m, err = predict.Train(predict.SuccessFeatureNames, trX, trY, predict.TrainConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := predict.Evaluate(m, vaX, vaY).Accuracy; acc < 0.85 {
+		t.Fatalf("final-outcome accuracy = %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestConflictTrainingData(t *testing.T) {
+	w := gen(t, Config{Seed: 10, Count: 2000})
+	X, y := w.ConflictTrainingData(1)
+	if len(X) != len(y) || len(X) == 0 {
+		t.Fatalf("sizes = %d/%d", len(X), len(y))
+	}
+	pos := 0
+	for _, v := range y {
+		if v {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(y) {
+		t.Fatalf("degenerate labels: %d/%d positive", pos, len(y))
+	}
+}
+
+func TestStalenessBreakageProb(t *testing.T) {
+	p0 := StalenessBreakageProb(0, 0)
+	if p0 != 0 {
+		t.Fatalf("p(0) = %v", p0)
+	}
+	p10 := StalenessBreakageProb(10*time.Hour, 0)
+	if p10 < 0.08 || p10 > 0.25 {
+		t.Fatalf("p(10h) = %.3f, want 10–20%%", p10)
+	}
+	p100 := StalenessBreakageProb(100*time.Hour, 0)
+	if p100 < 0.5 || p100 > 0.9 {
+		t.Fatalf("p(100h) = %.3f", p100)
+	}
+	// Monotone in staleness.
+	prev := -1.0
+	for h := 1; h <= 200; h *= 2 {
+		p := StalenessBreakageProb(time.Duration(h)*time.Hour, 0)
+		if p <= prev {
+			t.Fatal("not monotone")
+		}
+		prev = p
+	}
+	// Negative staleness clamps.
+	if StalenessBreakageProb(-time.Hour, 0) != 0 {
+		t.Fatal("negative staleness should clamp to 0")
+	}
+}
+
+func TestPlatformPresetsDiffer(t *testing.T) {
+	ios := Generate(IOSConfig(11, 3000, 300))
+	android := Generate(AndroidConfig(11, 3000, 300))
+	rate := func(w *Workload) float64 {
+		pairs, real := 0, 0
+		for _, c := range w.Changes {
+			for j := range c.PotentialConflicts {
+				if j > c.Index {
+					pairs++
+					if c.RealConflicts[j] {
+						real++
+					}
+				}
+			}
+		}
+		return float64(real) / math.Max(1, float64(pairs))
+	}
+	if rate(ios) <= rate(android) {
+		t.Fatalf("iOS should be conflict-heavier: %.4f vs %.4f", rate(ios), rate(android))
+	}
+}
