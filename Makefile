@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the CI entry point: everything must pass before merge.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race uses -short: the paper-scale grid sweeps (Fig. 11-13) already run in
+# the plain `test` target and are impractically slow under the race detector.
+race:
+	$(GO) test -race -short ./...
+
+# bench runs the buildgraph/buildsys micro-benchmarks (see BENCH_buildgraph.json).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/

@@ -1,0 +1,87 @@
+package buildgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"mastergreen/internal/repo"
+)
+
+// benchRepo builds a synthetic repo with n targets in n directories. Each
+// target depends on up to `fanin` earlier targets, giving a realistic DAG
+// rather than a chain.
+func benchRepo(n, fanin int) repo.Snapshot {
+	files := make(map[string]string, 2*n)
+	for i := 0; i < n; i++ {
+		dir := fmt.Sprintf("pkg%04d", i)
+		decl := "target t srcs=t.go"
+		if i > 0 {
+			deps := ""
+			for j := 1; j <= fanin && i-j*7 >= 0; j++ {
+				if deps != "" {
+					deps += ","
+				}
+				deps += fmt.Sprintf("//pkg%04d:t", i-j*7)
+			}
+			if deps != "" {
+				decl += " deps=" + deps
+			}
+		}
+		files[dir+"/BUILD"] = decl
+		files[dir+"/t.go"] = fmt.Sprintf("package pkg%04d\n\nfunc F() int { return %d }\n", i, i)
+	}
+	return repo.NewSnapshot(files)
+}
+
+func benchPatch(b *testing.B, snap repo.Snapshot, path, content string) repo.Snapshot {
+	b.Helper()
+	cur, ok := snap.Read(path)
+	if !ok {
+		b.Fatalf("missing %s", path)
+	}
+	next, err := snap.Apply(repo.Patch{Changes: []repo.FileChange{{
+		Path: path, Op: repo.OpModify, BaseHash: repo.HashContent(cur), NewContent: content,
+	}}})
+	if err != nil {
+		b.Fatalf("Apply: %v", err)
+	}
+	return next
+}
+
+// BenchmarkAnalyzeCold measures a from-scratch analysis (parse + DAG check +
+// hash every target) of a 600-target repo.
+func BenchmarkAnalyzeCold(b *testing.B) {
+	snap := benchRepo(600, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := analyzeCold(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Len() != 600 {
+			b.Fatalf("got %d targets", g.Len())
+		}
+	}
+}
+
+// BenchmarkAnalyzeIncremental measures re-analysis after a one-file edit on
+// the same repo: the content changes every iteration so each pass exercises
+// the incremental path (not the content-ID cache).
+func BenchmarkAnalyzeIncremental(b *testing.B) {
+	base := benchRepo(600, 3)
+	resetAnalyzeCache()
+	if _, err := Analyze(base); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		snap := benchPatch(b, base, "pkg0007/t.go", fmt.Sprintf("package pkg0007 // rev %d", i))
+		b.StartTimer()
+		if _, err := Analyze(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

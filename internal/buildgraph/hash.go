@@ -1,0 +1,190 @@
+package buildgraph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mastergreen/internal/repo"
+)
+
+// hashWorkers bounds the goroutine fan-out of the parallel bottom-up hash
+// traversal. Overridden to 1 in tests to verify serial/parallel agreement.
+var hashWorkers = runtime.GOMAXPROCS(0)
+
+// missingSrcMarker feeds the hash of a declared-but-absent source file, so
+// creating or deleting the file changes the owning target's hash.
+const missingSrcMarker = "\x00<missing>\x00"
+
+func sortUnique(s *[]string) {
+	sort.Strings(*s)
+	out := (*s)[:0]
+	for i, v := range *s {
+		if i == 0 || v != (*s)[i-1] {
+			out = append(out, v)
+		}
+	}
+	*s = out
+}
+
+// hashTarget computes the Algorithm 1 hash of one target: a digest over the
+// target's label, its sources' contents, and — recursively — the hashes of
+// its direct dependencies (already computed, supplied via depHash).
+func hashTarget(t *Target, snap repo.Snapshot, depHash func(string) string) string {
+	h := sha256.New()
+	h.Write([]byte(t.Name))
+	for _, src := range t.Srcs {
+		content, ok := snap.Read(src)
+		if !ok {
+			content = missingSrcMarker
+		}
+		fmt.Fprintf(h, "\x00s%s\x00%d\x00", src, len(content))
+		h.Write([]byte(content))
+	}
+	for _, d := range t.Deps {
+		fmt.Fprintf(h, "\x00d%s\x00%s", d, depHash(d))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// topoCheck validates that every dep resolves and the DAG is acyclic,
+// returning targets in topological order (dependencies first).
+func topoCheck(targets map[string]*Target) ([]string, error) {
+	indeg := make(map[string]int, len(targets))
+	for name, t := range targets {
+		if _, ok := indeg[name]; !ok {
+			indeg[name] = 0
+		}
+		for _, d := range t.Deps {
+			if _, ok := targets[d]; !ok {
+				return nil, fmt.Errorf("buildgraph: target %s depends on missing target %s", name, d)
+			}
+		}
+		indeg[name] = len(t.Deps)
+	}
+	queue := make([]string, 0, len(targets))
+	for name, d := range indeg {
+		if d == 0 {
+			queue = append(queue, name)
+		}
+	}
+	rdeps := reverseEdges(targets)
+	order := make([]string, 0, len(targets))
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, n)
+		for _, m := range rdeps[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(targets) {
+		var stuck []string
+		for name, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, name)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("buildgraph: dependency cycle involving %v", stuck)
+	}
+	return order, nil
+}
+
+func reverseEdges(targets map[string]*Target) map[string][]string {
+	rdeps := make(map[string][]string, len(targets))
+	for name, t := range targets {
+		for _, d := range t.Deps {
+			rdeps[d] = append(rdeps[d], name)
+		}
+	}
+	for _, rs := range rdeps {
+		sort.Strings(rs)
+	}
+	return rdeps
+}
+
+// computeHashes fills g.hashes. Targets in dirty are (re)hashed with a
+// parallel bottom-up traversal; every other target's hash is memoized from
+// base (which must contain it). The graph must already be cycle-checked: the
+// traversal terminates because every dirty target's dirty-dependency count
+// reaches zero exactly once.
+func computeHashes(g *Graph, snap repo.Snapshot, base *Graph, dirty map[string]bool) {
+	g.hashes = make(map[string]string, len(g.targets))
+	var mu sync.Mutex // guards g.hashes and remaining during the fan-out
+	for name := range g.targets {
+		if !dirty[name] {
+			g.hashes[name] = base.hashes[name]
+		}
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	// remaining[t] = number of dirty direct deps not yet hashed; a dirty
+	// target is ready once all its dirty deps are done (clean deps are
+	// already memoized above).
+	remaining := make(map[string]int, len(dirty))
+	ready := make([]string, 0, len(dirty))
+	for name := range dirty {
+		n := 0
+		for _, d := range g.targets[name].Deps {
+			if dirty[d] {
+				n++
+			}
+		}
+		remaining[name] = n
+		if n == 0 {
+			ready = append(ready, name)
+		}
+	}
+	workers := hashWorkers
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan string, len(dirty))
+	for _, name := range ready {
+		work <- name
+	}
+	done := 0
+	var wg sync.WaitGroup
+	depHash := func(d string) string {
+		mu.Lock()
+		h := g.hashes[d]
+		mu.Unlock()
+		return h
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				h := hashTarget(g.targets[name], snap, depHash)
+				mu.Lock()
+				g.hashes[name] = h
+				for _, m := range g.rdeps[name] {
+					if dirty[m] {
+						remaining[m]--
+						if remaining[m] == 0 {
+							work <- m
+						}
+					}
+				}
+				done++
+				if done == len(dirty) {
+					close(work)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,76 @@
+package buildgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parseBuildFile parses one BUILD file's content into targets. dir is the
+// file's directory ("" for the root BUILD).
+func parseBuildFile(dir, content string) ([]*Target, error) {
+	var out []*Target
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseTargetLine(dir, line)
+		if err != nil {
+			return nil, fmt.Errorf("%s/BUILD:%d: %w", dir, ln+1, err)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("%s/BUILD:%d: duplicate target %s", dir, ln+1, t.Name)
+		}
+		seen[t.Name] = true
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// parseTargetLine parses "target <name> srcs=a,b deps=//d:n,//e:m".
+func parseTargetLine(dir, line string) (*Target, error) {
+	fields := strings.Fields(line)
+	if fields[0] != "target" || len(fields) < 2 {
+		return nil, fmt.Errorf("expected %q, got %q", "target <name> [srcs=...] [deps=...]", line)
+	}
+	short := fields[1]
+	if short == "" || strings.ContainsAny(short, ":/=") {
+		return nil, fmt.Errorf("invalid target name %q", short)
+	}
+	t := &Target{Name: "//" + dir + ":" + short, Dir: dir}
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "srcs="):
+			for _, s := range splitList(strings.TrimPrefix(f, "srcs=")) {
+				p := s
+				if dir != "" {
+					p = dir + "/" + s
+				}
+				t.Srcs = append(t.Srcs, p)
+			}
+		case strings.HasPrefix(f, "deps="):
+			for _, d := range splitList(strings.TrimPrefix(f, "deps=")) {
+				if !strings.HasPrefix(d, "//") || !strings.Contains(d, ":") {
+					return nil, fmt.Errorf("invalid dep label %q (want //dir:name)", d)
+				}
+				t.Deps = append(t.Deps, d)
+			}
+		default:
+			return nil, fmt.Errorf("unknown attribute %q", f)
+		}
+	}
+	sortUnique(&t.Srcs)
+	sortUnique(&t.Deps)
+	return t, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package buildsys
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+// BenchmarkControllerCacheHit measures a build whose every step-unit hits the
+// artifact cache — the steady state of a deep speculation tree where branches
+// share most of their targets.
+func BenchmarkControllerCacheHit(b *testing.B) {
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		return nil
+	})
+	c := NewController(8, runner)
+	names := make(map[string]string, 200)
+	for i := 0; i < 200; i++ {
+		n := fmt.Sprintf("//pkg%03d:t", i)
+		names[n] = "h-" + n
+	}
+	req := Request{
+		Key:     "warm",
+		Steps:   []change.BuildStep{{Name: "compile", Kind: change.StepCompile}},
+		Targets: names,
+	}
+	if res := c.Run(context.Background(), req); !res.OK {
+		b.Fatalf("warmup: %+v", res)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Key = fmt.Sprintf("b%d", i)
+		if res := c.Run(context.Background(), req); !res.OK {
+			b.Fatalf("build: %+v", res)
+		}
+	}
+}

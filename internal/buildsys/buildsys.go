@@ -1,0 +1,291 @@
+// Package buildsys is the §6 build controller: a bounded worker pool that
+// executes a build's steps target by target, with the two levers that make
+// speculation affordable at scale:
+//
+//   - Minimal build steps: targets listed in Request.PriorTargets — already
+//     produced at the same hash by the prefix build of a speculation chain —
+//     are skipped outright.
+//   - A content-addressed artifact cache keyed by (target name, target hash,
+//     step kind): identical work across speculation branches executes once,
+//     concurrent duplicates coalesce onto the first execution in flight.
+//
+// Steps run sequentially (compile before tests); within a step, targets fan
+// out across the worker pool. Builds are started asynchronously via Start
+// and observed through the returned Task; Cancel aborts a build, whose
+// result then carries ErrAborted and is dropped by the planner.
+package buildsys
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+// ErrAborted is the result error of a cancelled build.
+var ErrAborted = errors.New("buildsys: build aborted")
+
+// StepRunner executes one build step for one target against a snapshot. A
+// nil runner means every step succeeds (useful when the repository's own
+// structure is the only failure source under study).
+type StepRunner interface {
+	RunStep(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error
+}
+
+// RunnerFunc adapts a function to StepRunner.
+type RunnerFunc func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error
+
+// RunStep implements StepRunner.
+func (f RunnerFunc) RunStep(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+	return f(ctx, step, target, snap)
+}
+
+// Request describes one build: a snapshot, the steps to run, and the
+// affected targets (name -> Algorithm 1 hash) the steps cover.
+type Request struct {
+	// Key identifies the build in results (the speculation build key).
+	Key string
+	// Snapshot is the merged tree the build runs against.
+	Snapshot repo.Snapshot
+	// Steps run in order; a step failure fails the build and skips the rest.
+	Steps []change.BuildStep
+	// Targets maps affected target names to their hashes. A step with an
+	// explicit Targets list covers only those names; otherwise it covers all.
+	// An empty map still runs each step once (a repo-wide step-unit).
+	Targets map[string]string
+	// PriorTargets lists targets already built at the same hash by the
+	// prefix build of a speculation chain; they are skipped (§6 minimal
+	// build steps).
+	PriorTargets map[string]bool
+}
+
+// Result is a build's final disposition.
+type Result struct {
+	Key        string
+	OK         bool
+	FailedStep string // name of the step that failed, when !OK
+	Err        error  // failure cause; ErrAborted for cancelled builds
+}
+
+// Stats counts controller work. Step-units are (step, target) executions;
+// SkippedCache is the artifact-cache hit counter, CacheMisses the cacheable
+// units that had to execute.
+type Stats struct {
+	Builds       int // builds started
+	Completed    int // builds finished without abort
+	Aborted      int // builds cancelled before completion
+	Executed     int // step-units executed by the runner
+	SkippedPrior int // step-units skipped via PriorTargets (minimal steps)
+	SkippedCache int // step-units skipped via artifact-cache hits
+	CacheMisses  int // cacheable step-units that found no artifact
+}
+
+// artifact is one cache slot. Claimants execute the step-unit and publish ok
+// before closing done; waiters either reuse the artifact or — when the
+// claimant failed or aborted — retry the claim themselves.
+type artifact struct {
+	done chan struct{}
+	ok   bool
+}
+
+// Controller executes builds over a bounded worker pool. All methods are
+// safe for concurrent use.
+type Controller struct {
+	runner StepRunner
+	sem    chan struct{} // bounds concurrently executing step-units
+
+	mu    sync.Mutex
+	stats Stats
+	cache map[string]*artifact // content address -> artifact
+}
+
+// NewController creates a controller with the given worker count (<=0: 4).
+// A nil runner succeeds at every step.
+func NewController(workers int, runner StepRunner) *Controller {
+	if workers <= 0 {
+		workers = 4
+	}
+	return &Controller{
+		runner: runner,
+		sem:    make(chan struct{}, workers),
+		cache:  map[string]*artifact{},
+	}
+}
+
+// Stats returns a snapshot of the work counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Task is a build in flight.
+type Task struct {
+	key    string
+	cancel context.CancelFunc
+	done   chan struct{}
+	result Result // immutable once done is closed
+}
+
+// Done is closed when the build finishes (normally or by abort).
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Result returns the build's result; valid after Done is closed.
+func (t *Task) Result() Result {
+	<-t.done
+	return t.result
+}
+
+// Cancel aborts the build; its result will carry ErrAborted. Idempotent.
+func (t *Task) Cancel() { t.cancel() }
+
+// Start launches the build asynchronously.
+func (c *Controller) Start(ctx context.Context, req Request) *Task {
+	ctx, cancel := context.WithCancel(ctx)
+	t := &Task{key: req.Key, cancel: cancel, done: make(chan struct{})}
+	c.mu.Lock()
+	c.stats.Builds++
+	c.mu.Unlock()
+	go func() {
+		defer cancel()
+		t.result = c.execute(ctx, req)
+		c.mu.Lock()
+		if errors.Is(t.result.Err, ErrAborted) {
+			c.stats.Aborted++
+		} else {
+			c.stats.Completed++
+		}
+		c.mu.Unlock()
+		close(t.done)
+	}()
+	return t
+}
+
+// Run executes the build synchronously.
+func (c *Controller) Run(ctx context.Context, req Request) Result {
+	return c.Start(ctx, req).Result()
+}
+
+// execute runs the build's steps in order, fanning each step's targets out
+// over the worker pool.
+func (c *Controller) execute(ctx context.Context, req Request) Result {
+	all := make([]string, 0, len(req.Targets))
+	for name := range req.Targets {
+		all = append(all, name)
+	}
+	sort.Strings(all)
+	for _, step := range req.Steps {
+		names := all
+		if len(step.Targets) > 0 {
+			names = append([]string(nil), step.Targets...)
+			sort.Strings(names)
+		} else if len(all) == 0 {
+			// No affected targets: the step still runs once, repo-wide
+			// (uncacheable — there is no target hash to address it by).
+			names = []string{""}
+		}
+		if err := c.runStep(ctx, req, step, names); err != nil {
+			if ctx.Err() != nil || errors.Is(err, ErrAborted) {
+				return Result{Key: req.Key, OK: false, FailedStep: step.Name, Err: ErrAborted}
+			}
+			return Result{Key: req.Key, OK: false, FailedStep: step.Name, Err: err}
+		}
+	}
+	return Result{Key: req.Key, OK: true}
+}
+
+// runStep executes one step over the given target names in parallel and
+// returns the failure of the lowest-indexed failing target (deterministic).
+func (c *Controller) runStep(ctx context.Context, req Request, step change.BuildStep, names []string) error {
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		if req.PriorTargets[name] {
+			c.count(func(s *Stats) { s.SkippedPrior++ })
+			continue
+		}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			errs[i] = c.runUnit(ctx, req, step, name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runUnit executes one (step, target) unit, consulting the artifact cache
+// when the target has a hash to address it by.
+func (c *Controller) runUnit(ctx context.Context, req Request, step change.BuildStep, name string) error {
+	hash := req.Targets[name]
+	if name == "" || hash == "" {
+		return c.invoke(ctx, step, name, req.Snapshot)
+	}
+	key := name + "\x00" + hash + "\x00" + step.Kind.String()
+	for {
+		c.mu.Lock()
+		a, ok := c.cache[key]
+		if !ok {
+			a = &artifact{done: make(chan struct{})}
+			c.cache[key] = a
+		}
+		c.mu.Unlock()
+		if ok {
+			select {
+			case <-a.done:
+			case <-ctx.Done():
+				return ErrAborted
+			}
+			if a.ok {
+				c.count(func(s *Stats) { s.SkippedCache++ })
+				return nil
+			}
+			// The claimant failed or aborted; its slot was withdrawn.
+			// Re-claim and run the unit ourselves.
+			continue
+		}
+		c.count(func(s *Stats) { s.CacheMisses++ })
+		err := c.invoke(ctx, step, name, req.Snapshot)
+		c.mu.Lock()
+		if err == nil {
+			a.ok = true
+		} else {
+			delete(c.cache, key) // failures are not cached
+		}
+		c.mu.Unlock()
+		close(a.done)
+		return err
+	}
+}
+
+// invoke runs the step through the worker pool.
+func (c *Controller) invoke(ctx context.Context, step change.BuildStep, name string, snap repo.Snapshot) error {
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ErrAborted
+	}
+	defer func() { <-c.sem }()
+	if ctx.Err() != nil {
+		return ErrAborted
+	}
+	c.count(func(s *Stats) { s.Executed++ })
+	if c.runner == nil {
+		return nil
+	}
+	return c.runner.RunStep(ctx, step, name, snap)
+}
+
+func (c *Controller) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

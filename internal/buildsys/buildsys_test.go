@@ -1,0 +1,317 @@
+package buildsys
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+var compileStep = change.BuildStep{Name: "compile", Kind: change.StepCompile}
+
+func targets(names ...string) map[string]string {
+	m := make(map[string]string, len(names))
+	for _, n := range names {
+		m[n] = "hash-of-" + n
+	}
+	return m
+}
+
+// TestNilRunnerSucceeds: a nil runner completes every build successfully.
+func TestNilRunnerSucceeds(t *testing.T) {
+	c := NewController(2, nil)
+	res := c.Run(context.Background(), Request{
+		Key:     "b1",
+		Steps:   []change.BuildStep{compileStep},
+		Targets: targets("//a:a", "//b:b"),
+	})
+	if !res.OK || res.Err != nil {
+		t.Fatalf("Run = %+v, want OK", res)
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Completed != 1 || st.Executed != 2 {
+		t.Errorf("Stats = %+v, want 1 build, 1 completed, 2 executed", st)
+	}
+}
+
+// TestCancelAborts: cancelling an in-flight build yields ErrAborted and the
+// build never reports success.
+func TestCancelAborts(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		close(started)
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	c := NewController(2, runner)
+	task := c.Start(context.Background(), Request{
+		Key:     "b1",
+		Steps:   []change.BuildStep{compileStep},
+		Targets: targets("//a:a"),
+	})
+	<-started
+	task.Cancel()
+	res := task.Result()
+	close(release)
+	if res.OK {
+		t.Fatal("cancelled build reported OK")
+	}
+	if !errors.Is(res.Err, ErrAborted) {
+		t.Fatalf("Err = %v, want ErrAborted", res.Err)
+	}
+	if st := c.Stats(); st.Aborted != 1 || st.Completed != 0 {
+		t.Errorf("Stats = %+v, want 1 aborted, 0 completed", st)
+	}
+}
+
+// TestCancelDoesNotLeakResult: cancelling before the work drains still closes
+// Done promptly — the caller never blocks on a dead build.
+func TestCancelDoesNotLeakResult(t *testing.T) {
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	c := NewController(1, runner)
+	task := c.Start(context.Background(), Request{
+		Key:     "b1",
+		Steps:   []change.BuildStep{compileStep},
+		Targets: targets("//a:a", "//b:b", "//c:c"),
+	})
+	task.Cancel()
+	select {
+	case <-task.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done not closed after Cancel")
+	}
+	if !errors.Is(task.Result().Err, ErrAborted) {
+		t.Fatalf("Err = %v, want ErrAborted", task.Result().Err)
+	}
+}
+
+// TestPriorTargetsSkipped: targets built by the speculation prefix are not
+// re-executed (§6 minimal build steps).
+func TestPriorTargetsSkipped(t *testing.T) {
+	var ran atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		ran.Add(1)
+		return nil
+	})
+	c := NewController(2, runner)
+	res := c.Run(context.Background(), Request{
+		Key:          "b1",
+		Steps:        []change.BuildStep{compileStep},
+		Targets:      targets("//a:a", "//b:b", "//c:c"),
+		PriorTargets: map[string]bool{"//a:a": true, "//b:b": true},
+	})
+	if !res.OK {
+		t.Fatalf("Run = %+v, want OK", res)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("runner executed %d units, want 1", got)
+	}
+	if st := c.Stats(); st.SkippedPrior != 2 || st.Executed != 1 {
+		t.Errorf("Stats = %+v, want SkippedPrior=2 Executed=1", st)
+	}
+}
+
+// TestArtifactCacheHit: a second build of the same (target, hash, kind)
+// reuses the artifact instead of re-executing, and Stats counts the hit.
+func TestArtifactCacheHit(t *testing.T) {
+	var ran atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		ran.Add(1)
+		return nil
+	})
+	c := NewController(2, runner)
+	req := Request{Key: "b1", Steps: []change.BuildStep{compileStep}, Targets: targets("//a:a", "//b:b")}
+	if res := c.Run(context.Background(), req); !res.OK {
+		t.Fatalf("first build: %+v", res)
+	}
+	req.Key = "b2"
+	if res := c.Run(context.Background(), req); !res.OK {
+		t.Fatalf("second build: %+v", res)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Errorf("runner executed %d units, want 2 (second build fully cached)", got)
+	}
+	st := c.Stats()
+	if st.SkippedCache != 2 || st.CacheMisses != 2 {
+		t.Errorf("Stats = %+v, want SkippedCache=2 CacheMisses=2", st)
+	}
+}
+
+// TestCacheMissOnNewHash: a changed target hash is a different content
+// address — no false sharing across versions.
+func TestCacheMissOnNewHash(t *testing.T) {
+	var ran atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		ran.Add(1)
+		return nil
+	})
+	c := NewController(2, runner)
+	c.Run(context.Background(), Request{
+		Key: "b1", Steps: []change.BuildStep{compileStep},
+		Targets: map[string]string{"//a:a": "h1"},
+	})
+	c.Run(context.Background(), Request{
+		Key: "b2", Steps: []change.BuildStep{compileStep},
+		Targets: map[string]string{"//a:a": "h2"},
+	})
+	if got := ran.Load(); got != 2 {
+		t.Errorf("runner executed %d units, want 2 (hash change must miss)", got)
+	}
+	if st := c.Stats(); st.SkippedCache != 0 {
+		t.Errorf("SkippedCache = %d, want 0", st.SkippedCache)
+	}
+}
+
+// TestFailureNotCached: a failed unit is not cached; a later build re-runs it
+// and can succeed.
+func TestFailureNotCached(t *testing.T) {
+	var calls atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		if calls.Add(1) == 1 {
+			return fmt.Errorf("compile error")
+		}
+		return nil
+	})
+	c := NewController(2, runner)
+	req := Request{Key: "b1", Steps: []change.BuildStep{compileStep}, Targets: targets("//a:a")}
+	res := c.Run(context.Background(), req)
+	if res.OK || res.FailedStep != "compile" {
+		t.Fatalf("first build = %+v, want failure at compile", res)
+	}
+	req.Key = "b2"
+	if res := c.Run(context.Background(), req); !res.OK {
+		t.Fatalf("retry build = %+v, want OK", res)
+	}
+	if st := c.Stats(); st.SkippedCache != 0 {
+		t.Errorf("SkippedCache = %d, want 0 (failures must not be cached)", st.SkippedCache)
+	}
+}
+
+// TestConcurrentBuildsCoalesce: two concurrent builds of the same targets
+// execute each unit once; the loser of the claim race waits and reuses.
+func TestConcurrentBuildsCoalesce(t *testing.T) {
+	var ran atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		ran.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	c := NewController(4, runner)
+	req1 := Request{Key: "b1", Steps: []change.BuildStep{compileStep}, Targets: targets("//a:a", "//b:b")}
+	req2 := req1
+	req2.Key = "b2"
+	t1 := c.Start(context.Background(), req1)
+	t2 := c.Start(context.Background(), req2)
+	if r := t1.Result(); !r.OK {
+		t.Fatalf("b1 = %+v", r)
+	}
+	if r := t2.Result(); !r.OK {
+		t.Fatalf("b2 = %+v", r)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Errorf("runner executed %d units, want 2 (concurrent duplicates coalesce)", got)
+	}
+	if st := c.Stats(); st.SkippedCache != 2 {
+		t.Errorf("SkippedCache = %d, want 2", st.SkippedCache)
+	}
+}
+
+// TestStepOrderAndFailureStopsBuild: steps run in order; a failing step names
+// itself in FailedStep and later steps never run.
+func TestStepOrderAndFailureStopsBuild(t *testing.T) {
+	var seen []string
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		seen = append(seen, step.Name)
+		if step.Kind == change.StepUnitTest {
+			return fmt.Errorf("test failed")
+		}
+		return nil
+	})
+	c := NewController(1, runner)
+	res := c.Run(context.Background(), Request{
+		Key: "b1",
+		Steps: []change.BuildStep{
+			{Name: "compile", Kind: change.StepCompile},
+			{Name: "unit", Kind: change.StepUnitTest},
+			{Name: "ui", Kind: change.StepUITest},
+		},
+		Targets: targets("//a:a"),
+	})
+	if res.OK || res.FailedStep != "unit" {
+		t.Fatalf("Run = %+v, want failure at unit", res)
+	}
+	if len(seen) != 2 || seen[0] != "compile" || seen[1] != "unit" {
+		t.Errorf("steps seen = %v, want [compile unit]", seen)
+	}
+}
+
+// TestEmptyTargetBuildRuns: a build with no affected targets still runs each
+// step once (repo-wide), so empty changes exercise the runner.
+func TestEmptyTargetBuildRuns(t *testing.T) {
+	var ran atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		if target != "" {
+			t.Errorf("empty-target build passed target %q", target)
+		}
+		ran.Add(1)
+		return nil
+	})
+	c := NewController(2, runner)
+	res := c.Run(context.Background(), Request{
+		Key:   "b1",
+		Steps: []change.BuildStep{compileStep, {Name: "unit", Kind: change.StepUnitTest}},
+	})
+	if !res.OK {
+		t.Fatalf("Run = %+v, want OK", res)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Errorf("runner executed %d units, want 2 (one per step)", got)
+	}
+	if st := c.Stats(); st.SkippedCache != 0 || st.CacheMisses != 0 {
+		t.Errorf("Stats = %+v, want no cache traffic for repo-wide units", st)
+	}
+}
+
+// TestWorkerPoolBound: no more than `workers` units execute at once.
+func TestWorkerPoolBound(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		n := cur.Add(1)
+		for {
+			m := max.Load()
+			if n <= m || max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	c := NewController(workers, runner)
+	names := make([]string, 20)
+	for i := range names {
+		names[i] = fmt.Sprintf("//t:t%d", i)
+	}
+	if res := c.Run(context.Background(), Request{
+		Key: "b1", Steps: []change.BuildStep{compileStep}, Targets: targets(names...),
+	}); !res.OK {
+		t.Fatalf("Run = %+v", res)
+	}
+	if got := max.Load(); got > workers {
+		t.Errorf("max concurrency = %d, want <= %d", got, workers)
+	}
+}

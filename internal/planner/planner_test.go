@@ -312,6 +312,51 @@ func TestMinimalBuildStepsUsed(t *testing.T) {
 	}
 }
 
+func TestSpeculationArtifactCacheHits(t *testing.T) {
+	// c3 conflicts with c1 (via //y:y, since y depends on x) and with c2
+	// (via //w:w), so its speculation tree has sibling branches — H⊕c3,
+	// H⊕c1⊕c3, H⊕c2⊕c3, H⊕c1⊕c2⊕c3 — that build //y:y and //w:w at hashes
+	// shared across branches. The content-addressed artifact cache must
+	// serve those repeats instead of re-executing them.
+	runner := buildsys.RunnerFunc(func(ctx context.Context, _ change.BuildStep, _ string, _ repo.Snapshot) error {
+		select {
+		case <-time.After(5 * time.Millisecond):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	e := newEnv(t, runner, Config{Budget: 8})
+	e.submit(t, "c1", "x/x.go", "x v2")
+	e.submit(t, "c2", "w/w.go", "w v2")
+	snap := e.repo.Head().Snapshot()
+	yCur, _ := snap.Read("y/y.go")
+	wBuild, _ := snap.Read("w/BUILD")
+	c3 := &change.Change{
+		ID:     "c3",
+		Author: change.Developer{Name: "dev-c3", Team: "team"},
+		Patch: repo.Patch{Changes: []repo.FileChange{
+			{Path: "y/y.go", Op: repo.OpModify, BaseHash: repo.HashContent(yCur), NewContent: "y v2"},
+			{Path: "w/BUILD", Op: repo.OpModify, BaseHash: repo.HashContent(wBuild), NewContent: "target w srcs=w.go,w2.go"},
+			{Path: "w/w2.go", Op: repo.OpCreate, NewContent: "w2 v1"},
+		}},
+		BuildSteps: []change.BuildStep{{Name: "compile", Kind: change.StepCompile}},
+		BaseCommit: e.repo.Head().ID,
+	}
+	if err := e.queue.Enqueue(c3); err != nil {
+		t.Fatal(err)
+	}
+	e.quiesce(t)
+	for _, c := range []*change.Change{c3} {
+		if c.State != change.StateCommitted {
+			t.Fatalf("c3 state = %v, reason %q", c.State, c.Reason)
+		}
+	}
+	if st := e.ctrl.Stats(); st.SkippedCache == 0 {
+		t.Fatalf("artifact cache never hit during speculation: %+v", st)
+	}
+}
+
 func TestBudgetLimitsConcurrentBuilds(t *testing.T) {
 	block := make(chan struct{})
 	runner := buildsys.RunnerFunc(func(ctx context.Context, _ change.BuildStep, _ string, _ repo.Snapshot) error {

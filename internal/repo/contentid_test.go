@@ -1,0 +1,69 @@
+package repo
+
+import "testing"
+
+// TestContentIDIncremental: the fingerprint maintained incrementally by Apply
+// must equal the one computed from scratch over the same files.
+func TestContentIDIncremental(t *testing.T) {
+	base := NewSnapshot(map[string]string{
+		"a.go":    "a v1",
+		"b.go":    "b v1",
+		"sub/c":   "c v1",
+		"sub/d":   "d v1",
+		"deleted": "gone soon",
+	})
+	next, err := base.Apply(Patch{Changes: []FileChange{
+		{Path: "a.go", Op: OpModify, BaseHash: HashContent("a v1"), NewContent: "a v2"},
+		{Path: "new.go", Op: OpCreate, NewContent: "new v1"},
+		{Path: "deleted", Op: OpDelete, BaseHash: HashContent("gone soon")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSnapshot(map[string]string{
+		"a.go":   "a v2",
+		"b.go":   "b v1",
+		"sub/c":  "c v1",
+		"sub/d":  "d v1",
+		"new.go": "new v1",
+	})
+	if next.ContentID() != fresh.ContentID() {
+		t.Fatalf("incremental ID %s != from-scratch ID %s", next.ContentID(), fresh.ContentID())
+	}
+	if next.ContentID() == base.ContentID() {
+		t.Fatal("patched snapshot kept the base's content ID")
+	}
+}
+
+// TestContentIDRoundTrip: editing a file and editing it back restores the ID.
+func TestContentIDRoundTrip(t *testing.T) {
+	base := NewSnapshot(map[string]string{"f": "v1", "g": "v1"})
+	mid, err := base.Apply(Patch{Changes: []FileChange{
+		{Path: "f", Op: OpModify, BaseHash: HashContent("v1"), NewContent: "v2"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := mid.Apply(Patch{Changes: []FileChange{
+		{Path: "f", Op: OpModify, BaseHash: HashContent("v2"), NewContent: "v1"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ContentID() != base.ContentID() {
+		t.Fatalf("round-trip ID %s != original %s", back.ContentID(), base.ContentID())
+	}
+	if mid.ContentID() == base.ContentID() {
+		t.Fatal("edit did not change the content ID")
+	}
+}
+
+// TestContentIDPathSensitivity: the same content under a different path is a
+// different snapshot.
+func TestContentIDPathSensitivity(t *testing.T) {
+	a := NewSnapshot(map[string]string{"x": "same"})
+	b := NewSnapshot(map[string]string{"y": "same"})
+	if a.ContentID() == b.ContentID() {
+		t.Fatal("path must be part of the fingerprint")
+	}
+}

@@ -14,6 +14,7 @@ package repo
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -115,15 +116,61 @@ func (p Patch) Paths() []string {
 // Snapshots share storage; callers must not mutate the returned maps.
 type Snapshot struct {
 	files map[string]string
+	fp    snapFP
 }
+
+// snapFP is an order-independent fingerprint of the full tree: the sum of
+// per-file hashes over two 64-bit lanes. Addition is commutative, so Apply
+// can maintain it incrementally in O(patch) instead of rehashing the tree.
+type snapFP struct {
+	a, b uint64
+}
+
+// fileFP hashes one (path, content) pair into the two fingerprint lanes.
+func fileFP(path, content string) snapFP {
+	h := sha256.New()
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	h.Write([]byte(content))
+	sum := h.Sum(nil)
+	return snapFP{
+		a: binary.BigEndian.Uint64(sum[0:8]),
+		b: binary.BigEndian.Uint64(sum[8:16]),
+	}
+}
+
+func (fp snapFP) add(f snapFP) snapFP    { return snapFP{fp.a + f.a, fp.b + f.b} }
+func (fp snapFP) remove(f snapFP) snapFP { return snapFP{fp.a - f.a, fp.b - f.b} }
 
 // NewSnapshot builds a snapshot from a path->content map (copied).
 func NewSnapshot(files map[string]string) Snapshot {
 	m := make(map[string]string, len(files))
+	var fp snapFP
 	for k, v := range files {
 		m[k] = v
+		fp = fp.add(fileFP(k, v))
 	}
-	return Snapshot{files: m}
+	return Snapshot{files: m, fp: fp}
+}
+
+// ContentID returns a fingerprint of the snapshot's full tree: two snapshots
+// with identical path->content maps have identical IDs regardless of how
+// they were produced. It is maintained incrementally by Apply, so reading it
+// is O(1); consumers (e.g. the build-graph analyze cache) use it as a
+// content-addressed cache key.
+func (s Snapshot) ContentID() string {
+	return fmt.Sprintf("%016x%016x-%d", s.fp.a, s.fp.b, len(s.files))
+}
+
+// Range calls f for every (path, content) pair in unspecified order,
+// stopping early if f returns false. It avoids the sort and slice allocation
+// of Paths for callers that only need to visit the tree.
+func (s Snapshot) Range(f func(path, content string) bool) {
+	for p, c := range s.files {
+		if !f(p, c) {
+			return
+		}
+	}
 }
 
 // Read returns the content of path and whether it exists.
@@ -165,6 +212,7 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 	for k, v := range s.files {
 		next[k] = v
 	}
+	fp := s.fp
 	for _, fc := range p.Changes {
 		cur, exists := next[fc.Path]
 		switch fc.Op {
@@ -173,6 +221,7 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 				return Snapshot{}, fmt.Errorf("%w: create %s", ErrFileExists, fc.Path)
 			}
 			next[fc.Path] = fc.NewContent
+			fp = fp.add(fileFP(fc.Path, fc.NewContent))
 		case OpModify:
 			if !exists {
 				return Snapshot{}, fmt.Errorf("%w: modify %s", ErrNoSuchFile, fc.Path)
@@ -181,6 +230,7 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 				return Snapshot{}, fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
 			}
 			next[fc.Path] = fc.NewContent
+			fp = fp.remove(fileFP(fc.Path, cur)).add(fileFP(fc.Path, fc.NewContent))
 		case OpDelete:
 			if !exists {
 				return Snapshot{}, fmt.Errorf("%w: delete %s", ErrNoSuchFile, fc.Path)
@@ -189,6 +239,7 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 				return Snapshot{}, fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
 			}
 			delete(next, fc.Path)
+			fp = fp.remove(fileFP(fc.Path, cur))
 		case OpEditLines:
 			if !exists {
 				return Snapshot{}, fmt.Errorf("%w: edit %s", ErrNoSuchFile, fc.Path)
@@ -198,11 +249,12 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 				return Snapshot{}, err
 			}
 			next[fc.Path] = edited
+			fp = fp.remove(fileFP(fc.Path, cur)).add(fileFP(fc.Path, edited))
 		default:
 			return Snapshot{}, fmt.Errorf("repo: unknown op %v for %s", fc.Op, fc.Path)
 		}
 	}
-	return Snapshot{files: next}, nil
+	return Snapshot{files: next, fp: fp}, nil
 }
 
 // DiffPatch builds the patch that transforms s into other. Useful for tests

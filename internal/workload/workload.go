@@ -185,13 +185,17 @@ func Generate(cfg Config) *Workload {
 		teamIdx := 0
 		fmt.Sscanf(dev.Team, "team%d", &teamIdx)
 
-		// Components: mostly from the team's home set, zipf-ish count.
+		// Components: mostly from the team's home set, zipf-ish count,
+		// capped by how many distinct components exist.
 		nc := 1
-		if rng.Float64() < 0.35 {
+		if rng.Float64() < 0.35 && cfg.ComponentsPerChange >= 2 {
 			nc = 2
 		}
 		if rng.Float64() < 0.10 && cfg.ComponentsPerChange >= 3 {
 			nc = 3
+		}
+		if nc > cfg.Components {
+			nc = cfg.Components
 		}
 		comps := map[int]bool{}
 		home := teamComponents[teamIdx]
