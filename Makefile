@@ -1,15 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench
 
 # check is the CI entry point: everything must pass before merge.
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's own static-analysis suite (cmd/mglint): determinism
+# and concurrency invariants that go vet does not know about.
+lint:
+	$(GO) run ./cmd/mglint ./...
 
 test:
 	$(GO) test ./...

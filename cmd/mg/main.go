@@ -93,10 +93,12 @@ func saveRepo(r *repo.Repo, path string) {
 		log.Fatalf("save repo: %v", err)
 	}
 	if err := r.Save(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		log.Fatalf("save repo: %v", err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatalf("save repo: close: %v", err)
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		log.Fatalf("save repo: %v", err)
 	}

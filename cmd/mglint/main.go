@@ -1,0 +1,101 @@
+// Command mglint is the repo's green-keeping gate: it loads every package in
+// the module, runs the determinism and concurrency analyzers in internal/lint
+// under the policy table, and reports findings with file:line positions.
+//
+// Usage:
+//
+//	go run ./cmd/mglint ./...
+//	go run ./cmd/mglint -json ./...          # machine-readable, for CI
+//	go run ./cmd/mglint -analyzers wallclock,maporder ./...
+//
+// Package patterns are accepted for command-line symmetry with go vet but the
+// whole module is always loaded; the policy table in internal/lint/policy.go
+// decides which analyzer applies where. Exit status: 0 clean, 1 findings,
+// 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mastergreen/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (one object with a findings array)")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "mglint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mglint:", err)
+		os.Exit(2)
+	}
+	root, modpath, err := lint.FindModule(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mglint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root, modpath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mglint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers, lint.DefaultPolicy)
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		out := struct {
+			Findings []lint.Finding `json:"findings"`
+			Packages int            `json:"packages"`
+		}{Findings: findings, Packages: len(pkgs)}
+		if out.Findings == nil {
+			out.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mglint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) == 0 {
+			fmt.Printf("mglint: %d packages clean\n", len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

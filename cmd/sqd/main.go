@@ -69,7 +69,7 @@ func main() {
 		repoPath = filepath.Join(*dataDir, "repo.json")
 		if f, err := os.Open(repoPath); err == nil {
 			loaded, lerr := repo.Load(f)
-			f.Close()
+			_ = f.Close()
 			if lerr != nil {
 				log.Fatalf("sqd: loading repo snapshot: %v", lerr)
 			}
@@ -113,7 +113,9 @@ func main() {
 		if err := svc.Repo().Save(f); err != nil {
 			log.Fatalf("sqd: saving repo: %v", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatalf("sqd: saving repo: close: %v", err)
+		}
 		if err := svc.CloseJournal(); err != nil {
 			log.Printf("sqd: closing journal: %v", err)
 		}

@@ -77,7 +77,7 @@ func main() {
 				log.Printf("sqload: submit %s: %v", id, err)
 				return
 			}
-			resp.Body.Close()
+			_ = resp.Body.Close()
 			if resp.StatusCode != http.StatusAccepted {
 				log.Printf("sqload: submit %s: status %d", id, resp.StatusCode)
 				return
@@ -94,7 +94,7 @@ func main() {
 					Reason string `json:"reason"`
 				}
 				_ = json.NewDecoder(resp.Body).Decode(&st)
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				if st.State == "committed" || st.State == "rejected" {
 					results <- result{
 						id: id, state: st.State,

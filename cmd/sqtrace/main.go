@@ -90,7 +90,7 @@ func run(args []string) {
 		log.Fatalf("sqtrace: %v", err)
 	}
 	w, err := workload.Import(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		log.Fatalf("sqtrace: import: %v", err)
 	}

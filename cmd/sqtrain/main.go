@@ -89,7 +89,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "save:", err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "save: close:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("\nsuccess model saved to %s\n", *savePath)
 	}
 

@@ -84,11 +84,14 @@ type Server struct {
 	svc    *core.Service
 	mux    *http.ServeMux
 	events *events.Bus
+	// now supplies the clock for generated change IDs; injectable so API
+	// behavior replays deterministically under test.
+	now func() time.Time
 }
 
 // NewServer wraps the service.
 func NewServer(svc *core.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s := &Server{svc: svc, mux: http.NewServeMux(), now: time.Now}
 	s.mux.HandleFunc("/api/v1/changes", s.handleChanges)
 	s.mux.HandleFunc("/api/v1/changes/", s.handleChangeState)
 	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
@@ -101,6 +104,9 @@ func NewServer(svc *core.Service) *Server {
 	})
 	return s
 }
+
+// SetClock injects the clock used for generated change IDs (tests).
+func (s *Server) SetClock(now func() time.Time) { s.now = now }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -156,7 +162,7 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.ID == "" {
-		req.ID = fmt.Sprintf("c-%d", time.Now().UnixNano())
+		req.ID = fmt.Sprintf("c-%d", s.now().UnixNano())
 	}
 	patch, err := toPatch(req.Files)
 	if err != nil {

@@ -237,6 +237,7 @@ func finishGraph(g *Graph, snap repo.Snapshot, base *Graph, seedFn func(*Graph) 
 		// Propagate: anything depending on a dirty target is dirty.
 		stack := make([]string, 0, len(dirty))
 		for name := range dirty {
+			//lint:ignore maporder worklist visit order does not affect the computed dirty set
 			stack = append(stack, name)
 		}
 		for len(stack) > 0 {

@@ -121,6 +121,7 @@ func unionClosure(d Delta, rdeps map[string][]string) map[string]bool {
 	stack := make([]string, 0, len(d))
 	for name := range d {
 		seen[name] = true
+		//lint:ignore maporder worklist visit order does not affect the computed closure set
 		stack = append(stack, name)
 	}
 	for len(stack) > 0 {

@@ -1,0 +1,117 @@
+package buildgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mastergreen/internal/repo"
+)
+
+// randomDAGFiles generates a pseudo-random target DAG (edges only point to
+// lower indices, so it is acyclic) and returns its file set as path->content
+// pairs in a caller-shuffleable slice.
+type fileKV struct{ path, content string }
+
+func randomDAGFiles(rng *rand.Rand, n int) []fileKV {
+	var files []fileKV
+	for i := 0; i < n; i++ {
+		dir := fmt.Sprintf("p%03d", i)
+		decl := "target t srcs=t.go"
+		seen := map[int]bool{}
+		var deps string
+		for k := rng.Intn(4); k > 0 && i > 0; k-- {
+			d := rng.Intn(i)
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			if deps != "" {
+				deps += ","
+			}
+			deps += fmt.Sprintf("//p%03d:t", d)
+		}
+		if deps != "" {
+			decl += " deps=" + deps
+		}
+		files = append(files,
+			fileKV{dir + "/BUILD", decl},
+			fileKV{dir + "/t.go", fmt.Sprintf("package p%03d\nvar x = %d\n", i, rng.Intn(1000))})
+	}
+	return files
+}
+
+func snapshotOf(files []fileKV) repo.Snapshot {
+	m := make(map[string]string, len(files))
+	for _, f := range files {
+		m[f.path] = f.content
+	}
+	return repo.NewSnapshot(m)
+}
+
+func allHashes(t *testing.T, g *Graph) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range g.Names() {
+		h, ok := g.Hash(name)
+		if !ok {
+			t.Fatalf("no hash for %s", name)
+		}
+		out[name] = h
+	}
+	return out
+}
+
+func diffHashes(t *testing.T, label string, want, got map[string]string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d targets vs %d", label, len(want), len(got))
+	}
+	for name, h := range want {
+		if got[name] != h {
+			t.Errorf("%s: hash of %s drifted: %s vs %s", label, name, h, got[name])
+		}
+	}
+}
+
+// TestAnalyzeDeterminism is the regression gate for Algorithm 1's core
+// contract: target hashes are a pure function of snapshot content. It
+// analyzes the same content repeatedly — shuffled construction order, cold
+// cache each time, and once with the parallel fan-out forced serial — and
+// requires bit-identical hashes for every target.
+func TestAnalyzeDeterminism(t *testing.T) {
+	files := randomDAGFiles(rand.New(rand.NewSource(7)), 60)
+
+	t.Cleanup(resetAnalyzeCache)
+	resetAnalyzeCache()
+	ref, err := Analyze(snapshotOf(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := allHashes(t, ref)
+
+	shuffler := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]fileKV(nil), files...)
+		shuffler.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		resetAnalyzeCache()
+		g, err := Analyze(snapshotOf(shuffled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffHashes(t, fmt.Sprintf("trial %d", trial), want, allHashes(t, g))
+	}
+
+	// The parallel bottom-up hash fan-out must agree with a serial pass.
+	saved := hashWorkers
+	hashWorkers = 1
+	defer func() { hashWorkers = saved }()
+	resetAnalyzeCache()
+	g, err := Analyze(snapshotOf(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffHashes(t, "serial", want, allHashes(t, g))
+}

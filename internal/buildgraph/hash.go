@@ -71,6 +71,7 @@ func topoCheck(targets map[string]*Target) ([]string, error) {
 			queue = append(queue, name)
 		}
 	}
+	sort.Strings(queue) // deterministic topological order regardless of map iteration
 	rdeps := reverseEdges(targets)
 	order := make([]string, 0, len(targets))
 	for len(queue) > 0 {
@@ -143,6 +144,7 @@ func computeHashes(g *Graph, snap repo.Snapshot, base *Graph, dirty map[string]b
 			ready = append(ready, name)
 		}
 	}
+	sort.Strings(ready) // feed workers in a deterministic order
 	workers := hashWorkers
 	if workers > len(dirty) {
 		workers = len(dirty)
@@ -168,21 +170,30 @@ func computeHashes(g *Graph, snap repo.Snapshot, base *Graph, dirty map[string]b
 			defer wg.Done()
 			for name := range work {
 				h := hashTarget(g.targets[name], snap, depHash)
+				// Collect newly-ready targets under the lock, but send them
+				// after releasing it: work is buffered to len(dirty) so the
+				// sends cannot block, and no goroutine ever sleeps on the
+				// channel while holding mu.
 				mu.Lock()
 				g.hashes[name] = h
+				var unlocked []string
 				for _, m := range g.rdeps[name] {
 					if dirty[m] {
 						remaining[m]--
 						if remaining[m] == 0 {
-							work <- m
+							unlocked = append(unlocked, m)
 						}
 					}
 				}
 				done++
-				if done == len(dirty) {
+				last := done == len(dirty)
+				mu.Unlock()
+				for _, m := range unlocked {
+					work <- m
+				}
+				if last {
 					close(work)
 				}
-				mu.Unlock()
 			}
 		}()
 	}

@@ -303,6 +303,7 @@ func (g *Graph) Components() [][]change.ID {
 			for m := range g.edges[n] {
 				if !seen[m] {
 					seen[m] = true
+					//lint:ignore maporder visit order is immaterial: comp is sorted by submission index below
 					stack = append(stack, m)
 				}
 			}

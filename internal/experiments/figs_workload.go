@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"mastergreen/internal/metrics"
@@ -57,6 +58,7 @@ func realConflictProbAt(w *workload.Workload, k int) (p float64, trials int) {
 				pot = append(pot, j)
 			}
 		}
+		sort.Ints(pot) // pot[:k-1] below must pick the earliest conflicters, not a map-ordered subset
 		if len(pot) < k-1 {
 			continue
 		}

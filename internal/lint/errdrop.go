@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ErrdropAnalyzer flags call statements that silently discard an error
+// result. A dropped error in the planner or controller turns a failed commit
+// or a lost build result into silent state divergence — the mainline looks
+// green because nobody saw the red. Errors must be handled, returned, or
+// visibly discarded with `_ =` (the explicit form is allowed: it is greppable
+// and reviewable, silence is not).
+//
+// Conventionally un-checkable calls are exempt: the fmt print family, and
+// writes to strings.Builder / bytes.Buffer / hash.Hash, which are documented
+// never to fail. Deferred calls (defer f.Close()) are also exempt — there is
+// no control flow left to handle the error.
+var ErrdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "disallow silently discarded error returns",
+	Run:  runErrdrop,
+}
+
+var errdropExemptRecv = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+func runErrdrop(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok || !returnsError(info, call) {
+				return true
+			}
+			if pkgPath, _, ok := pkgFuncCall(info, call); ok && pkgPath == "fmt" {
+				return true
+			}
+			// The exemption keys on the receiver's static type at the call
+			// site: hash.Hash's Write is promoted from io.Writer, and
+			// exempting io.Writer itself would swallow real file writes.
+			if recv, _, ok := methodCallOn(info, call); ok && errdropExemptRecv[namedPath(recv)] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s is silently discarded; handle it or discard explicitly with `_ =`", calleeName(call))
+			return true
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall reports whether call is a direct call of a package-level
+// function, returning the imported package path and function name. It
+// returns ok=false for method calls, locals, and conversions.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodCallOn returns the method name and receiver type of a method call,
+// or ok=false if call is not a method call.
+func methodCallOn(info *types.Info, call *ast.CallExpr) (recv types.Type, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	return s.Recv(), sel.Sel.Name, true
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedPath returns "pkgpath.TypeName" for a (possibly pointer-to) named
+// type, or "".
+func namedPath(t types.Type) string {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// eachFunc invokes fn for every function body in the file: declarations and
+// function literals alike. Each body is visited exactly once as its own
+// scope; fn receives the body and must not descend into nested literals
+// itself (they get their own call).
+func eachFunc(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks the statements of body, calling fn for every node but
+// not descending into nested function literals — their bodies run on their
+// own goroutine or at their own call time, so they are separate scopes for
+// lock- and loop-tracking purposes.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n == body {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// declaredWithin reports whether the identifier's declaration lies inside
+// the given node's source range (e.g. a loop-local variable).
+func declaredWithin(info *types.Info, ident *ast.Ident, n ast.Node) bool {
+	obj := info.Uses[ident]
+	if obj == nil {
+		obj = info.Defs[ident]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	tup, ok := t.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i := 0; i < tup.Len(); i++ {
+		if isErrorType(tup.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

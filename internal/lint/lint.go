@@ -1,0 +1,201 @@
+// Package lint is mglint's analysis framework: a stdlib-only static-analysis
+// harness (go/parser, go/ast, go/types — no x/tools dependency) that loads
+// every package in the module, runs a pluggable set of analyzers, and reports
+// findings with file:line positions.
+//
+// The always-green guarantee rests on invariants the type system cannot see:
+// Algorithm 1 target hashes and the planner's ordering decisions must be
+// bit-for-bit deterministic, and the epoch loop must never deadlock under
+// abort storms. Each analyzer mechanically enforces one such invariant; the
+// policy table (policy.go) says which packages each invariant governs.
+//
+// Suppressions: a finding may be silenced with a directive comment on the
+// same line or the line directly above:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason string is mandatory — a reasonless directive is itself reported
+// as a finding. Files carrying the standard "Code generated ... DO NOT EDIT."
+// header are skipped entirely.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, positioned at file:line:col.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Package is the module-relative import path the finding is in.
+	Package string `json:"package"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Analyzer is one pluggable check. Run inspects the package via the Pass and
+// reports findings through it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		Package:  p.Pkg.RelPath,
+	})
+}
+
+// TypeOf returns the type of expr, or nil if unknown.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type { return p.Pkg.Info.TypeOf(expr) }
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		SeedrandAnalyzer,
+		MaporderAnalyzer,
+		LocksendAnalyzer,
+		ErrdropAnalyzer,
+	}
+}
+
+// AnalyzerByName returns the named analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages under the policy and returns
+// suppression-filtered findings sorted by position. A nil policy applies
+// every analyzer to every package (used by fixture tests); the real gate
+// passes DefaultPolicy.
+func Run(pkgs []*Package, analyzers []*Analyzer, policy Policy) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs := directives(pkg)
+		for _, d := range dirs {
+			if d.reason == "" {
+				findings = append(findings, Finding{
+					Analyzer: "mglint",
+					File:     d.file,
+					Line:     d.line,
+					Col:      d.col,
+					Message:  "//lint:ignore directive is missing a reason",
+					Package:  pkg.RelPath,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			if policy != nil && !policy.Applies(a.Name, pkg.RelPath) {
+				continue
+			}
+			var raw []Finding
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
+			a.Run(pass)
+			for _, f := range raw {
+				if pkg.Generated[f.File] || suppressed(dirs, f) {
+					continue
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file      string
+	line, col int
+	analyzers map[string]bool
+	reason    string
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+// directives extracts every //lint:ignore comment in the package's files.
+func directives(pkg *Package) []directive {
+	var out []directive
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := directive{
+					file:      pos.Filename,
+					line:      pos.Line,
+					col:       pos.Column,
+					analyzers: map[string]bool{},
+					reason:    strings.TrimSpace(m[2]),
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					d.analyzers[strings.TrimSpace(name)] = true
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a directive with a reason covers the finding: a
+// matching //lint:ignore on the finding's line or the line directly above.
+func suppressed(dirs []directive, f Finding) bool {
+	for _, d := range dirs {
+		if d.file != f.File || d.reason == "" || !d.analyzers[f.Analyzer] {
+			continue
+		}
+		if d.line == f.Line || d.line == f.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// ImportPath is the full import path (module path + "/" + RelPath).
+	ImportPath string
+	// RelPath is the module-relative path ("" for the module root package);
+	// policy rules match against it.
+	RelPath string
+	Dir     string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Generated marks filenames carrying a "Code generated ... DO NOT EDIT."
+	// header; analyzers skip their files entirely.
+	Generated map[string]bool
+}
+
+var generatedRe = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGenerated reports whether the file carries the standard generated-code
+// header before its package clause.
+func isGenerated(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindModule walks up from dir to the enclosing go.mod, returning the module
+// root directory and module path.
+func FindModule(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return abs, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// rawPkg is a parsed-but-unchecked package.
+type rawPkg struct {
+	relPath string
+	dir     string
+	files   []*ast.File
+	imports []string // module-relative paths of intra-module imports
+}
+
+// LoadModule parses and type-checks every package in the module rooted at
+// root. Only non-test files are loaded: the determinism and concurrency
+// invariants the analyzers enforce govern library code, and the policy table
+// exempts tests anyway. Packages are returned sorted by RelPath.
+func LoadModule(root, modpath string) ([]*Package, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	raw := map[string]*rawPkg{} // by relPath
+	for _, dir := range dirs {
+		rp, err := parseDir(fset, root, modpath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rp != nil {
+			raw[rp.relPath] = rp
+		}
+	}
+	order, err := topoSort(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	checked := map[string]*Package{}
+	imp := &moduleImporter{
+		modpath: modpath,
+		checked: checked,
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*Package
+	for _, rel := range order {
+		pkg, err := typeCheck(fset, modpath, raw[rel], imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[rel] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].RelPath < pkgs[j].RelPath })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, importing only
+// the standard library. Fixture tests use it to load testdata packages that
+// the module loader deliberately skips.
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	rp, err := parseDir(fset, dir, "fixture", dir)
+	if err != nil {
+		return nil, err
+	}
+	if rp == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	imp := &moduleImporter{
+		modpath: "fixture",
+		checked: map[string]*Package{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	return typeCheck(fset, "fixture", rp, imp)
+}
+
+// parseDir parses the non-test Go files of one directory; nil if there are
+// none.
+func parseDir(fset *token.FileSet, root, modpath, dir string) (*rawPkg, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	rp := &rawPkg{relPath: rel, dir: dir}
+	seen := map[string]bool{}
+	for _, name := range names {
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		rp.files = append(rp.files, file)
+		for _, spec := range file.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			var sub string
+			switch {
+			case path == modpath:
+				sub = ""
+			case strings.HasPrefix(path, modpath+"/"):
+				sub = strings.TrimPrefix(path, modpath+"/")
+			default:
+				continue
+			}
+			if !seen[sub] {
+				seen[sub] = true
+				rp.imports = append(rp.imports, sub)
+			}
+		}
+	}
+	return rp, nil
+}
+
+// topoSort orders packages dependencies-first; ties break lexically so load
+// order (and therefore finding order) is deterministic.
+func topoSort(raw map[string]*rawPkg) ([]string, error) {
+	rels := make([]string, 0, len(raw))
+	for rel := range raw {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(rel string) error
+	visit = func(rel string) error {
+		switch state[rel] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %q", rel)
+		}
+		state[rel] = visiting
+		rp := raw[rel]
+		deps := append([]string(nil), rp.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := raw[dep]; !ok {
+				return fmt.Errorf("lint: package %q imports %q, which has no Go files", rel, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[rel] = done
+		order = append(order, rel)
+		return nil
+	}
+	for _, rel := range rels {
+		if err := visit(rel); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from already-checked packages
+// and everything else (the standard library) through the source importer.
+type moduleImporter struct {
+	modpath string
+	checked map[string]*Package
+	std     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	var sub string
+	switch {
+	case path == m.modpath:
+		sub = ""
+	case strings.HasPrefix(path, m.modpath+"/"):
+		sub = strings.TrimPrefix(path, m.modpath+"/")
+	default:
+		return m.std.Import(path)
+	}
+	pkg, ok := m.checked[sub]
+	if !ok {
+		return nil, fmt.Errorf("lint: import %q not yet checked (loader bug)", path)
+	}
+	return pkg.Types, nil
+}
+
+// typeCheck runs go/types over one parsed package.
+func typeCheck(fset *token.FileSet, modpath string, rp *rawPkg, imp types.Importer) (*Package, error) {
+	importPath := modpath
+	if rp.relPath != "" {
+		importPath = modpath + "/" + rp.relPath
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, rp.files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-check %s: %v", importPath, typeErrs[0])
+	}
+	generated := map[string]bool{}
+	for _, file := range rp.files {
+		if isGenerated(file) {
+			generated[fset.Position(file.Package).Filename] = true
+		}
+	}
+	return &Package{
+		ImportPath: importPath,
+		RelPath:    rp.relPath,
+		Dir:        rp.dir,
+		Fset:       fset,
+		Syntax:     rp.files,
+		Types:      tpkg,
+		Info:       info,
+		Generated:  generated,
+	}, nil
+}
+
+// packageDirs returns every directory under root that may hold a package,
+// skipping hidden directories, testdata, and vendor.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// LocksendAnalyzer flags blocking channel operations — sends, receives,
+// channel-range loops, select without default, sync.WaitGroup.Wait — executed
+// while a sync.Mutex or sync.RWMutex is held in the same function scope. This
+// is the classic build-controller deadlock shape: the goroutine that would
+// drain the channel needs the same lock, and an abort storm wedges the epoch
+// loop. The fix is always the same — collect under the lock, release, then
+// communicate (see events.Bus.Publish).
+//
+// Non-blocking communication (a select with a default clause) is allowed, as
+// is anything inside a nested function literal: its body runs on its own
+// goroutine or call, not under the caller's lock... unless it is invoked
+// inline, which this analyzer conservatively does not model.
+var LocksendAnalyzer = &Analyzer{
+	Name: "locksend",
+	Doc:  "disallow blocking channel ops and WaitGroup.Wait while a mutex is held",
+	Run:  runLocksend,
+}
+
+type lockEventKind int
+
+const (
+	evLock lockEventKind = iota
+	evUnlock
+	evDeferUnlock
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	end  token.Pos
+	kind lockEventKind
+	recv string // textual receiver, e.g. "p.mu"
+}
+
+type heldInterval struct {
+	from, to token.Pos
+	recv     string
+}
+
+func runLocksend(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Syntax {
+		eachFunc(file, func(body *ast.BlockStmt) {
+			intervals := lockIntervals(pass, body)
+			if len(intervals) == 0 {
+				return
+			}
+			report := func(pos token.Pos, what string) {
+				for _, iv := range intervals {
+					if pos > iv.from && pos < iv.to {
+						pass.Reportf(pos, "%s while %s is held; release the lock before blocking (collect-then-communicate)", what, iv.recv)
+						return
+					}
+				}
+			}
+			inspectShallow(body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.SendStmt:
+					report(v.Pos(), "channel send")
+				case *ast.UnaryExpr:
+					if v.Op == token.ARROW {
+						report(v.Pos(), "channel receive")
+					}
+				case *ast.RangeStmt:
+					if t := info.TypeOf(v.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							report(v.Pos(), "range over channel")
+						}
+					}
+				case *ast.SelectStmt:
+					for _, clause := range v.Body.List {
+						if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+							return false // has default: non-blocking poll, and skip its comm exprs
+						}
+					}
+					report(v.Pos(), "blocking select")
+					return false // comm clauses already covered by the select finding
+				case *ast.CallExpr:
+					if fn := calledMethod(info, v); fn != nil && fn.Name() == "Wait" && methodRecvPath(fn) == "sync.WaitGroup" {
+						report(v.Pos(), "sync.WaitGroup.Wait")
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// lockIntervals computes the held regions of every sync.Mutex/RWMutex in one
+// function scope by pairing Lock/Unlock calls on the same textual receiver.
+// A deferred or unmatched unlock holds to the end of the scope.
+func lockIntervals(pass *Pass, body *ast.BlockStmt) []heldInterval {
+	info := pass.Pkg.Info
+	var events []lockEvent
+	inspectShallow(body, func(n ast.Node) bool {
+		if def, ok := n.(*ast.DeferStmt); ok {
+			if kind, recv, ok := mutexCall(pass, info, def.Call); ok && kind == evUnlock {
+				events = append(events, lockEvent{pos: def.Pos(), end: def.End(), kind: evDeferUnlock, recv: recv})
+			}
+			return false // the deferred call does not execute here
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, recv, ok := mutexCall(pass, info, call); ok {
+			events = append(events, lockEvent{pos: call.Pos(), end: call.End(), kind: kind, recv: recv})
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return nil
+	}
+	// events arrive in source order from the inspection.
+	open := map[string][]lockEvent{} // recv -> stack of open locks
+	var out []heldInterval
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			open[ev.recv] = append(open[ev.recv], ev)
+		case evUnlock, evDeferUnlock:
+			stack := open[ev.recv]
+			if len(stack) == 0 {
+				continue // unlock of a lock taken by the caller; out of scope
+			}
+			lock := stack[len(stack)-1]
+			open[ev.recv] = stack[:len(stack)-1]
+			to := ev.pos
+			if ev.kind == evDeferUnlock {
+				to = body.End()
+			}
+			out = append(out, heldInterval{from: lock.end, to: to, recv: ev.recv})
+		}
+	}
+	for recv, stack := range open {
+		for _, lock := range stack {
+			out = append(out, heldInterval{from: lock.end, to: body.End(), recv: recv})
+		}
+	}
+	return out
+}
+
+// mutexCall classifies a call as a sync.Mutex/RWMutex Lock or Unlock
+// (including promoted methods on embedding structs), returning the textual
+// receiver expression as the pairing key.
+func mutexCall(pass *Pass, info *types.Info, call *ast.CallExpr) (kind lockEventKind, recv string, ok bool) {
+	fn := calledMethod(info, call)
+	if fn == nil {
+		return 0, "", false
+	}
+	if p := methodRecvPath(fn); p != "sync.Mutex" && p != "sync.RWMutex" {
+		return 0, "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, "", false
+	}
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, pass.Pkg.Fset, sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return evLock, buf.String(), true
+	case "Unlock", "RUnlock":
+		return evUnlock, buf.String(), true
+	}
+	return 0, "", false
+}
+
+// calledMethod resolves the *types.Func a method call invokes (following
+// promoted methods to their original receiver), or nil.
+func calledMethod(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	fn, _ := s.Obj().(*types.Func)
+	return fn
+}
+
+// methodRecvPath returns "pkg.Type" of the method's declared receiver.
+func methodRecvPath(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return namedPath(sig.Recv().Type())
+}

@@ -1,0 +1,106 @@
+package lint
+
+import "strings"
+
+// Policy decides which analyzers govern which packages.
+type Policy interface {
+	// Applies reports whether the named analyzer runs on the package with
+	// the given module-relative path.
+	Applies(analyzer, relPath string) bool
+}
+
+// Rule scopes one analyzer to a set of package-path patterns. A pattern is a
+// module-relative path matched exactly, a "dir/..." prefix, or "..." for
+// every package.
+type Rule struct {
+	Analyzer string
+	Packages []string
+}
+
+// TablePolicy is a Policy declared as one Go table: the rule list is the
+// single source of truth for where each invariant is enforced.
+type TablePolicy []Rule
+
+// DefaultPolicy scopes the suite to this repository.
+//
+// The wallclock set is the sim-deterministic core — every package whose
+// behavior must replay bit-for-bit from an injected clock — plus the services
+// (api, core, events) that default to real time but must route it through an
+// injectable field. The maporder set is every package where iteration order
+// feeds a hash, a plan, or a persisted artifact. locksend and errdrop are
+// repo-wide: a controller deadlock or a silently dropped error anywhere can
+// take the queue down.
+var DefaultPolicy = TablePolicy{
+	{Analyzer: "wallclock", Packages: []string{
+		"internal/sim",
+		"internal/planner",
+		"internal/speculation",
+		"internal/queue",
+		"internal/conflict",
+		"internal/core",
+		"internal/api",
+		"internal/events",
+		"internal/experiments",
+		"internal/workload",
+		"internal/predict",
+		"internal/buildgraph",
+		"internal/buildsys",
+		"internal/strategies",
+		"internal/metrics",
+	}},
+	{Analyzer: "seedrand", Packages: []string{"internal/...", "cmd/..."}},
+	{Analyzer: "maporder", Packages: []string{
+		"internal/buildgraph",
+		"internal/buildsys",
+		"internal/planner",
+		"internal/speculation",
+		"internal/conflict",
+		"internal/queue",
+		"internal/repo",
+		"internal/predict",
+		"internal/change",
+		"internal/workload",
+		"internal/experiments",
+		"internal/sim",
+		"internal/core",
+		"internal/strategies",
+	}},
+	{Analyzer: "locksend", Packages: []string{"..."}},
+	{Analyzer: "errdrop", Packages: []string{"internal/...", "cmd/..."}},
+}
+
+// Applies implements Policy.
+func (t TablePolicy) Applies(analyzer, relPath string) bool {
+	for _, r := range t {
+		if r.Analyzer != analyzer {
+			continue
+		}
+		for _, pat := range r.Packages {
+			if matchPattern(pat, relPath) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchPattern matches a module-relative path against a pattern: exact,
+// "dir/..." prefix, or the catch-all "...".
+func matchPattern(pat, relPath string) bool {
+	if pat == "..." {
+		return true
+	}
+	if strings.HasSuffix(pat, "/...") {
+		prefix := strings.TrimSuffix(pat, "/...")
+		return relPath == prefix || strings.HasPrefix(relPath, prefix+"/")
+	}
+	return pat == relPath
+}
+
+// allPolicy applies every analyzer everywhere (fixture tests).
+type allPolicy struct{}
+
+func (allPolicy) Applies(string, string) bool { return true }
+
+// AllPolicy returns a policy with no scoping, for tests and one-off runs.
+func AllPolicy() Policy { return allPolicy{} }

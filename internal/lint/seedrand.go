@@ -1,0 +1,41 @@
+package lint
+
+import "go/ast"
+
+// SeedrandAnalyzer flags calls to math/rand's package-level functions
+// (rand.Intn, rand.Float64, rand.Shuffle, ...) in library code. Those draw
+// from the global, racily shared source, so two runs with identical configs
+// produce different workloads and experiments stop being replayable. RNGs
+// must be constructed with rand.New(rand.NewSource(seed)) and injected; the
+// constructors themselves (New, NewSource, NewZipf) are allowed.
+var SeedrandAnalyzer = &Analyzer{
+	Name: "seedrand",
+	Doc:  "disallow global math/rand functions; RNGs must be seeded and injected",
+	Run:  runSeedrand,
+}
+
+var seedrandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runSeedrand(pass *Pass) {
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(pass.Pkg.Info, call)
+			if !ok {
+				return true
+			}
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			if seedrandAllowed[name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"global rand.%s uses the shared math/rand source; seed a *rand.Rand and inject it", name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Package alltrip deliberately violates every invariant at once: one
+// function tripping all five analyzers.
+package alltrip
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// S couples a mutex to a channel, the deadlock-prone shape.
+type S struct {
+	mu sync.Mutex
+	ch chan string
+}
+
+func mayFail() error { return nil }
+
+// Everything trips wallclock, seedrand, maporder, locksend, and errdrop.
+func (s *S) Everything(m map[string]int) string {
+	t := time.Now()    // want wallclock
+	n := rand.Intn(10) // want seedrand
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want maporder
+	}
+	s.mu.Lock()
+	s.ch <- sb.String() // want locksend
+	s.mu.Unlock()
+	mayFail() // want errdrop
+	_, _ = t, n
+	return sb.String()
+}

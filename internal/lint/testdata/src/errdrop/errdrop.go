@@ -1,0 +1,36 @@
+// Package errdrop exercises the errdrop analyzer: silently discarded error
+// returns are findings; handled, explicitly discarded, exempt-family, and
+// deferred calls are not.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+// Bad drops errors silently.
+func Bad() {
+	mayFail()           // want errdrop
+	os.Remove("/tmp/x") // want errdrop
+}
+
+// Good handles, explicitly discards, or uses exempt never-fail writers.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit discard is visible and allowed
+	fmt.Println("the fmt print family is exempt")
+	var sb strings.Builder
+	sb.WriteString("builder writes never fail")
+	return nil
+}
+
+// GoodDefer is exempt: no control flow remains to handle the error.
+func GoodDefer(f *os.File) {
+	defer f.Close()
+}

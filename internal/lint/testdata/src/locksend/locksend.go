@@ -1,0 +1,73 @@
+// Package locksend exercises the locksend analyzer: blocking channel
+// operations and WaitGroup waits under a held mutex are findings;
+// unlock-first, non-blocking polls, and separate goroutine scopes are not.
+package locksend
+
+import "sync"
+
+// Q is a queue with the deadlock-prone shape.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// BadSend blocks on a channel while holding the lock.
+func (q *Q) BadSend(v int) {
+	q.mu.Lock()
+	q.ch <- v // want locksend
+	q.mu.Unlock()
+}
+
+// BadDeferRecv holds the lock (via defer) across a blocking receive.
+func (q *Q) BadDeferRecv() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want locksend
+}
+
+// BadWait blocks on a WaitGroup while holding the lock.
+func (q *Q) BadWait() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wg.Wait() // want locksend
+}
+
+// BadSelect blocks in a select with no default while holding the lock.
+func (q *Q) BadSelect() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want locksend
+	case v := <-q.ch:
+		_ = v
+	}
+}
+
+// GoodUnlockFirst releases before communicating.
+func (q *Q) GoodUnlockFirst(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// GoodPoll is a non-blocking receive: select with default.
+func (q *Q) GoodPoll() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// GoodGoroutine communicates from a separate goroutine scope that does not
+// hold the caller's lock.
+func (q *Q) GoodGoroutine() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.ch <- 1
+	}()
+}

@@ -1,0 +1,77 @@
+// Package maporder exercises the maporder analyzer: order-sensitive
+// accumulation inside a map range is a finding unless the result is sorted;
+// order-insensitive sinks (maps, sets, loop-locals) are not.
+package maporder
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadAppend collects keys in random order and never sorts them.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder
+	}
+	return out
+}
+
+// GoodSortedAfter is the collect-then-sort idiom.
+func GoodSortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BadBuilder streams keys into a builder in random order.
+func BadBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want maporder
+	}
+	return sb.String()
+}
+
+// BadHash feeds a digest in random order — the Algorithm 1 failure shape.
+func BadHash(m map[string]string) []byte {
+	h := sha256.New()
+	for k, v := range m {
+		fmt.Fprintf(h, "%s=%s", k, v) // want maporder
+	}
+	return h.Sum(nil)
+}
+
+// BadConcat builds a string in random order.
+func BadConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want maporder
+	}
+	return s
+}
+
+// GoodSetBuild writes into another map: order-insensitive.
+func GoodSetBuild(m map[string]int) map[string]bool {
+	out := map[string]bool{}
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// GoodLoopLocal appends to a slice scoped to one iteration.
+func GoodLoopLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		local := []int{}
+		local = append(local, v)
+		n += local[0]
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Package seedrand exercises the seedrand analyzer: global math/rand
+// functions are findings, seeded injected RNGs are not.
+package seedrand
+
+import "math/rand"
+
+// Bad draws from the global source.
+func Bad() int {
+	rand.Shuffle(3, func(i, j int) {}) // want seedrand
+	return rand.Intn(10)               // want seedrand
+}
+
+// Good seeds and injects.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,30 @@
+// Package suppress exercises //lint:ignore handling: a directive with a
+// reason silences the finding on its line or the next; a reasonless
+// directive suppresses nothing and is itself reported.
+package suppress
+
+import "time"
+
+// Suppressed carries a directive with a reason on the preceding line.
+func Suppressed() time.Time {
+	//lint:ignore wallclock fixture: reason provided, finding suppressed
+	return time.Now()
+}
+
+// SameLine carries the directive on the finding's own line.
+func SameLine() time.Time {
+	return time.Now() //lint:ignore wallclock fixture: same-line directive
+}
+
+// MissingReason has a reasonless directive: the wallclock finding survives
+// and the directive itself becomes an mglint finding.
+func MissingReason() time.Time {
+	//lint:ignore wallclock
+	return time.Now()
+}
+
+// WrongAnalyzer suppresses a different analyzer: the finding survives.
+func WrongAnalyzer() time.Time {
+	//lint:ignore seedrand fixture: names the wrong analyzer
+	return time.Now()
+}

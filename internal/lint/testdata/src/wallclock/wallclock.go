@@ -1,0 +1,27 @@
+// Package wallclock exercises the wallclock analyzer: direct wall-clock
+// reads are findings, the injected-clock idiom is not.
+package wallclock
+
+import "time"
+
+// Clock is the injectable seam.
+type Clock struct {
+	Now func() time.Time
+}
+
+// Bad reads the wall clock directly.
+func Bad() (time.Time, time.Duration) {
+	start := time.Now()          // want wallclock
+	elapsed := time.Since(start) // want wallclock
+	_ = time.Until(start)        // want wallclock
+	return start, elapsed
+}
+
+// Good takes time from the injected clock; referencing time.Now without
+// calling it (the default-clock idiom) is allowed.
+func Good(c Clock) time.Time {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c.Now()
+}

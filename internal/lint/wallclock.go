@@ -1,0 +1,38 @@
+package lint
+
+import "go/ast"
+
+// WallclockAnalyzer flags direct wall-clock reads — time.Now(), time.Since(),
+// time.Until() — in sim-deterministic packages. Those packages must take time
+// from an injected clock (a `Now func() time.Time` field or the simulator's
+// virtual clock) so that runs replay bit-for-bit; a stray time.Now() makes an
+// experiment unreproducible in a way no test reliably catches.
+//
+// Referencing the function without calling it (`cfg.Now = time.Now`, the
+// standard default-clock idiom) is allowed: the read still happens through
+// the injectable seam.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "disallow direct time.Now/Since/Until calls in sim-deterministic packages",
+	Run:  runWallclock,
+}
+
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallclock(pass *Pass) {
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(pass.Pkg.Info, call)
+			if !ok || pkgPath != "time" || !wallclockFuncs[name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct time.%s call reads the wall clock; take time from the injected clock (Now field / sim clock)", name)
+			return true
+		})
+	}
+}

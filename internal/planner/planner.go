@@ -263,9 +263,15 @@ func (p *Planner) decide() (int, error) {
 	cg, failed := p.analyzer.BuildGraph(pending)
 	decisions := 0
 	// Changes that no longer apply to head are rejected outright (merge
-	// conflict with committed work).
-	for id, ferr := range failed {
-		p.resolve(id, change.StateRejected, fmt.Sprintf("patch no longer applies: %v", ferr), "")
+	// conflict with committed work), in a stable order so outcome logs and
+	// event streams replay identically.
+	var failedIDs []change.ID
+	for id := range failed {
+		failedIDs = append(failedIDs, id)
+	}
+	sort.Slice(failedIDs, func(i, j int) bool { return failedIDs[i] < failedIDs[j] })
+	for _, id := range failedIDs {
+		p.resolve(id, change.StateRejected, fmt.Sprintf("patch no longer applies: %v", failed[id]), "")
 		decisions++
 	}
 	if decisions > 0 {
@@ -383,7 +389,8 @@ func (p *Planner) reconcile(ctx context.Context) (bool, error) {
 	// Abort running builds not desired (honoring the preemption grace).
 	now := p.cfg.Now()
 	var keep []*trackedBuild
-	for key, rb := range runningKeys {
+	for _, rb := range p.running { // slice order, not map order: keep is the new p.running
+		key := p.dynamicKey(rb.baseLen, rb.build)
 		if _, want := desired[key]; want {
 			keep = append(keep, rb)
 			continue

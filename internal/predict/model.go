@@ -28,6 +28,17 @@ type TrainConfig struct {
 	L2           float64 // ridge penalty (default 1e-4)
 	BatchSize    int     // mini-batch size (default 64)
 	Seed         int64   // shuffle seed (default 1)
+	// Rand, when non-nil, is the injected shuffle RNG; otherwise a fresh
+	// rand.New(rand.NewSource(Seed)), so equal Seeds train identical models.
+	Rand *rand.Rand
+}
+
+// rng returns the injected RNG, or a fresh one seeded from Seed.
+func (c TrainConfig) rng() *rand.Rand {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.New(rand.NewSource(c.Seed))
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -123,7 +134,7 @@ func Train(names []string, X [][]float64, y []bool, cfg TrainConfig) (*Model, er
 		Z[i] = z
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	idx := make([]int, len(Z))
 	for i := range idx {
 		idx[i] = i

@@ -300,13 +300,13 @@ func Compact(path string, keepOutcomes int) error {
 	j.SyncEvery = 1 << 30 // one final sync on close
 	for _, o := range outcomes {
 		if err := j.AppendOutcome(o); err != nil {
-			j.Close()
+			_ = j.Close()
 			return err
 		}
 	}
 	for _, c := range pending {
 		if err := j.AppendSubmit(c); err != nil {
-			j.Close()
+			_ = j.Close()
 			return err
 		}
 	}

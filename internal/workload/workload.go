@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"mastergreen/internal/change"
@@ -37,7 +38,12 @@ import (
 
 // Config parameterizes workload generation.
 type Config struct {
-	Seed        int64
+	Seed int64
+	// Rand, when non-nil, is the injected RNG the generator draws from.
+	// When nil, a fresh rand.New(rand.NewSource(Seed)) is used, so
+	// identical Seeds regenerate bit-identical workloads (pinned by the
+	// golden-trace test).
+	Rand        *rand.Rand
 	Count       int     // number of changes
 	RatePerHour float64 // Poisson arrival rate
 
@@ -151,10 +157,18 @@ type Workload struct {
 	Changes []*Change
 }
 
+// rng returns the injected RNG, or a fresh one seeded from Seed.
+func (c Config) rng() *rand.Rand {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.New(rand.NewSource(c.Seed))
+}
+
 // Generate builds a deterministic workload from the config.
 func Generate(cfg Config) *Workload {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 
 	devs := make([]change.Developer, cfg.Developers)
 	for i := range devs {
@@ -210,6 +224,7 @@ func Generate(cfg Config) *Workload {
 		for c := range comps {
 			compList = append(compList, c)
 		}
+		sort.Ints(compList) // map iteration order must not leak into the trace
 
 		// Duration: truncated log-normal.
 		mu := math.Log(cfg.DurMedianMin)
@@ -455,10 +470,14 @@ func (w *Workload) IsolatedTrainingData() (X [][]float64, y []bool) {
 func (w *Workload) ConflictTrainingData(seed int64) (X [][]float64, y []bool) {
 	_ = seed // retained for API stability; sampling is exhaustive
 	for _, c := range w.Changes {
+		var partners []int
 		for j := range c.PotentialConflicts {
-			if j < c.Index {
-				continue // each pair once
+			if j > c.Index {
+				partners = append(partners, j) // each pair once
 			}
+		}
+		sort.Ints(partners) // row order feeds SGD batching; map order would make training nondeterministic
+		for _, j := range partners {
 			o := w.Changes[j]
 			X = append(X, predict.ConflictFeatures(c.Meta, o.Meta))
 			y = append(y, c.RealConflicts[j])
