@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint test race bench bench-smoke
 
 # check is the CI entry point: everything must pass before merge.
 check: build vet lint race
@@ -24,6 +24,14 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# bench runs the buildgraph/buildsys micro-benchmarks (see BENCH_buildgraph.json).
+# bench runs the buildgraph/buildsys/conflict micro-benchmarks (see
+# BENCH_buildgraph.json and BENCH_conflict.json).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/
+
+# bench-smoke compiles and runs every benchmark in the repo exactly once so
+# benchmarks cannot bitrot; CI runs it on every push. The root-level paper
+# figure benchmarks take ~8 min even at 1x, so the per-package timeout is
+# raised above go test's 10m default for slow CI runners.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 30m ./...

@@ -105,6 +105,7 @@ func main() {
 	log.Println("sqd: shutting down")
 	_ = httpSrv.Close()
 	svc.Stop()
+	log.Printf("sqd: analyzer %s", svc.AnalyzerStats().Gauges())
 	if repoPath != "" {
 		f, err := os.Create(repoPath)
 		if err != nil {

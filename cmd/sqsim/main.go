@@ -44,6 +44,7 @@ var registry = []struct {
 	{"ablation-grace", "preemption grace extension", experiments.AblationPreemptionGrace},
 	{"ablation-reorder", "change reordering extension", experiments.AblationReordering},
 	{"ablation-boost", "gradient boosting vs logistic regression", experiments.AblationBoosting},
+	{"ablation-analyzer", "incremental conflict analyzer cache", experiments.AblationAnalyzerCache},
 }
 
 func main() {

@@ -77,6 +77,13 @@ type StatusResponse struct {
 	MainlineHead  string `json:"mainline_head"`
 	BuildsStarted int    `json:"builds_started"`
 	BuildsAborted int    `json:"builds_aborted"`
+
+	// Conflict-analyzer cache effectiveness (DESIGN.md §4e).
+	AnalyzerGraphBuilds     int     `json:"analyzer_graph_builds"`
+	AnalyzerReusedAnalyses  int     `json:"analyzer_reused_analyses"`
+	AnalyzerPairCacheHits   int     `json:"analyzer_pair_cache_hits"`
+	AnalyzerPairsReused     int     `json:"analyzer_pairs_reused"`
+	AnalyzerAnalysisReuseRate float64 `json:"analyzer_analysis_reuse_rate"`
 }
 
 // Server adapts a core.Service to HTTP.
@@ -219,12 +226,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bs := s.svc.BuildStats()
+	as := s.svc.AnalyzerStats()
 	head := s.svc.Repo().Head()
+	reuseRate := 0.0
+	if total := as.ReusedAnalyses + as.AnalyzedChanges; total > 0 {
+		reuseRate = float64(as.ReusedAnalyses) / float64(total)
+	}
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Pending:       s.svc.PendingCount(),
 		MainlineLen:   s.svc.Repo().Len(),
 		MainlineHead:  string(head.ID),
 		BuildsStarted: bs.Builds,
 		BuildsAborted: bs.Aborted,
+
+		AnalyzerGraphBuilds:       as.GraphBuilds,
+		AnalyzerReusedAnalyses:    as.ReusedAnalyses,
+		AnalyzerPairCacheHits:     as.PairCacheHits,
+		AnalyzerPairsReused:       as.PairsReused,
+		AnalyzerAnalysisReuseRate: reuseRate,
 	})
 }

@@ -77,6 +77,7 @@ var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
 <h1>SubmitQueue — master is green</h1>
 <p>mainline: {{.MainlineLen}} commits, HEAD {{.Head}} | pending: {{.Pending}} |
 builds: {{.Builds}} run / {{.Aborted}} aborted</p>
+<p>analyzer: {{.Analyzer}}</p>
 <h2>recent outcomes</h2>
 <table><tr><th>change</th><th>state</th><th>detail</th></tr>
 {{range .Outcomes}}<tr><td>{{.ID}}</td><td class="{{.State}}">{{.State}}</td><td>{{.Detail}}</td></tr>
@@ -93,6 +94,7 @@ type dashboardData struct {
 	Pending     int
 	Builds      int
 	Aborted     int
+	Analyzer    string // conflict-analyzer cache gauges, "name=value …"
 	Outcomes    []dashboardOutcome
 	Events      []events.Event
 }
@@ -115,6 +117,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Pending:     s.svc.PendingCount(),
 		Builds:      bs.Builds,
 		Aborted:     bs.Aborted,
+		Analyzer:    s.svc.AnalyzerStats().Gauges().String(),
 	}
 	outs := s.svc.Outcomes()
 	start := 0

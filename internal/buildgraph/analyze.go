@@ -258,18 +258,5 @@ func finishGraph(g *Graph, snap repo.Snapshot, base *Graph, seedFn func(*Graph) 
 // changedPaths returns every path whose content differs between base and
 // next (added, modified, or deleted).
 func changedPaths(base, next repo.Snapshot) []string {
-	var out []string
-	next.Range(func(path, content string) bool {
-		if old, ok := base.Read(path); !ok || old != content {
-			out = append(out, path)
-		}
-		return true
-	})
-	base.Range(func(path, _ string) bool {
-		if _, ok := next.Read(path); !ok {
-			out = append(out, path)
-		}
-		return true
-	})
-	return out
+	return base.ChangedPaths(next)
 }

@@ -88,6 +88,12 @@ func NameIntersectionConflict(di, dj Delta) bool {
 	return false
 }
 
+// Disjoint reports whether the two deltas affect no common target — the
+// disjointness half of the conflict analyzer's selective-invalidation rule.
+func (d Delta) Disjoint(other Delta) bool {
+	return !NameIntersectionConflict(d, other)
+}
+
 // UnionConflict is the §5.2 union-graph algorithm for structure-altering
 // changes: over the union of the edges of G_H, G_{H⊕Ci}, and G_{H⊕Cj}, the
 // changes conflict iff some target transitively depends on affected targets
@@ -95,12 +101,21 @@ func NameIntersectionConflict(di, dj Delta) bool {
 // intersect. It covers the Fig. 8 trap (name-disjoint deltas joined by a new
 // edge) without building the combined graph.
 func UnionConflict(gH, gi, gj *Graph) bool {
-	di, dj := Diff(gH, gi), Diff(gH, gj)
+	return UnionConflictDeltas(Diff(gH, gi), Diff(gH, gj), gH, gi, gj)
+}
+
+// UnionConflictDeltas is UnionConflict with the two deltas supplied by the
+// caller rather than recomputed from the graphs. The graphs contribute only
+// their edge sets (the reverse-dependency union), so callers holding
+// already-validated deltas — e.g. analyses re-homed across a head move,
+// whose stored graphs carry stale hashes but current structure — can reuse
+// them without rebuilding anything.
+func UnionConflictDeltas(di, dj Delta, graphs ...*Graph) bool {
 	if len(di) == 0 || len(dj) == 0 {
 		return false
 	}
 	rdeps := map[string][]string{}
-	for _, g := range []*Graph{gH, gi, gj} {
+	for _, g := range graphs {
 		for name, t := range g.targets {
 			for _, d := range t.Deps {
 				rdeps[d] = append(rdeps[d], name)

@@ -1,0 +1,128 @@
+package conflict
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+// benchRepo builds a repo of n mutually independent single-target packages
+// plus one pending content edit per package.
+func benchRepo(n int) (*repo.Repo, []*change.Change) {
+	files := make(map[string]string, 2*n)
+	for i := 0; i < n; i++ {
+		files[fmt.Sprintf("d%03d/BUILD", i)] = fmt.Sprintf("target t%03d srcs=f.go", i)
+		files[fmt.Sprintf("d%03d/f.go", i)] = fmt.Sprintf("v1 of %d", i)
+	}
+	r := repo.New(files)
+	pending := make([]*change.Change, n)
+	for i := 0; i < n; i++ {
+		pending[i] = &change.Change{
+			ID: change.ID(fmt.Sprintf("c%03d", i)),
+			Patch: repo.Patch{Changes: []repo.FileChange{{
+				Path: fmt.Sprintf("d%03d/f.go", i), Op: repo.OpModify,
+				BaseHash:   repo.HashContent(fmt.Sprintf("v1 of %d", i)),
+				NewContent: fmt.Sprintf("v2 of %d", i),
+			}}},
+		}
+	}
+	return r, pending
+}
+
+// runCommitSequence plans the full pending set, then lands the first k
+// changes one at a time with a BuildGraph re-plan after each commit —
+// the planner's steady-state loop. It returns the number of conflict-level
+// graph builds the commit phase consumed.
+func runCommitSequence(tb testing.TB, legacy bool, n, k int) (graphBuildsPerCommit float64, st Stats) {
+	tb.Helper()
+	r, pending := benchRepo(n)
+	a := New(r)
+	a.LegacyInvalidation = legacy
+	if _, failed := a.BuildGraph(pending); len(failed) != 0 {
+		tb.Fatalf("initial BuildGraph failed: %v", failed)
+	}
+	before := a.Stats().GraphBuilds
+	for i := 0; i < k; i++ {
+		head := r.Head()
+		if _, err := r.CommitPatch(head.ID, pending[0].Patch, "dev", string(pending[0].ID), time.Time{}); err != nil {
+			tb.Fatal(err)
+		}
+		pending = pending[1:]
+		if _, failed := a.BuildGraph(pending); len(failed) != 0 {
+			tb.Fatalf("BuildGraph after commit %d failed: %v", i, failed)
+		}
+	}
+	st = a.Stats()
+	return float64(st.GraphBuilds-before) / float64(k), st
+}
+
+// TestSelectiveInvalidationReducesGraphBuilds is the acceptance headline:
+// at 64 pending independent changes, committing them one at a time must cost
+// at least 5x fewer graph builds per commit than the wipe-on-head-move
+// baseline (BENCH_conflict.json records the measured ratio).
+func TestSelectiveInvalidationReducesGraphBuilds(t *testing.T) {
+	const n, k = 64, 16
+	legacyPer, _ := runCommitSequence(t, true, n, k)
+	incPer, st := runCommitSequence(t, false, n, k)
+	t.Logf("graph builds per commit: legacy=%.1f incremental=%.1f (%.1fx) stats=%+v",
+		legacyPer, incPer, legacyPer/incPer, st)
+	if incPer <= 0 {
+		t.Fatalf("incremental graph builds per commit = %v", incPer)
+	}
+	if ratio := legacyPer / incPer; ratio < 5 {
+		t.Fatalf("graph-build reduction %.1fx < 5x (legacy %.1f/commit, incremental %.1f/commit)",
+			ratio, legacyPer, incPer)
+	}
+	if st.ReusedAnalyses == 0 || st.PairsReused == 0 {
+		t.Fatalf("incremental pipeline idle: %+v", st)
+	}
+}
+
+// BenchmarkCommitReplanIncremental measures the steady-state planner loop —
+// commit one change, re-plan the remaining 63 — with selective invalidation
+// and the incremental graph memo.
+func BenchmarkCommitReplanIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCommitSequence(b, false, 64, 16)
+	}
+}
+
+// BenchmarkCommitReplanLegacy is the same loop with wipe-on-head-move
+// invalidation and from-scratch graph builds (the pre-incremental analyzer).
+func BenchmarkCommitReplanLegacy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCommitSequence(b, true, 64, 16)
+	}
+}
+
+// BenchmarkBuildGraphSteadyState measures a re-plan with no head movement
+// and no pending churn: all pairs served from the graph memo.
+func BenchmarkBuildGraphSteadyState(b *testing.B) {
+	r, pending := benchRepo(64)
+	a := New(r)
+	if _, failed := a.BuildGraph(pending); len(failed) != 0 {
+		b.Fatalf("setup failed: %v", failed)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, failed := a.BuildGraph(pending); len(failed) != 0 {
+			b.Fatalf("BuildGraph failed: %v", failed)
+		}
+	}
+}
+
+// BenchmarkAnalyzeFanOut measures the parallel single-flight analysis of 64
+// fresh changes (cache emptied each iteration via a forced legacy wipe).
+func BenchmarkAnalyzeFanOut(b *testing.B) {
+	r, pending := benchRepo(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := New(r)
+		if _, failed := a.BuildGraph(pending); len(failed) != 0 {
+			b.Fatalf("BuildGraph failed: %v", failed)
+		}
+	}
+}

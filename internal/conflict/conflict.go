@@ -9,21 +9,49 @@
 // name-intersection of deltas suffices; otherwise the union-graph algorithm
 // runs on the three graphs G_H, G_{H⊕Ci}, G_{H⊕Cj}, avoiding the n² graph
 // builds that Equation 6 would require.
+//
+// The analyzer's steady state is an incremental, parallel pipeline
+// (DESIGN.md §4e):
+//
+//   - Selective invalidation: when HEAD advances, cached analyses whose
+//     deltas are target-disjoint from the head movement (and whose patches
+//     touch none of the moved files) are re-homed to the new head instead of
+//     recomputed, so a commit costs ~conflict-degree re-analyses, not N.
+//   - Parallel fan-out: per-change analyses run single-flight on a bounded
+//     worker pool; the analyzer mutex only guards cache bookkeeping, never a
+//     merge or graph build.
+//   - Pairwise memoization + incremental conflict graph: pair verdicts are
+//     cached under the two analyses' identities (which survive re-homing),
+//     and BuildGraph updates one long-lived graph epoch to epoch, rescanning
+//     only pairs whose analyses changed.
 package conflict
 
 import (
+	"errors"
 	"fmt"
-	"sort"
+	"runtime"
 	"sync"
 
 	"mastergreen/internal/buildgraph"
 	"mastergreen/internal/change"
+	"mastergreen/internal/events"
+	"mastergreen/internal/metrics"
 	"mastergreen/internal/repo"
 )
+
+// errHeadMoved is returned by Conflicts when HEAD advanced between the two
+// analyses; BuildGraph retries the pass once before assuming conflict.
+var errHeadMoved = errors.New("conflict: head moved during analysis")
 
 // Analysis is everything the analyzer derives from a single change at a
 // given head.
 type Analysis struct {
+	// id is the analysis identity: a fresh value per computed analysis,
+	// preserved when the analysis is re-homed across a head move. Pairwise
+	// verdicts are memoized under the two identities, so a verdict stays
+	// valid exactly as long as both analyses do.
+	id uint64
+
 	Change *change.Change
 	Head   repo.CommitID
 	// Delta is δ_{H⊕C}: affected targets and their post-change hashes.
@@ -32,13 +60,19 @@ type Analysis struct {
 	// (adds/removes targets or edges). Only such changes need the union-graph
 	// conflict algorithm.
 	StructureChanged bool
-	// Graph is the build graph of H⊕C, consulted by the union-graph
-	// comparison when either side of a pair changed structure.
+	// Graph is the build graph of H⊕C as analyzed when the analysis was
+	// computed. After re-homing, hashes of targets outside Delta may lag the
+	// current head, but its structure (targets and edges) is current — the
+	// only property the union comparison consults.
 	Graph *buildgraph.Graph
+	// paths is the set of files the change's patch touches, consulted by the
+	// selective-invalidation rule (a head movement touching none of them
+	// cannot affect the patch's applicability).
+	paths map[string]bool
 }
 
 // Stats counts analyzer work, used by the ablation benchmarks to verify the
-// "n graphs instead of n²" claim.
+// "n graphs instead of n²" claim and to measure the incremental pipeline.
 type Stats struct {
 	GraphBuilds        int // full build-graph analyses performed
 	CheapComparisons   int // name-intersection conflict tests
@@ -47,23 +81,116 @@ type Stats struct {
 	StructureChanged   int // analyses whose change altered graph structure
 	AnalyzedChanges    int
 	PatchApplyFailures int
+
+	// Incremental-pipeline counters (DESIGN.md §4e).
+	ReusedAnalyses         int // analyses re-homed across a head move without recomputation
+	SelectiveInvalidations int // analyses dropped by the invalidation rule
+	PairCacheHits          int // pairwise verdicts served from the pair cache
+	PairsReused            int // graph edges carried between epochs without any rescan
+	PairsRescanned         int // dirty pairs re-verdicted during a graph update
+	HeadMoveRetries        int // BuildGraph passes re-run because HEAD moved mid-analysis
+	ConservativeEdges      int // edges assumed conflicting because HEAD kept moving
+	GraphUpdates           int // incremental conflict-graph updates
+	GraphRebuilds          int // conflict graphs built from scratch
 }
 
-// Analyzer caches per-head build graphs and per-change analyses. All methods
-// are safe for concurrent use.
+// Gauges renders the counters as ordered name/value pairs for dashboards and
+// experiment reports (cache effectiveness at a glance).
+func (s Stats) Gauges() metrics.Gauges {
+	return metrics.Gauges{
+		{Name: "graph_builds", Value: float64(s.GraphBuilds)},
+		{Name: "analyzed_changes", Value: float64(s.AnalyzedChanges)},
+		{Name: "cache_hits", Value: float64(s.CacheHits)},
+		{Name: "reused_analyses", Value: float64(s.ReusedAnalyses)},
+		{Name: "selective_invalidations", Value: float64(s.SelectiveInvalidations)},
+		{Name: "cheap_comparisons", Value: float64(s.CheapComparisons)},
+		{Name: "union_comparisons", Value: float64(s.UnionComparisons)},
+		{Name: "pair_cache_hits", Value: float64(s.PairCacheHits)},
+		{Name: "pairs_reused", Value: float64(s.PairsReused)},
+		{Name: "pairs_rescanned", Value: float64(s.PairsRescanned)},
+		{Name: "head_move_retries", Value: float64(s.HeadMoveRetries)},
+		{Name: "conservative_edges", Value: float64(s.ConservativeEdges)},
+		{Name: "graph_updates", Value: float64(s.GraphUpdates)},
+		{Name: "graph_rebuilds", Value: float64(s.GraphRebuilds)},
+		{Name: "structure_changed", Value: float64(s.StructureChanged)},
+		{Name: "patch_apply_failures", Value: float64(s.PatchApplyFailures)},
+	}
+}
+
+// inflight is a single-flight slot: the claimant computes the analysis and
+// publishes it before closing done; waiters re-check the cache afterwards.
+type inflight struct {
+	done chan struct{}
+	an   *Analysis // set before done closes; may be for an older head
+	err  error
+}
+
+// pairKey addresses one memoized pairwise verdict by the identities of the
+// two analyses it was computed from, order-normalized.
+type pairKey struct{ lo, hi uint64 }
+
+func makePairKey(a, b uint64) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{lo: a, hi: b}
+}
+
+// Analyzer caches per-head build graphs, per-change analyses, pairwise
+// verdicts, and an incrementally maintained conflict graph. All methods are
+// safe for concurrent use.
 type Analyzer struct {
 	repo *repo.Repo
 
+	// LegacyInvalidation, when set before first use, restores the
+	// wipe-on-head-move baseline: every head movement discards all cached
+	// analyses, pair verdicts, and the graph memo. It exists so benchmarks
+	// and ablations can measure what the incremental pipeline saves.
+	LegacyInvalidation bool
+
+	sem chan struct{} // bounds concurrently executing per-change analyses
+
 	mu        sync.Mutex
 	head      repo.CommitID
+	headSnap  repo.Snapshot
 	headGraph *buildgraph.Graph
 	analyses  map[change.ID]*Analysis
+	inflight  map[change.ID]*inflight
+	nextID    uint64 // next analysis identity; starts at 1 (0 = "no identity")
+	pairs     map[pairKey]bool
+	memo      *graphMemo
 	stats     Stats
+	bus       *events.Bus
 }
 
-// New creates an Analyzer over the repository.
+// New creates an Analyzer over the repository. The analysis worker pool is
+// sized to the machine; worker count never affects results, only latency.
 func New(r *repo.Repo) *Analyzer {
-	return &Analyzer{repo: r, analyses: map[change.ID]*Analysis{}}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	return &Analyzer{
+		repo:     r,
+		sem:      make(chan struct{}, workers),
+		analyses: map[change.ID]*Analysis{},
+		inflight: map[change.ID]*inflight{},
+		nextID:   1,
+		pairs:    map[pairKey]bool{},
+	}
+}
+
+// SetEvents attaches an event bus for analyzer lifecycle events (analysis
+// start/reuse/invalidate). Call before first use.
+func (a *Analyzer) SetEvents(b *events.Bus) { a.bus = b }
+
+// publish emits a lifecycle event. Safe to call with or without a.mu held:
+// Bus.Publish's subscriber sends are non-blocking and its mutex is a leaf.
+func (a *Analyzer) publish(typ events.Type, id change.ID, detail string) {
+	if a.bus == nil {
+		return
+	}
+	a.bus.Publish(events.Event{Type: typ, Change: id, Detail: detail})
 }
 
 // Stats returns a snapshot of the analyzer's work counters.
@@ -73,22 +200,36 @@ func (a *Analyzer) Stats() Stats {
 	return a.stats
 }
 
-// refreshHead ensures the cached head graph matches the repo's current HEAD,
-// invalidating per-change analyses when the mainline advanced. Callers hold
-// a.mu.
-func (a *Analyzer) refreshHead() error {
+func (a *Analyzer) count(f func(*Stats)) {
+	a.mu.Lock()
+	f(&a.stats)
+	a.mu.Unlock()
+}
+
+// refreshHeadLocked ensures the cached head graph matches the repo's current
+// HEAD. When the mainline advanced, per-change analyses are selectively
+// invalidated (see invalidateLocked) rather than wiped. Callers hold a.mu.
+func (a *Analyzer) refreshHeadLocked() error {
 	head := a.repo.Head()
 	if a.headGraph != nil && a.head == head.ID {
 		return nil
 	}
-	g, err := buildgraph.Analyze(head.Snapshot())
+	snap := head.Snapshot()
+	g, err := buildgraph.Analyze(snap)
 	if err != nil {
 		return fmt.Errorf("conflict: analyzing head %s: %w", head.ID, err)
 	}
 	a.stats.GraphBuilds++
+	if a.headGraph == nil || a.LegacyInvalidation {
+		a.analyses = map[change.ID]*Analysis{}
+		a.pairs = map[pairKey]bool{}
+		a.memo = nil
+	} else {
+		a.invalidateLocked(head.ID, snap, g)
+	}
 	a.head = head.ID
+	a.headSnap = snap
 	a.headGraph = g
-	a.analyses = map[change.ID]*Analysis{}
 	return nil
 }
 
@@ -96,39 +237,92 @@ func (a *Analyzer) refreshHead() error {
 // current HEAD. It fails if the patch does not apply cleanly to HEAD — a
 // merge conflict with already-committed work, which SubmitQueue surfaces as
 // an immediate rejection reason.
+//
+// Concurrent calls for the same change coalesce onto one computation
+// (single-flight); concurrent calls for different changes proceed in
+// parallel on a bounded pool. If HEAD moves while an analysis is in flight,
+// the returned Analysis carries the head it was computed at; Conflicts and
+// BuildGraph detect the mismatch and retry.
 func (a *Analyzer) Analyze(c *change.Change) (*Analysis, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if err := a.refreshHead(); err != nil {
-		return nil, err
+	for {
+		a.mu.Lock()
+		if err := a.refreshHeadLocked(); err != nil {
+			a.mu.Unlock()
+			return nil, err
+		}
+		if an, ok := a.analyses[c.ID]; ok {
+			a.stats.CacheHits++
+			a.mu.Unlock()
+			return an, nil
+		}
+		if fl, ok := a.inflight[c.ID]; ok {
+			a.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			// The in-flight analysis may have landed at an older head; loop
+			// to pick it from the cache (or re-claim) at the current one.
+			continue
+		}
+		fl := &inflight{done: make(chan struct{})}
+		a.inflight[c.ID] = fl
+		head, headGraph := a.head, a.headGraph
+		a.mu.Unlock()
+
+		a.publish(events.TypeAnalysisStarted, c.ID, "at head "+string(head))
+		an, err := a.analyzeAt(c, head, headGraph)
+
+		a.mu.Lock()
+		delete(a.inflight, c.ID)
+		if err == nil {
+			an.id = a.nextID
+			a.nextID++
+			if a.head == head {
+				a.analyses[c.ID] = an
+			}
+		}
+		fl.an, fl.err = an, err
+		a.mu.Unlock()
+		close(fl.done)
+		return an, err
 	}
-	if an, ok := a.analyses[c.ID]; ok {
-		a.stats.CacheHits++
-		return an, nil
-	}
-	snap, err := a.repo.Merged(a.head, c.Patch)
+}
+
+// analyzeAt performs the expensive part of an analysis — merge, build-graph
+// analysis, delta — without holding a.mu, bounded by the worker pool.
+func (a *Analyzer) analyzeAt(c *change.Change, head repo.CommitID, headGraph *buildgraph.Graph) (*Analysis, error) {
+	a.sem <- struct{}{}
+	defer func() { <-a.sem }()
+	snap, err := a.repo.Merged(head, c.Patch)
 	if err != nil {
-		a.stats.PatchApplyFailures++
+		a.count(func(s *Stats) { s.PatchApplyFailures++ })
 		return nil, fmt.Errorf("conflict: change %s does not apply to head: %w", c.ID, err)
 	}
 	g, err := buildgraph.Analyze(snap)
 	if err != nil {
 		return nil, fmt.Errorf("conflict: analyzing %s: %w", c.ID, err)
 	}
-	a.stats.GraphBuilds++
-	a.stats.AnalyzedChanges++
-	an := &Analysis{
+	structureChanged := !buildgraph.SameStructure(headGraph, g)
+	a.count(func(s *Stats) {
+		s.GraphBuilds++
+		s.AnalyzedChanges++
+		if structureChanged {
+			s.StructureChanged++
+		}
+	})
+	paths := map[string]bool{}
+	for _, p := range c.Patch.Paths() {
+		paths[p] = true
+	}
+	return &Analysis{
 		Change:           c,
-		Head:             a.head,
-		Delta:            buildgraph.Diff(a.headGraph, g),
-		StructureChanged: !buildgraph.SameStructure(a.headGraph, g),
+		Head:             head,
+		Delta:            buildgraph.Diff(headGraph, g),
+		StructureChanged: structureChanged,
 		Graph:            g,
-	}
-	if an.StructureChanged {
-		a.stats.StructureChanged++
-	}
-	a.analyses[c.ID] = an
-	return an, nil
+		paths:            paths,
+	}, nil
 }
 
 // Conflicts reports whether two changes conflict at the current HEAD.
@@ -143,173 +337,39 @@ func (a *Analyzer) Conflicts(ci, cj *change.Change) (bool, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Prefer the cached (possibly re-homed) analyses: a head move between
+	// the two Analyze calls re-homes disjoint survivors in place.
+	if cur, ok := a.analyses[ci.ID]; ok {
+		ai = cur
+	}
+	if cur, ok := a.analyses[cj.ID]; ok {
+		aj = cur
+	}
 	if ai.Head != a.head || aj.Head != a.head {
 		// Head moved between the two analyses; caller should retry.
-		return false, fmt.Errorf("conflict: head moved during analysis")
+		return false, errHeadMoved
 	}
+	return a.pairVerdictLocked(ai, aj), nil
+}
+
+// pairVerdictLocked decides (and memoizes) whether two same-head analyses
+// conflict. Callers hold a.mu and have verified both heads match a.head.
+func (a *Analyzer) pairVerdictLocked(ai, aj *Analysis) bool {
+	key := makePairKey(ai.id, aj.id)
+	if v, ok := a.pairs[key]; ok {
+		a.stats.PairCacheHits++
+		return v
+	}
+	var conf bool
 	if !ai.StructureChanged && !aj.StructureChanged {
 		a.stats.CheapComparisons++
-		return buildgraph.NameIntersectionConflict(ai.Delta, aj.Delta), nil
+		conf = buildgraph.NameIntersectionConflict(ai.Delta, aj.Delta)
+	} else {
+		a.stats.UnionComparisons++
+		conf = buildgraph.UnionConflictDeltas(ai.Delta, aj.Delta, a.headGraph, ai.Graph, aj.Graph)
 	}
-	a.stats.UnionComparisons++
-	return buildgraph.UnionConflict(a.headGraph, ai.Graph, aj.Graph), nil
-}
-
-// Graph is the conflict graph over a set of pending changes: vertices are
-// changes (in submission order) and edges join potentially conflicting pairs.
-type Graph struct {
-	order []change.ID
-	index map[change.ID]int
-	edges map[change.ID]map[change.ID]bool
-}
-
-// BuildGraph analyzes every pending change pairwise and returns the conflict
-// graph. Changes whose patch no longer applies to HEAD are reported in
-// failed with their error and excluded from the graph.
-func (a *Analyzer) BuildGraph(pending []*change.Change) (g *Graph, failed map[change.ID]error) {
-	failed = map[change.ID]error{}
-	var ok []*change.Change
-	for _, c := range pending {
-		if _, err := a.Analyze(c); err != nil {
-			failed[c.ID] = err
-			continue
-		}
-		ok = append(ok, c)
+	if !a.LegacyInvalidation {
+		a.pairs[key] = conf
 	}
-	g = NewGraph(nil)
-	for _, c := range ok {
-		g.AddChange(c.ID)
-	}
-	for i := 0; i < len(ok); i++ {
-		for j := i + 1; j < len(ok); j++ {
-			conf, err := a.Conflicts(ok[i], ok[j])
-			if err != nil {
-				// Head moved mid-build: mark conservative conflict so the
-				// planner re-plans next epoch rather than miscommitting.
-				conf = true
-			}
-			if conf {
-				g.AddEdge(ok[i].ID, ok[j].ID)
-			}
-		}
-	}
-	return g, failed
-}
-
-// NewGraph creates a conflict graph with the given change order.
-func NewGraph(order []change.ID) *Graph {
-	g := &Graph{index: map[change.ID]int{}, edges: map[change.ID]map[change.ID]bool{}}
-	for _, id := range order {
-		g.AddChange(id)
-	}
-	return g
-}
-
-// AddChange appends a change to the submission order (idempotent).
-func (g *Graph) AddChange(id change.ID) {
-	if _, ok := g.index[id]; ok {
-		return
-	}
-	g.index[id] = len(g.order)
-	g.order = append(g.order, id)
-	g.edges[id] = map[change.ID]bool{}
-}
-
-// AddEdge records that two changes potentially conflict.
-func (g *Graph) AddEdge(a, b change.ID) {
-	if a == b {
-		return
-	}
-	g.AddChange(a)
-	g.AddChange(b)
-	g.edges[a][b] = true
-	g.edges[b][a] = true
-}
-
-// Remove deletes a change (e.g. after it commits or is rejected).
-func (g *Graph) Remove(id change.ID) {
-	if _, ok := g.index[id]; !ok {
-		return
-	}
-	for other := range g.edges[id] {
-		delete(g.edges[other], id)
-	}
-	delete(g.edges, id)
-	delete(g.index, id)
-	for i, o := range g.order {
-		if o == id {
-			g.order = append(g.order[:i], g.order[i+1:]...)
-			break
-		}
-	}
-	for i, o := range g.order {
-		g.index[o] = i
-	}
-}
-
-// Len returns the number of changes in the graph.
-func (g *Graph) Len() int { return len(g.order) }
-
-// Order returns change IDs in submission order (a copy).
-func (g *Graph) Order() []change.ID { return append([]change.ID(nil), g.order...) }
-
-// Conflict reports whether two changes are joined by an edge.
-func (g *Graph) Conflict(a, b change.ID) bool { return g.edges[a][b] }
-
-// Neighbors returns the changes conflicting with id, in submission order.
-func (g *Graph) Neighbors(id change.ID) []change.ID {
-	out := make([]change.ID, 0, len(g.edges[id]))
-	for o := range g.edges[id] {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool { return g.index[out[i]] < g.index[out[j]] })
-	return out
-}
-
-// ConflictingPredecessors returns the changes submitted before id that
-// conflict with it — the set the speculation engine must speculate over.
-func (g *Graph) ConflictingPredecessors(id change.ID) []change.ID {
-	idx, ok := g.index[id]
-	if !ok {
-		return nil
-	}
-	var out []change.ID
-	for _, o := range g.Neighbors(id) {
-		if g.index[o] < idx {
-			out = append(out, o)
-		}
-	}
-	return out
-}
-
-// Components returns the connected components of the conflict graph, each in
-// submission order, with components ordered by their earliest change.
-// Changes in different components are mutually independent and can build and
-// commit fully in parallel (§5).
-func (g *Graph) Components() [][]change.ID {
-	seen := map[change.ID]bool{}
-	var comps [][]change.ID
-	for _, id := range g.order {
-		if seen[id] {
-			continue
-		}
-		var comp []change.ID
-		stack := []change.ID{id}
-		seen[id] = true
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			comp = append(comp, n)
-			for m := range g.edges[n] {
-				if !seen[m] {
-					seen[m] = true
-					//lint:ignore maporder visit order is immaterial: comp is sorted by submission index below
-					stack = append(stack, m)
-				}
-			}
-		}
-		sort.Slice(comp, func(i, j int) bool { return g.index[comp[i]] < g.index[comp[j]] })
-		comps = append(comps, comp)
-	}
-	return comps
+	return conf
 }

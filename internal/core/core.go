@@ -103,6 +103,9 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 	}
 	q := queue.New(cfg.QueueShards)
 	an := conflict.New(r)
+	if cfg.Events != nil {
+		an.SetEvents(cfg.Events)
+	}
 	spec := speculation.New(cfg.Predictor)
 	ctrl := buildsys.NewController(cfg.Workers, cfg.Runner)
 	pl := planner.New(r, q, an, spec, ctrl, planner.Config{

@@ -23,6 +23,13 @@ const (
 	TypeBuildAborted  Type = "build-aborted"
 	TypeCommitted     Type = "committed"
 	TypeRejected      Type = "rejected"
+
+	// Conflict-analyzer lifecycle events: an analysis was computed fresh,
+	// re-homed across a head move without recomputation, or dropped by the
+	// selective-invalidation rule.
+	TypeAnalysisStarted     Type = "analysis-started"
+	TypeAnalysisReused      Type = "analysis-reused"
+	TypeAnalysisInvalidated Type = "analysis-invalidated"
 )
 
 // Event is one lifecycle occurrence.

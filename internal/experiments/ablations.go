@@ -9,6 +9,7 @@ import (
 	"mastergreen/internal/buildgraph"
 	"mastergreen/internal/buildsys"
 	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
 	"mastergreen/internal/core"
 	"mastergreen/internal/metrics"
 	"mastergreen/internal/predict"
@@ -406,5 +407,73 @@ func AblationBoosting(o Options) *Report {
 			"boosting matches it and would win on threshold-shaped signals (see predict tests)\n",
 		lrAcc, lrAUC, gbAcc, gbAUC, len(gb.Stumps),
 		r.Metrics["conflict_lr_auc"], r.Metrics["conflict_gb_auc"])
+	return r
+}
+
+// AblationAnalyzerCache measures the incremental conflict analyzer
+// (DESIGN.md §4e) against the wipe-on-head-move baseline: a pool of mutually
+// independent pending changes is re-planned (BuildGraph) after each of a
+// series of commits. The baseline re-analyzes every remaining change per
+// commit; selective invalidation re-homes them all, so each commit costs one
+// head-graph build.
+func AblationAnalyzerCache(o Options) *Report {
+	r := newReport("ablation-analyzer", "Ablation — incremental conflict analyzer (selective invalidation)")
+	n := o.count(16, 64)
+	commits := n / 4
+
+	run := func(legacy bool) (perCommit float64, st conflict.Stats) {
+		files := map[string]string{}
+		for i := 0; i < n; i++ {
+			files[fmt.Sprintf("d%02d/BUILD", i)] = fmt.Sprintf("target t%02d srcs=f.go", i)
+			files[fmt.Sprintf("d%02d/f.go", i)] = fmt.Sprintf("v1 of %d", i)
+		}
+		rp := repo.New(files)
+		an := conflict.New(rp)
+		an.LegacyInvalidation = legacy
+		pending := make([]*change.Change, n)
+		for i := 0; i < n; i++ {
+			path := fmt.Sprintf("d%02d/f.go", i)
+			pending[i] = &change.Change{
+				ID: change.ID(fmt.Sprintf("c%02d", i)),
+				Patch: repo.Patch{Changes: []repo.FileChange{{
+					Path: path, Op: repo.OpModify,
+					BaseHash:   repo.HashContent(fmt.Sprintf("v1 of %d", i)),
+					NewContent: fmt.Sprintf("v2 of %d", i),
+				}}},
+			}
+		}
+		if _, failed := an.BuildGraph(pending); len(failed) > 0 {
+			panic(fmt.Sprintf("ablation-analyzer: unexpected failures: %v", failed))
+		}
+		before := an.Stats().GraphBuilds
+		for k := 0; k < commits; k++ {
+			head := rp.Head()
+			if _, err := rp.CommitPatch(head.ID, pending[0].Patch, "dev", string(pending[0].ID), time.Time{}); err != nil {
+				panic(err)
+			}
+			pending = pending[1:]
+			if _, failed := an.BuildGraph(pending); len(failed) > 0 {
+				panic(fmt.Sprintf("ablation-analyzer: unexpected failures: %v", failed))
+			}
+		}
+		st = an.Stats()
+		return float64(st.GraphBuilds-before) / float64(commits), st
+	}
+
+	legacyPer, _ := run(true)
+	incPer, st := run(false)
+	r.Metrics["pending_changes"] = float64(n)
+	r.Metrics["commits"] = float64(commits)
+	r.Metrics["legacy_graph_builds_per_commit"] = legacyPer
+	r.Metrics["incremental_graph_builds_per_commit"] = incPer
+	r.Metrics["reduction_x"] = ratio(legacyPer, incPer)
+	r.Metrics["reused_analyses"] = float64(st.ReusedAnalyses)
+	r.Metrics["pairs_reused"] = float64(st.PairsReused)
+	r.Metrics["pair_cache_hits"] = float64(st.PairCacheHits)
+	r.Text = fmt.Sprintf(
+		"%d independent pending changes, %d sequential commits, BuildGraph after each:\n"+
+			"  wipe-on-head-move: %.1f graph builds/commit\n"+
+			"  incremental:       %.1f graph builds/commit  (%.0fx fewer; %d analyses re-homed, %d pairs carried)\n",
+		n, commits, legacyPer, incPer, ratio(legacyPer, incPer), st.ReusedAnalyses, st.PairsReused)
 	return r
 }

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gauge is one named scalar reading, e.g. a cache counter snapshot.
+type Gauge struct {
+	Name  string
+	Value float64
+}
+
+// Gauges is an ordered list of named readings. Subsystems (like the conflict
+// analyzer) render their internal counters as Gauges so daemons and
+// experiment reports can display them uniformly without importing the
+// subsystem's stats type.
+type Gauges []Gauge
+
+// Get returns the value of the named gauge and whether it exists.
+func (gs Gauges) Get(name string) (float64, bool) {
+	for _, g := range gs {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Ratio returns num/den over the named gauges, or 0 when the denominator is
+// missing or zero. Cache hit rates are the typical use.
+func (gs Gauges) Ratio(num, den string) float64 {
+	n, _ := gs.Get(num)
+	d, _ := gs.Get(den)
+	if d == 0 {
+		return 0
+	}
+	return n / d
+}
+
+// String renders the gauges as "name=value name=value …" in listed order,
+// with integral values printed without a decimal point.
+func (gs Gauges) String() string {
+	var b strings.Builder
+	for i, g := range gs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if g.Value == float64(int64(g.Value)) {
+			fmt.Fprintf(&b, "%s=%d", g.Name, int64(g.Value))
+		} else {
+			fmt.Fprintf(&b, "%s=%.4g", g.Name, g.Value)
+		}
+	}
+	return b.String()
+}

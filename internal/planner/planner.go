@@ -188,17 +188,19 @@ func (p *Planner) decisiveKey(id change.ID) string {
 // any state changed (useful for quiescence detection).
 func (p *Planner) Tick(ctx context.Context) (bool, error) {
 	progress := p.reap()
+	var cg *conflict.Graph
 	for {
-		n, err := p.decide()
+		n, g, err := p.decide()
 		if err != nil {
 			return progress, err
 		}
+		cg = g
 		if n == 0 {
 			break
 		}
 		progress = true
 	}
-	started, err := p.reconcile(ctx)
+	started, err := p.reconcile(ctx, cg)
 	if err != nil {
 		return progress, err
 	}
@@ -254,11 +256,13 @@ func (p *Planner) reap() bool {
 }
 
 // decide commits or rejects every change whose fate is determined, in
-// submission order. Returns the number of decisions made.
-func (p *Planner) decide() (int, error) {
+// submission order. Returns the number of decisions made and the conflict
+// graph it planned over, so reconcile can reuse it when no decision (and no
+// head movement) intervened.
+func (p *Planner) decide() (int, *conflict.Graph, error) {
 	pending := p.queue.Pending()
 	if len(pending) == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	cg, failed := p.analyzer.BuildGraph(pending)
 	decisions := 0
@@ -275,7 +279,7 @@ func (p *Planner) decide() (int, error) {
 		decisions++
 	}
 	if decisions > 0 {
-		return decisions, nil
+		return decisions, cg, nil
 	}
 	for _, c := range pending {
 		// All conflicting predecessors must be resolved; with the graph
@@ -319,7 +323,7 @@ func (p *Planner) decide() (int, error) {
 		p.resolve(c.ID, change.StateCommitted, "", commit.ID)
 		decisions++
 	}
-	return decisions, nil
+	return decisions, cg, nil
 }
 
 // resolve finalizes a change's state.
@@ -352,13 +356,18 @@ func (p *Planner) resolve(id change.ID, st change.State, reason string, commit r
 }
 
 // reconcile computes the current plan and aligns running builds with it.
-func (p *Planner) reconcile(ctx context.Context) (bool, error) {
+// cg, when it covers exactly the current pending set, is reused from decide
+// rather than rebuilt; the analyzer's incremental graph memo makes a rebuild
+// cheap, but reusing the clone avoids even the O(n²) pair walk.
+func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, error) {
 	pending := p.queue.Pending()
 	if len(pending) == 0 {
 		p.abortAll()
 		return false, nil
 	}
-	cg, _ := p.analyzer.BuildGraph(pending)
+	if cg == nil || !graphCovers(cg, pending) {
+		cg, _ = p.analyzer.BuildGraph(pending)
+	}
 	plan := p.spec.Plan(speculation.Request{
 		Pending:   pending,
 		Conflicts: cg,
@@ -429,6 +438,22 @@ func (p *Planner) reconcile(ctx context.Context) (bool, error) {
 		started = true
 	}
 	return started, nil
+}
+
+// graphCovers reports whether the conflict graph's vertex set is exactly the
+// pending changes, in order. Any decision or queue churn between decide and
+// reconcile breaks the match and forces a fresh (incremental) BuildGraph.
+func graphCovers(cg *conflict.Graph, pending []*change.Change) bool {
+	order := cg.Order()
+	if len(order) != len(pending) {
+		return false
+	}
+	for i, c := range pending {
+		if order[i] != c.ID {
+			return false
+		}
+	}
+	return true
 }
 
 // startBuild merges the build's patches, computes affected targets and the

@@ -257,6 +257,26 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 	return Snapshot{files: next, fp: fp}, nil
 }
 
+// ChangedPaths returns the sorted set of paths whose content differs between
+// the two snapshots (added, removed, or modified in either direction). The
+// conflict analyzer's selective invalidation uses it to decide whether a head
+// movement can affect a cached patch's applicability.
+func (s Snapshot) ChangedPaths(other Snapshot) []string {
+	var out []string
+	for path, c := range s.files {
+		if oc, ok := other.files[path]; !ok || oc != c {
+			out = append(out, path)
+		}
+	}
+	for path := range other.files {
+		if _, ok := s.files[path]; !ok {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // DiffPatch builds the patch that transforms s into other. Useful for tests
 // and for synthesizing changes from edited working copies.
 func (s Snapshot) DiffPatch(other Snapshot) Patch {

@@ -388,3 +388,25 @@ func TestHashContentStable(t *testing.T) {
 		t.Fatalf("hash length = %d", len(HashContent("x")))
 	}
 }
+
+func TestChangedPaths(t *testing.T) {
+	a := NewSnapshot(map[string]string{"same": "1", "mod": "old", "gone": "x"})
+	b := NewSnapshot(map[string]string{"same": "1", "mod": "new", "added": "y"})
+	got := a.ChangedPaths(b)
+	want := []string{"added", "gone", "mod"}
+	if len(got) != len(want) {
+		t.Fatalf("ChangedPaths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ChangedPaths = %v, want %v", got, want)
+		}
+	}
+	// Symmetric set, both directions sorted.
+	if rev := b.ChangedPaths(a); len(rev) != len(want) {
+		t.Fatalf("reverse ChangedPaths = %v", rev)
+	}
+	if d := a.ChangedPaths(a); len(d) != 0 {
+		t.Fatalf("self diff = %v", d)
+	}
+}
