@@ -27,7 +27,7 @@ race:
 # bench runs the buildgraph/buildsys/conflict micro-benchmarks (see
 # BENCH_buildgraph.json and BENCH_conflict.json).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/ ./internal/planner/
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once so
 # benchmarks cannot bitrot; CI runs it on every push. The root-level paper

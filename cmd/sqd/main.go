@@ -106,6 +106,7 @@ func main() {
 	_ = httpSrv.Close()
 	svc.Stop()
 	log.Printf("sqd: analyzer %s", svc.AnalyzerStats().Gauges())
+	log.Printf("sqd: planner %s", svc.PlannerStats().Gauges())
 	if repoPath != "" {
 		f, err := os.Create(repoPath)
 		if err != nil {

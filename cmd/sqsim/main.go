@@ -45,6 +45,7 @@ var registry = []struct {
 	{"ablation-reorder", "change reordering extension", experiments.AblationReordering},
 	{"ablation-boost", "gradient boosting vs logistic regression", experiments.AblationBoosting},
 	{"ablation-analyzer", "incremental conflict analyzer cache", experiments.AblationAnalyzerCache},
+	{"ablation-planner", "planner shared-prefix preparation & plan memo", experiments.AblationPlannerPrep},
 }
 
 func main() {

@@ -84,6 +84,15 @@ type StatusResponse struct {
 	AnalyzerPairCacheHits   int     `json:"analyzer_pair_cache_hits"`
 	AnalyzerPairsReused     int     `json:"analyzer_pairs_reused"`
 	AnalyzerAnalysisReuseRate float64 `json:"analyzer_analysis_reuse_rate"`
+
+	// Planner incremental-epoch effectiveness (DESIGN.md §4f).
+	PlannerPrefixHits     int     `json:"planner_prefix_hits"`
+	PlannerPrefixMisses   int     `json:"planner_prefix_misses"`
+	PlannerPlansComputed  int     `json:"planner_plans_computed"`
+	PlannerPlansSkipped   int     `json:"planner_plans_skipped"`
+	PlannerKeysCached     int     `json:"planner_keys_cached"`
+	PlannerFinishedPruned int     `json:"planner_finished_pruned"`
+	PlannerPrefixHitRate  float64 `json:"planner_prefix_hit_rate"`
 }
 
 // Server adapts a core.Service to HTTP.
@@ -227,10 +236,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	bs := s.svc.BuildStats()
 	as := s.svc.AnalyzerStats()
+	ps := s.svc.PlannerStats()
 	head := s.svc.Repo().Head()
 	reuseRate := 0.0
 	if total := as.ReusedAnalyses + as.AnalyzedChanges; total > 0 {
 		reuseRate = float64(as.ReusedAnalyses) / float64(total)
+	}
+	prefixRate := 0.0
+	if total := ps.PrefixHits + ps.PrefixMisses; total > 0 {
+		prefixRate = float64(ps.PrefixHits) / float64(total)
 	}
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Pending:       s.svc.PendingCount(),
@@ -244,5 +258,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		AnalyzerPairCacheHits:     as.PairCacheHits,
 		AnalyzerPairsReused:       as.PairsReused,
 		AnalyzerAnalysisReuseRate: reuseRate,
+
+		PlannerPrefixHits:     ps.PrefixHits,
+		PlannerPrefixMisses:   ps.PrefixMisses,
+		PlannerPlansComputed:  ps.PlansComputed,
+		PlannerPlansSkipped:   ps.PlansSkipped,
+		PlannerKeysCached:     ps.KeysCached,
+		PlannerFinishedPruned: ps.FinishedPruned,
+		PlannerPrefixHitRate:  prefixRate,
 	})
 }

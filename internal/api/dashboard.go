@@ -78,6 +78,7 @@ var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
 <p>mainline: {{.MainlineLen}} commits, HEAD {{.Head}} | pending: {{.Pending}} |
 builds: {{.Builds}} run / {{.Aborted}} aborted</p>
 <p>analyzer: {{.Analyzer}}</p>
+<p>planner: {{.Planner}}</p>
 <h2>recent outcomes</h2>
 <table><tr><th>change</th><th>state</th><th>detail</th></tr>
 {{range .Outcomes}}<tr><td>{{.ID}}</td><td class="{{.State}}">{{.State}}</td><td>{{.Detail}}</td></tr>
@@ -95,6 +96,7 @@ type dashboardData struct {
 	Builds      int
 	Aborted     int
 	Analyzer    string // conflict-analyzer cache gauges, "name=value …"
+	Planner     string // planner incremental-epoch gauges, "name=value …"
 	Outcomes    []dashboardOutcome
 	Events      []events.Event
 }
@@ -118,6 +120,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Builds:      bs.Builds,
 		Aborted:     bs.Aborted,
 		Analyzer:    s.svc.AnalyzerStats().Gauges().String(),
+		Planner:     s.svc.PlannerStats().Gauges().String(),
 	}
 	outs := s.svc.Outcomes()
 	start := 0

@@ -7,6 +7,7 @@ package change
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mastergreen/internal/repo"
@@ -117,11 +118,27 @@ type Stats struct {
 }
 
 // SpecStats are the dynamic features: the number of speculations for this
-// change that succeeded or failed so far (§7.2 "Speculation"). They are
-// updated by the planner as speculative builds finish.
+// change that succeeded or failed so far (§7.2 "Speculation"). The planner
+// updates them as speculative builds finish while the analyzer/predictor
+// fan-out reads them concurrently, so access goes through the atomic
+// RecordOutcome/Counts pair; direct field access is not synchronized.
 type SpecStats struct {
-	Succeeded int
-	Failed    int
+	succeeded int64
+	failed    int64
+}
+
+// RecordOutcome atomically counts one finished speculation.
+func (s *SpecStats) RecordOutcome(ok bool) {
+	if ok {
+		atomic.AddInt64(&s.succeeded, 1)
+	} else {
+		atomic.AddInt64(&s.failed, 1)
+	}
+}
+
+// Counts atomically reads the (succeeded, failed) counters.
+func (s *SpecStats) Counts() (succeeded, failed int64) {
+	return atomic.LoadInt64(&s.succeeded), atomic.LoadInt64(&s.failed)
 }
 
 // Change comprises a developer's code patch padded with build steps that

@@ -57,6 +57,10 @@ type Config struct {
 	// Events, when non-nil, receives lifecycle events for observability
 	// (submissions, build starts/finishes/aborts, commits, rejections).
 	Events *events.Bus
+	// LegacyPlanner disables the planner's incremental-epoch machinery
+	// (shared-prefix preparation trie and plan memoization), restoring the
+	// per-build full-merge path. For ablation and benchmarking.
+	LegacyPlanner bool
 }
 
 // Status reports a change's current position in the pipeline.
@@ -115,6 +119,8 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		Now:                 cfg.Now,
 		Events:              cfg.Events,
 		TestSelectionRadius: cfg.TestSelectionRadius,
+		LegacyPreparation:   cfg.LegacyPlanner,
+		LegacyReplan:        cfg.LegacyPlanner,
 	})
 	return &Service{
 		repo:     r,
@@ -237,6 +243,9 @@ func (s *Service) BuildStats() buildsys.Stats { return s.ctrl.Stats() }
 
 // AnalyzerStats exposes the conflict analyzer's work counters.
 func (s *Service) AnalyzerStats() conflict.Stats { return s.analyzer.Stats() }
+
+// PlannerStats exposes the planner's incremental-epoch work counters.
+func (s *Service) PlannerStats() planner.Stats { return s.planner.Stats() }
 
 // Start launches the background epoch loop. Call Stop to halt it.
 func (s *Service) Start() {

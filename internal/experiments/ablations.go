@@ -12,7 +12,9 @@ import (
 	"mastergreen/internal/conflict"
 	"mastergreen/internal/core"
 	"mastergreen/internal/metrics"
+	"mastergreen/internal/planner"
 	"mastergreen/internal/predict"
+	"mastergreen/internal/queue"
 	"mastergreen/internal/repo"
 	"mastergreen/internal/speculation"
 	"mastergreen/internal/strategies"
@@ -475,5 +477,85 @@ func AblationAnalyzerCache(o Options) *Report {
 			"  wipe-on-head-move: %.1f graph builds/commit\n"+
 			"  incremental:       %.1f graph builds/commit  (%.0fx fewer; %d analyses re-homed, %d pairs carried)\n",
 		n, commits, legacyPer, incPer, ratio(legacyPer, incPer), st.ReusedAnalyses, st.PairsReused)
+	return r
+}
+
+// AblationPlannerPrep measures the planner's incremental-epoch machinery
+// (DESIGN.md §4f) against the legacy per-build path: one planning epoch over
+// a chain of n mutually conflicting changes starts speculation builds of
+// depth 1..n. The shared-prefix trie pays one incremental merge + analysis
+// per build where the baseline re-merges every prefix from scratch, and the
+// plan-fingerprint memo then skips the idle follow-up epochs entirely.
+func AblationPlannerPrep(o Options) *Report {
+	r := newReport("ablation-planner", "Ablation — planner shared-prefix preparation & plan memo (§6)")
+	n := o.count(8, 12)
+
+	run := func(legacy bool) planner.Stats {
+		files := map[string]string{}
+		for i := 0; i < n; i++ {
+			dep := ""
+			if i > 0 {
+				dep = fmt.Sprintf(" deps=//d%02d:t%02d", i-1, i-1)
+			}
+			files[fmt.Sprintf("d%02d/BUILD", i)] = fmt.Sprintf("target t%02d srcs=f.go%s", i, dep)
+			files[fmt.Sprintf("d%02d/f.go", i)] = "v1"
+		}
+		rp := repo.New(files)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		runner := buildsys.RunnerFunc(func(ctx context.Context, _ change.BuildStep, _ string, _ repo.Snapshot) error {
+			<-ctx.Done() // hold the epoch open so every speculation is prepared
+			return buildsys.ErrAborted
+		})
+		q := queue.New(1)
+		an := conflict.New(rp)
+		eng := speculation.New(predict.Static{Success: 0.95, Conflict: 0.05})
+		ctrl := buildsys.NewController(4, runner)
+		pl := planner.New(rp, q, an, eng, ctrl, planner.Config{
+			Budget: n, MaxSpecDepth: n,
+			LegacyPreparation: legacy, LegacyReplan: legacy,
+		})
+		for i := 0; i < n; i++ {
+			c := &change.Change{
+				ID: change.ID(fmt.Sprintf("c%02d", i)),
+				Patch: repo.Patch{Changes: []repo.FileChange{{
+					Path: fmt.Sprintf("d%02d/f.go", i), Op: repo.OpModify,
+					BaseHash: repo.HashContent("v1"), NewContent: "v2",
+				}}},
+				BuildSteps: []change.BuildStep{{Name: "compile", Kind: change.StepCompile}},
+			}
+			if err := q.Enqueue(c); err != nil {
+				panic(err)
+			}
+		}
+		// One planning epoch plus four idle follow-ups (the Run-loop shape).
+		for i := 0; i < 5; i++ {
+			if _, err := pl.Tick(ctx); err != nil {
+				panic(err)
+			}
+		}
+		return pl.Stats()
+	}
+
+	legacy := run(true)
+	inc := run(false)
+	legacyPer := ratio(float64(legacy.PrepOps()), float64(legacy.BuildsStarted))
+	incPer := ratio(float64(inc.PrepOps()), float64(inc.BuildsStarted))
+	r.Metrics["chain_depth"] = float64(n)
+	r.Metrics["legacy_prep_ops_per_build"] = legacyPer
+	r.Metrics["incremental_prep_ops_per_build"] = incPer
+	r.Metrics["reduction_x"] = ratio(legacyPer, incPer)
+	r.Metrics["prefix_hits"] = float64(inc.PrefixHits)
+	r.Metrics["plans_skipped"] = float64(inc.PlansSkipped)
+	r.Metrics["legacy_plans_computed"] = float64(legacy.PlansComputed)
+	r.Text = fmt.Sprintf(
+		"chain of %d conflicting changes, one epoch starts builds of depth 1..%d, then 4 idle epochs:\n"+
+			"  legacy:      %.1f prep ops/build (%d analyses, %d merge units), %d plans computed\n"+
+			"  incremental: %.1f prep ops/build (%d analyses, %d merge units; %d trie hits), %.0fx fewer;\n"+
+			"               %d idle plans skipped by the input fingerprint\n",
+		n, n,
+		legacyPer, legacy.SnapshotAnalyses, legacy.PatchApplies, legacy.PlansComputed,
+		incPer, inc.SnapshotAnalyses, inc.PatchApplies, inc.PrefixHits,
+		ratio(legacyPer, incPer), inc.PlansSkipped)
 	return r
 }

@@ -1,0 +1,198 @@
+package planner
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mastergreen/internal/buildsys"
+	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
+	"mastergreen/internal/predict"
+	"mastergreen/internal/queue"
+	"mastergreen/internal/repo"
+	"mastergreen/internal/speculation"
+)
+
+// benchChainRepo builds an n-deep dependency chain (t0 ← t1 ← … ← t(n-1))
+// with one pending edit per link. Every pair of changes conflicts at the
+// target level, so the speculation plan is the paper's prefix chain:
+// B(c0), B(c0⊕c1), …, B(c0⊕…⊕c(n-1)) — average depth (n+1)/2.
+func benchChainRepo(n int) (*repo.Repo, []*change.Change) {
+	files := make(map[string]string, 2*n)
+	for i := 0; i < n; i++ {
+		dep := ""
+		if i > 0 {
+			dep = fmt.Sprintf(" deps=//d%02d:t%02d", i-1, i-1)
+		}
+		files[fmt.Sprintf("d%02d/BUILD", i)] = fmt.Sprintf("target t%02d srcs=f.go%s", i, dep)
+		files[fmt.Sprintf("d%02d/f.go", i)] = "v1"
+	}
+	r := repo.New(files)
+	changes := make([]*change.Change, n)
+	for i := 0; i < n; i++ {
+		changes[i] = &change.Change{
+			ID: change.ID(fmt.Sprintf("c%02d", i)),
+			Patch: repo.Patch{Changes: []repo.FileChange{{
+				Path: fmt.Sprintf("d%02d/f.go", i), Op: repo.OpModify,
+				BaseHash: repo.HashContent("v1"), NewContent: "v2",
+			}}},
+			BuildSteps: []change.BuildStep{{Name: "compile", Kind: change.StepCompile}},
+		}
+	}
+	return r, changes
+}
+
+// benchIndependentRepo builds n mutually independent single-target packages
+// with one pending edit each — the 64-pending idle-epoch scenario.
+func benchIndependentRepo(n int) (*repo.Repo, []*change.Change) {
+	files := make(map[string]string, 2*n)
+	for i := 0; i < n; i++ {
+		files[fmt.Sprintf("p%03d/BUILD", i)] = fmt.Sprintf("target t%03d srcs=f.go", i)
+		files[fmt.Sprintf("p%03d/f.go", i)] = "v1"
+	}
+	r := repo.New(files)
+	changes := make([]*change.Change, n)
+	for i := 0; i < n; i++ {
+		changes[i] = &change.Change{
+			ID: change.ID(fmt.Sprintf("i%03d", i)),
+			Patch: repo.Patch{Changes: []repo.FileChange{{
+				Path: fmt.Sprintf("p%03d/f.go", i), Op: repo.OpModify,
+				BaseHash: repo.HashContent("v1"), NewContent: "v2",
+			}}},
+			BuildSteps: []change.BuildStep{{Name: "compile", Kind: change.StepCompile}},
+		}
+	}
+	return r, changes
+}
+
+// holdOpenRunner blocks every build until its context is cancelled, freezing
+// an epoch mid-flight so preparation and idle-tick costs can be measured.
+func holdOpenRunner() buildsys.StepRunner {
+	return buildsys.RunnerFunc(func(ctx context.Context, _ change.BuildStep, _ string, _ repo.Snapshot) error {
+		<-ctx.Done()
+		return buildsys.ErrAborted
+	})
+}
+
+func newBenchPlanner(r *repo.Repo, runner buildsys.StepRunner, cfg Config) (*Planner, *queue.Queue) {
+	q := queue.New(2)
+	an := conflict.New(r)
+	spec := speculation.New(predict.Static{Success: 0.95, Conflict: 0.05})
+	ctrl := buildsys.NewController(8, runner)
+	return New(r, q, an, spec, ctrl, cfg), q
+}
+
+// runChainEpoch submits n chained conflicting changes and runs one planning
+// epoch with every build held open, so speculation builds of depth 1..n are
+// all prepared. Returns the epoch's stats and the average build depth.
+func runChainEpoch(tb testing.TB, legacy bool, n int) (Stats, float64) {
+	tb.Helper()
+	r, changes := benchChainRepo(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, q := newBenchPlanner(r, holdOpenRunner(), Config{
+		Budget: n, MaxSpecDepth: n, LegacyPreparation: legacy,
+	})
+	for _, c := range changes {
+		if err := q.Enqueue(c); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if _, err := p.Tick(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	st := p.Stats()
+	if st.BuildsStarted != n {
+		tb.Fatalf("started %d of %d chain builds", st.BuildsStarted, n)
+	}
+	depthSum := 0
+	p.mu.Lock()
+	for _, rb := range p.running {
+		depthSum += len(rb.build.Changes)
+	}
+	p.mu.Unlock()
+	return st, float64(depthSum) / float64(n)
+}
+
+// TestPrefixTrieReducesPreparation is the acceptance headline: preparing one
+// epoch of 8 chained speculation builds (average depth 4.5) must cost at
+// least 3x fewer preparation operations — buildgraph.Analyze calls plus
+// per-patch merge units — per started build than the legacy full-merge path
+// (BENCH_planner.json records the measured ratios).
+func TestPrefixTrieReducesPreparation(t *testing.T) {
+	const n = 8
+	legacy, _ := runChainEpoch(t, true, n)
+	inc, avgDepth := runChainEpoch(t, false, n)
+	if avgDepth < 4 {
+		t.Fatalf("average speculation depth %.1f < 4; scenario lost its chain", avgDepth)
+	}
+	legacyPer := float64(legacy.PrepOps()) / float64(legacy.BuildsStarted)
+	incPer := float64(inc.PrepOps()) / float64(inc.BuildsStarted)
+	ratio := legacyPer / incPer
+	t.Logf("prep ops/build: legacy=%.1f incremental=%.1f (%.1fx); analyses %d→%d, merges %d→%d, hits=%d",
+		legacyPer, incPer, ratio,
+		legacy.SnapshotAnalyses, inc.SnapshotAnalyses,
+		legacy.PatchApplies, inc.PatchApplies, inc.PrefixHits)
+	if ratio < 3 {
+		t.Fatalf("preparation reduction %.1fx < 3x (legacy %.1f/build, incremental %.1f/build)",
+			ratio, legacyPer, incPer)
+	}
+	if inc.PrefixHits == 0 {
+		t.Fatalf("trie never hit: %+v", inc)
+	}
+	if inc.HeadGraphBuilds != 1 {
+		t.Fatalf("head graph analyzed %d times, want once per head", inc.HeadGraphBuilds)
+	}
+}
+
+// BenchmarkChainEpochIncremental measures preparing one 8-deep chain epoch
+// through the prefix trie.
+func BenchmarkChainEpochIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runChainEpoch(b, false, 8)
+	}
+}
+
+// BenchmarkChainEpochLegacy is the same epoch with per-build full merges.
+func BenchmarkChainEpochLegacy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runChainEpoch(b, true, 8)
+	}
+}
+
+// benchIdleTicks measures the steady-state Run-loop epoch at 64 pending
+// changes with the build slots saturated and nothing resolving: the planner
+// either skips via the input fingerprint or (legacy) redoes
+// decide + Plan + reconcile every tick.
+func benchIdleTicks(b *testing.B, legacyReplan bool) {
+	r, changes := benchIndependentRepo(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, q := newBenchPlanner(r, holdOpenRunner(), Config{
+		Budget: 4, LegacyReplan: legacyReplan,
+	})
+	for _, c := range changes {
+		if err := q.Enqueue(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Two warm-up ticks reach the steady state (builds started, memo primed).
+	for i := 0; i < 2; i++ {
+		if _, err := p.Tick(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Tick(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIdleTickMemoized: fingerprint-skipped epochs.
+func BenchmarkIdleTickMemoized(b *testing.B) { benchIdleTicks(b, false) }
+
+// BenchmarkIdleTickLegacyReplan: full replanning every epoch.
+func BenchmarkIdleTickLegacyReplan(b *testing.B) { benchIdleTicks(b, true) }

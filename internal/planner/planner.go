@@ -71,6 +71,16 @@ type Config struct {
 	// Events, when non-nil, receives lifecycle events (build starts,
 	// finishes, aborts, commits, rejections) for observability.
 	Events *events.Bus
+	// LegacyPreparation disables the shared-prefix preparation trie:
+	// startBuild re-merges and re-analyzes the full change list (and its
+	// k−1 prefix) from scratch per build, as the planner did before the
+	// trie existed. Kept for ablation and benchmarking.
+	LegacyPreparation bool
+	// LegacyReplan disables plan/reconcile memoization: every Tick runs
+	// decide + spec.Plan + reconcile even when the planner inputs are
+	// unchanged since the previous epoch. Kept for ablation and
+	// benchmarking.
+	LegacyReplan bool
 }
 
 // trackedBuild is a build the planner started, with enough context to
@@ -81,6 +91,13 @@ type trackedBuild struct {
 	task      *buildsys.Task // nil once finished
 	result    buildsys.Result
 	startedAt time.Time
+
+	// Cached dynamic key, valid while keyedAt matches the planner's
+	// keyEpoch. Resolutions (commit/reject) are the only events that change
+	// a build's key, so the cache is invalidated by bumping the epoch there
+	// instead of rebuilding every key on every decide/reconcile pass.
+	key     string
+	keyedAt uint64
 }
 
 // Planner orchestrates pending changes to commit or rejection. Tick must not
@@ -94,6 +111,15 @@ type Planner struct {
 	controller *buildsys.Controller
 	cfg        Config
 
+	// wake receives (coalesced) build-completion notifications from the
+	// per-build watcher goroutines; waitAny blocks on it instead of
+	// spawning a goroutine per running build per call.
+	wake chan struct{}
+
+	// prep is the shared-prefix preparation trie. Only the Tick goroutine
+	// touches it (Tick must not be called concurrently with itself).
+	prep *prepCache
+
 	mu           sync.Mutex
 	running      []*trackedBuild
 	finished     []*trackedBuild
@@ -102,6 +128,21 @@ type Planner struct {
 	rejected     map[change.ID]string // reason
 	outcomes     []Outcome
 	initialLen   int // repo mainline length at planner creation
+	stats        Stats
+
+	// keyEpoch versions the per-build dynamic-key caches; resolve bumps it.
+	keyEpoch uint64
+	// committedPrefix is the committed history rendered once ("c1+c2+…+"),
+	// and prefixLen[i] is the byte length of its first i entries, so
+	// dynamicKey and decisiveKey slice in O(1) instead of re-joining the
+	// full history per key.
+	committedPrefix string
+	prefixLen       []int
+	// lastPlanFP memoizes the plan-input fingerprint of the last epoch that
+	// ran decide+Plan+reconcile; an identical fingerprint lets Tick skip
+	// both entirely.
+	lastPlanFP string
+	havePlanFP bool
 }
 
 // New creates a Planner over the repository.
@@ -122,10 +163,27 @@ func New(r *repo.Repo, q *queue.Queue, an *conflict.Analyzer, spec *speculation.
 		spec:         spec,
 		controller:   ctrl,
 		cfg:          cfg,
+		wake:         make(chan struct{}, 1),
 		committedSet: map[change.ID]bool{},
 		rejected:     map[change.ID]string{},
 		initialLen:   r.Len(),
+		keyEpoch:     1,
+		prefixLen:    []int{0},
 	}
+}
+
+// Stats returns a copy of the planner's work counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// count applies f to the stats under the planner mutex.
+func (p *Planner) count(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
 }
 
 // Outcomes returns the dispositions recorded so far, in decision order.
@@ -144,10 +202,10 @@ func (p *Planner) dynamicKey(baseLen int, b speculation.Build) string {
 	if prefix > len(p.committed) {
 		prefix = len(p.committed)
 	}
-	for i := 0; i < prefix; i++ {
-		sb.WriteString(string(p.committed[i]))
-		sb.WriteByte('+')
+	if prefix < 0 {
+		prefix = 0
 	}
+	sb.WriteString(p.committedPrefix[:p.prefixLen[prefix]])
 	for i, id := range b.Changes {
 		if i > 0 {
 			sb.WriteByte('+')
@@ -174,20 +232,122 @@ func (p *Planner) dynamicKey(baseLen int, b speculation.Build) string {
 // history plus the change itself, with no outstanding assumptions. Callers
 // hold p.mu.
 func (p *Planner) decisiveKey(id change.ID) string {
-	var sb strings.Builder
-	for _, cid := range p.committed {
-		sb.WriteString(string(cid))
-		sb.WriteByte('+')
+	return p.committedPrefix + string(id)
+}
+
+// buildKeyLocked returns the build's dynamic key, recomputing it only when a
+// resolution has bumped the key epoch since it was last cached. Callers hold
+// p.mu.
+func (p *Planner) buildKeyLocked(rb *trackedBuild) string {
+	if rb.keyedAt == p.keyEpoch {
+		p.stats.KeysCached++
+		return rb.key
 	}
-	sb.WriteString(string(id))
+	rb.key = p.dynamicKey(rb.baseLen, rb.build)
+	rb.keyedAt = p.keyEpoch
+	p.stats.KeysComputed++
+	return rb.key
+}
+
+// planFingerprintLocked renders every input decide/Plan/reconcile depend on:
+// the head commit, the budget, the pending IDs in submission order, and the
+// dynamic keys of running and finished builds in slice order. Change
+// features that feed speculation (Spec success counters) change only when a
+// build is reaped, which changes the finished set, so they are covered
+// transitively. Callers hold p.mu.
+func (p *Planner) planFingerprintLocked(pending []*change.Change) string {
+	var sb strings.Builder
+	sb.WriteString(string(p.repo.Head().ID))
+	sb.WriteString("|b")
+	fmt.Fprintf(&sb, "%d", p.cfg.Budget)
+	sb.WriteString("|p:")
+	for _, c := range pending {
+		sb.WriteString(string(c.ID))
+		sb.WriteByte(',')
+	}
+	sb.WriteString("|r:")
+	for _, rb := range p.running {
+		sb.WriteString(p.buildKeyLocked(rb))
+		sb.WriteByte(';')
+	}
+	sb.WriteString("|f:")
+	for _, fb := range p.finished {
+		sb.WriteString(p.buildKeyLocked(fb))
+		sb.WriteByte(';')
+	}
 	return sb.String()
+}
+
+// pruneFinishedLocked garbage-collects finished builds that can never again
+// match a plan: the subject is resolved (or gone from the queue), a change
+// the build merged in was rejected, or a change it assumed rejected has
+// committed. Without this, p.finished grows without bound over a long run.
+// Builds whose assumed predecessors *committed* are kept — after head
+// movement their dynamic key becomes the subject's decisive key, which is
+// exactly the reuse the speculation tree exists for. Callers hold p.mu.
+func (p *Planner) pruneFinishedLocked() {
+	kept := p.finished[:0]
+	for _, fb := range p.finished {
+		if p.staleFinishedLocked(fb) {
+			p.stats.FinishedPruned++
+			continue
+		}
+		kept = append(kept, fb)
+	}
+	for i := len(kept); i < len(p.finished); i++ {
+		p.finished[i] = nil
+	}
+	p.finished = kept
+}
+
+func (p *Planner) staleFinishedLocked(fb *trackedBuild) bool {
+	subject := fb.build.Subject
+	if p.committedSet[subject] {
+		return true
+	}
+	if _, rejected := p.rejected[subject]; rejected {
+		return true
+	}
+	if !p.queue.Contains(subject) {
+		return true // withdrawn without a decision
+	}
+	for _, id := range fb.build.Assumed {
+		if _, rejected := p.rejected[id]; rejected {
+			return true // built on a rejected predecessor's patch
+		}
+	}
+	for _, id := range fb.build.AssumedRejected {
+		if p.committedSet[id] {
+			return true // assumed a rejection that did not happen
+		}
+	}
+	return false
 }
 
 // Tick runs one epoch: reap finished builds, decide commits/rejections,
 // re-plan, and reconcile running builds with the plan. It returns true if
 // any state changed (useful for quiescence detection).
+//
+// When the plan-input fingerprint (head, pending, running/finished keys,
+// budget) is unchanged since the last fully-planned epoch, decide and
+// reconcile are provably no-ops — every decision and scheduling choice is a
+// function of exactly those inputs, and the only time-dependent choice
+// (keeping an over-grace build) is monotone — so Tick skips them entirely.
+// This is what makes the 250ms Run loop cheap on idle epochs.
 func (p *Planner) Tick(ctx context.Context) (bool, error) {
 	progress := p.reap()
+	pending := p.queue.Pending()
+	p.mu.Lock()
+	fp := p.planFingerprintLocked(pending)
+	if !p.cfg.LegacyReplan && p.havePlanFP && fp == p.lastPlanFP {
+		p.stats.PlansSkipped++
+		p.mu.Unlock()
+		return progress, nil
+	}
+	p.stats.PlansComputed++
+	p.lastPlanFP = fp
+	p.havePlanFP = true
+	p.mu.Unlock()
 	var cg *conflict.Graph
 	for {
 		n, g, err := p.decide()
@@ -239,13 +399,10 @@ func (p *Planner) reap() bool {
 			rb.result = res
 			rb.task = nil
 			p.finished = append(p.finished, rb)
-			// Dynamic speculation features (§7.2).
+			// Dynamic speculation features (§7.2). Atomic: change structs
+			// are read concurrently by the analyzer/predictor fan-out.
 			if c, err := p.queue.Get(rb.build.Subject); err == nil {
-				if res.OK {
-					c.Spec.Succeeded++
-				} else {
-					c.Spec.Failed++
-				}
+				c.Spec.RecordOutcome(res.OK)
 			}
 		default:
 			still = append(still, rb)
@@ -291,7 +448,7 @@ func (p *Planner) decide() (int, *conflict.Graph, error) {
 		want := p.decisiveKey(c.ID)
 		var match *trackedBuild
 		for _, fb := range p.finished {
-			if p.dynamicKey(fb.baseLen, fb.build) == want {
+			if p.buildKeyLocked(fb) == want {
 				match = fb
 				break
 			}
@@ -340,9 +497,13 @@ func (p *Planner) resolve(id change.ID, st change.State, reason string, commit r
 	if st == change.StateCommitted {
 		p.committed = append(p.committed, id)
 		p.committedSet[id] = true
+		p.committedPrefix += string(id) + "+"
+		p.prefixLen = append(p.prefixLen, len(p.committedPrefix))
 	} else {
 		p.rejected[id] = reason
 	}
+	p.keyEpoch++ // every resolution can change dynamic keys
+	p.pruneFinishedLocked()
 	p.outcomes = append(p.outcomes, Outcome{ID: id, State: st, Reason: reason, Commit: commit, At: p.cfg.Now()})
 	if p.cfg.Events != nil {
 		typ := events.TypeCommitted
@@ -378,11 +539,11 @@ func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, erro
 	headLen := p.repo.Len()
 	doneKeys := map[string]bool{}
 	for _, fb := range p.finished {
-		doneKeys[p.dynamicKey(fb.baseLen, fb.build)] = true
+		doneKeys[p.buildKeyLocked(fb)] = true
 	}
 	runningKeys := map[string]*trackedBuild{}
 	for _, rb := range p.running {
-		runningKeys[p.dynamicKey(rb.baseLen, rb.build)] = rb
+		runningKeys[p.buildKeyLocked(rb)] = rb
 	}
 	desired := map[string]speculation.Build{}
 	for _, b := range plan.Builds {
@@ -399,7 +560,7 @@ func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, erro
 	now := p.cfg.Now()
 	var keep []*trackedBuild
 	for _, rb := range p.running { // slice order, not map order: keep is the new p.running
-		key := p.dynamicKey(rb.baseLen, rb.build)
+		key := p.buildKeyLocked(rb)
 		if _, want := desired[key]; want {
 			keep = append(keep, rb)
 			continue
@@ -456,14 +617,11 @@ func graphCovers(cg *conflict.Graph, pending []*change.Change) bool {
 	return true
 }
 
-// startBuild merges the build's patches, computes affected targets and the
-// minimal-build-step sets, and launches the controller task.
+// startBuild merges the build's patches (through the shared-prefix
+// preparation trie unless LegacyPreparation), computes affected targets and
+// the minimal-build-step sets, and launches the controller task.
 func (p *Planner) startBuild(ctx context.Context, b speculation.Build) error {
 	head := p.repo.Head()
-	headGraph, err := buildgraph.Analyze(head.Snapshot())
-	if err != nil {
-		return fmt.Errorf("planner: head graph: %w", err)
-	}
 	var patches []repo.Patch
 	var subject *change.Change
 	for _, id := range b.Changes {
@@ -474,38 +632,25 @@ func (p *Planner) startBuild(ctx context.Context, b speculation.Build) error {
 		patches = append(patches, c.Patch)
 		subject = c
 	}
-	merged, err := p.repo.Merged(head.ID, patches...)
-	if err != nil {
-		// The merge itself fails: record as a failed build so decide() can
-		// reject the subject when its turn comes.
-		p.recordImmediateFailure(b, head, fmt.Sprintf("merge failed: %v", err))
-		return nil
+	var prep prepared
+	var err error
+	if p.cfg.LegacyPreparation {
+		prep, err = p.prepareLegacy(head, patches)
+	} else {
+		prep, err = p.prepare(head, b.Changes, patches)
 	}
-	fullGraph, err := buildgraph.Analyze(merged)
 	if err != nil {
-		p.recordImmediateFailure(b, head, fmt.Sprintf("build graph invalid: %v", err))
-		return nil
+		return err
 	}
-	deltaFull := buildgraph.Diff(headGraph, fullGraph)
-
-	// Minimal build steps (§6): skip targets whose (name, hash) is already
-	// produced by the prefix build H ⊕ assumed changes.
-	prior := map[string]bool{}
-	if len(patches) > 1 {
-		if prefixSnap, err := p.repo.Merged(head.ID, patches[:len(patches)-1]...); err == nil {
-			if prefixGraph, err := buildgraph.Analyze(prefixSnap); err == nil {
-				deltaPrefix := buildgraph.Diff(headGraph, prefixGraph)
-				for name, h := range deltaPrefix {
-					if deltaFull[name] == h {
-						prior[name] = true
-					}
-				}
-			}
-		}
+	if prep.failure != "" {
+		// The merge (or its graph) fails: record as a failed build so
+		// decide() can reject the subject when its turn comes.
+		p.recordImmediateFailure(b, head, prep.failure)
+		return nil
 	}
 
 	targets := map[string]string{}
-	for name, h := range deltaFull {
+	for name, h := range prep.delta {
 		if h == buildgraph.DeletedHash {
 			continue
 		}
@@ -515,18 +660,20 @@ func (p *Planner) startBuild(ctx context.Context, b speculation.Build) error {
 
 	steps := subject.BuildSteps
 	if p.cfg.TestSelectionRadius > 0 {
-		steps = p.selectTests(steps, fullGraph, subject, targets)
+		steps = p.selectTests(steps, prep.graph, subject, targets)
 	}
 
 	req := buildsys.Request{
 		Key:          b.Key(),
-		Snapshot:     merged,
+		Snapshot:     prep.snap,
 		Steps:        steps,
 		Targets:      targets,
-		PriorTargets: prior,
+		PriorTargets: prep.prior,
 	}
 	task := p.controller.Start(ctx, req)
+	go p.notifyDone(task)
 	p.mu.Lock()
+	p.stats.BuildsStarted++
 	p.running = append(p.running, &trackedBuild{
 		build:     b,
 		baseLen:   head.Seq + 1,
@@ -615,16 +762,26 @@ func (p *Planner) Quiesce(ctx context.Context) error {
 	}
 }
 
-// waitAny blocks until any running build finishes, a short poll interval
-// elapses, or the context is cancelled.
-func (p *Planner) waitAny(ctx context.Context) error {
-	p.mu.Lock()
-	chans := make([]<-chan struct{}, 0, len(p.running))
-	for _, rb := range p.running {
-		chans = append(chans, rb.task.Done())
+// notifyDone forwards one build completion into the coalescing wake channel.
+// Exactly one watcher goroutine exists per build lifetime (spawned when the
+// build starts, gone when it completes) — unlike the previous scheme, where
+// every waitAny call spawned a fresh goroutine per running build that
+// blocked until that build finished, accumulating one goroutine per tick for
+// long builds.
+func (p *Planner) notifyDone(task *buildsys.Task) {
+	<-task.Done()
+	select {
+	case p.wake <- struct{}{}:
+	default: // a wake token is already pending; coalesce
 	}
-	p.mu.Unlock()
-	if len(chans) == 0 {
+}
+
+// waitAny blocks until any running build finishes, a short poll interval
+// elapses, or the context is cancelled. Spurious wakes (a token left over
+// from a build reaped earlier) cost one extra Tick and are harmless; the
+// 50ms fallback covers tokens coalesced away while no one was waiting.
+func (p *Planner) waitAny(ctx context.Context) error {
+	if p.RunningCount() == 0 {
 		select {
 		case <-ctx.Done():
 			return ErrStopped
@@ -632,20 +789,10 @@ func (p *Planner) waitAny(ctx context.Context) error {
 			return nil
 		}
 	}
-	agg := make(chan struct{}, len(chans))
-	for _, ch := range chans {
-		go func(ch <-chan struct{}) {
-			<-ch
-			select {
-			case agg <- struct{}{}:
-			default:
-			}
-		}(ch)
-	}
 	select {
 	case <-ctx.Done():
 		return ErrStopped
-	case <-agg:
+	case <-p.wake:
 		return nil
 	case <-time.After(50 * time.Millisecond):
 		return nil

@@ -1,0 +1,59 @@
+package planner
+
+import "mastergreen/internal/metrics"
+
+// Stats counts planner work, layer by layer, so the incremental-epoch
+// machinery (DESIGN.md §4f) is observable and benchmarkable: the prefix
+// preparation trie, the plan-fingerprint memo, the dynamic-key cache, and
+// the finished-build garbage collector.
+type Stats struct {
+	// BuildsStarted counts controller tasks launched by startBuild.
+	BuildsStarted int
+
+	// Shared-prefix preparation cache (the per-head trie).
+	PrefixHits          int // trie nodes reused while preparing a build
+	PrefixMisses        int // trie nodes computed (one patch apply + one analyze each)
+	PrefixInvalidations int // trie resets (head movement or size cap)
+	HeadGraphBuilds     int // head-graph analyses (once per head in trie mode)
+
+	// Raw preparation work, counted identically in both modes so the legacy
+	// baseline and the trie are directly comparable: SnapshotAnalyses is the
+	// number of buildgraph.Analyze calls issued while preparing builds,
+	// PatchApplies the number of single-patch snapshot applications
+	// (a repo.Merged over k patches costs k units).
+	SnapshotAnalyses int
+	PatchApplies     int
+
+	// Plan/reconcile memoization.
+	PlansComputed int // epochs that ran decide + spec.Plan + reconcile
+	PlansSkipped  int // epochs skipped because the input fingerprint was unchanged
+
+	// Bounded bookkeeping.
+	KeysComputed   int // dynamic keys rebuilt from the committed history
+	KeysCached     int // dynamic keys served from the per-build cache
+	FinishedPruned int // finished builds garbage-collected
+}
+
+// PrepOps is the total preparation work startBuild performed: analyze calls
+// plus per-patch merge units. The headline benchmark divides it by
+// BuildsStarted to compare the trie against the legacy full-merge path.
+func (s Stats) PrepOps() int { return s.SnapshotAnalyses + s.PatchApplies }
+
+// Gauges renders the counters as ordered name/value pairs for the status
+// endpoint, the dashboard, and experiment reports.
+func (s Stats) Gauges() metrics.Gauges {
+	return metrics.Gauges{
+		{Name: "builds_started", Value: float64(s.BuildsStarted)},
+		{Name: "prefix_hits", Value: float64(s.PrefixHits)},
+		{Name: "prefix_misses", Value: float64(s.PrefixMisses)},
+		{Name: "prefix_invalidations", Value: float64(s.PrefixInvalidations)},
+		{Name: "head_graph_builds", Value: float64(s.HeadGraphBuilds)},
+		{Name: "snapshot_analyses", Value: float64(s.SnapshotAnalyses)},
+		{Name: "patch_applies", Value: float64(s.PatchApplies)},
+		{Name: "plans_computed", Value: float64(s.PlansComputed)},
+		{Name: "plans_skipped", Value: float64(s.PlansSkipped)},
+		{Name: "keys_computed", Value: float64(s.KeysComputed)},
+		{Name: "keys_cached", Value: float64(s.KeysCached)},
+		{Name: "finished_pruned", Value: float64(s.FinishedPruned)},
+	}
+}

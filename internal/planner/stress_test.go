@@ -1,0 +1,116 @@
+package planner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mastergreen/internal/change"
+	"mastergreen/internal/repo"
+)
+
+// TestTickingPlannerRaceStress drives a live planner loop while other
+// goroutines submit changes and read the concurrently-accessed surfaces:
+// SpecStats.Counts (written by reap as speculations finish), planner Stats,
+// running counts, and outcomes. Run with -race; it covers the previously
+// unsynchronized Spec.Succeeded++/Failed++ mutation.
+func TestTickingPlannerRaceStress(t *testing.T) {
+	const nChanges = 60
+	e := newEnv(t, nil, Config{Budget: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	var submitted []*change.Change
+	var wg, subWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Submitter: feeds the queue while the planner is live. Every third
+	// change collides on x/x.go so rejections, aborts, and rejection-assumed
+	// speculations all occur under load.
+	subWg.Add(1)
+	go func() {
+		defer subWg.Done()
+		for i := 0; i < nChanges; i++ {
+			path := fmt.Sprintf("z%d/f.go", i)
+			fc := repo.FileChange{Path: path, Op: repo.OpCreate, NewContent: "v1"}
+			if i%3 == 0 {
+				head := e.repo.Head().Snapshot()
+				if cur, ok := head.Read("x/x.go"); ok {
+					fc = repo.FileChange{Path: "x/x.go", Op: repo.OpModify,
+						BaseHash: repo.HashContent(cur), NewContent: fmt.Sprintf("x v%d", i)}
+				}
+			}
+			c := &change.Change{
+				ID:         change.ID(fmt.Sprintf("s%d", i)),
+				Patch:      repo.Patch{Changes: []repo.FileChange{fc}},
+				BuildSteps: []change.BuildStep{{Name: "compile", Kind: change.StepCompile}},
+			}
+			if err := e.queue.Enqueue(c); err != nil {
+				continue
+			}
+			mu.Lock()
+			submitted = append(submitted, c)
+			mu.Unlock()
+		}
+	}()
+
+	// Readers: the predictor-style fan-out reading speculation features,
+	// plus observability surfaces, all while reap mutates them.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				changes := append([]*change.Change(nil), submitted...)
+				mu.Unlock()
+				var total int64
+				for _, c := range changes {
+					ok, failed := c.Spec.Counts()
+					total += ok + failed
+				}
+				_ = total
+				_ = e.planner.Stats()
+				_ = e.planner.RunningCount()
+				_ = e.planner.Outcomes()
+			}
+		}()
+	}
+
+	// The planner loop itself (single goroutine; Tick is not reentrant).
+	if err := e.planner.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	// The submitter may still be racing the final ticks; wait for it and
+	// drain whatever it added after the first quiescence.
+	subWg.Wait()
+	if err := e.planner.Quiesce(ctx); err != nil {
+		t.Fatalf("re-quiesce: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	resolved := 0
+	for _, c := range submitted {
+		if c.State == change.StateCommitted || c.State == change.StateRejected {
+			resolved++
+		}
+	}
+	if resolved != len(submitted) {
+		t.Fatalf("resolved %d of %d submitted changes", resolved, len(submitted))
+	}
+	st := e.planner.Stats()
+	if st.BuildsStarted == 0 || st.PlansComputed == 0 {
+		t.Fatalf("planner idle under stress: %+v", st)
+	}
+}

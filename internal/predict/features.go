@@ -44,6 +44,7 @@ func SuccessFeatures(c *change.Change) []float64 {
 		testPlan = b2f(c.Revision.TestPlan)
 		revertPlan = b2f(c.Revision.RevertPlan)
 	}
+	specOK, specFail := c.Spec.Counts()
 	return []float64{
 		float64(c.Stats.AffectedTargets),
 		float64(c.Stats.NumGitCommits),
@@ -60,8 +61,8 @@ func SuccessFeatures(c *change.Change) []float64 {
 		revertPlan,
 		float64(c.Author.Level),
 		float64(c.Author.EmploymentMonths),
-		float64(c.Spec.Succeeded),
-		float64(c.Spec.Failed),
+		float64(specOK),
+		float64(specFail),
 	}
 }
 
