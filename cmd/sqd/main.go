@@ -107,6 +107,7 @@ func main() {
 	svc.Stop()
 	log.Printf("sqd: analyzer %s", svc.AnalyzerStats().Gauges())
 	log.Printf("sqd: planner %s", svc.PlannerStats().Gauges())
+	log.Printf("sqd: reliability %s", svc.ReliabilityStats().Gauges())
 	if repoPath != "" {
 		f, err := os.Create(repoPath)
 		if err != nil {

@@ -46,6 +46,7 @@ var registry = []struct {
 	{"ablation-boost", "gradient boosting vs logistic regression", experiments.AblationBoosting},
 	{"ablation-analyzer", "incremental conflict analyzer cache", experiments.AblationAnalyzerCache},
 	{"ablation-planner", "planner shared-prefix preparation & plan memo", experiments.AblationPlannerPrep},
+	{"ablation-reliability", "retry/quarantine under injected flakiness", experiments.AblationReliability},
 }
 
 func main() {

@@ -93,6 +93,14 @@ type StatusResponse struct {
 	PlannerKeysCached     int     `json:"planner_keys_cached"`
 	PlannerFinishedPruned int     `json:"planner_finished_pruned"`
 	PlannerPrefixHitRate  float64 `json:"planner_prefix_hit_rate"`
+
+	// Reliability-layer effectiveness (DESIGN.md §4g).
+	ReliabilityInjectedFaults    int `json:"reliability_injected_faults"`
+	ReliabilityRetries           int `json:"reliability_retries"`
+	ReliabilityFlakesConfirmed   int `json:"reliability_flakes_confirmed"`
+	ReliabilityQuarantinedKinds  int `json:"reliability_quarantined_kinds"`
+	ReliabilityVerifications     int `json:"reliability_verifications"`
+	ReliabilityRejectionsAverted int `json:"reliability_rejections_averted"`
 }
 
 // Server adapts a core.Service to HTTP.
@@ -237,6 +245,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	bs := s.svc.BuildStats()
 	as := s.svc.AnalyzerStats()
 	ps := s.svc.PlannerStats()
+	rs := s.svc.ReliabilityStats()
 	head := s.svc.Repo().Head()
 	reuseRate := 0.0
 	if total := as.ReusedAnalyses + as.AnalyzedChanges; total > 0 {
@@ -266,5 +275,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		PlannerKeysCached:     ps.KeysCached,
 		PlannerFinishedPruned: ps.FinishedPruned,
 		PlannerPrefixHitRate:  prefixRate,
+
+		ReliabilityInjectedFaults:    rs.InjectedFaults(),
+		ReliabilityRetries:           rs.Retries,
+		ReliabilityFlakesConfirmed:   rs.FlakesConfirmed,
+		ReliabilityQuarantinedKinds:  rs.QuarantinedKinds,
+		ReliabilityVerifications:     rs.Verifications,
+		ReliabilityRejectionsAverted: rs.RejectionsAverted,
 	})
 }

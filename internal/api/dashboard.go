@@ -79,6 +79,7 @@ var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
 builds: {{.Builds}} run / {{.Aborted}} aborted</p>
 <p>analyzer: {{.Analyzer}}</p>
 <p>planner: {{.Planner}}</p>
+<p>reliability: {{.Reliability}}</p>
 <h2>recent outcomes</h2>
 <table><tr><th>change</th><th>state</th><th>detail</th></tr>
 {{range .Outcomes}}<tr><td>{{.ID}}</td><td class="{{.State}}">{{.State}}</td><td>{{.Detail}}</td></tr>
@@ -97,6 +98,7 @@ type dashboardData struct {
 	Aborted     int
 	Analyzer    string // conflict-analyzer cache gauges, "name=value …"
 	Planner     string // planner incremental-epoch gauges, "name=value …"
+	Reliability string // flaky-failure layer gauges, "name=value …"
 	Outcomes    []dashboardOutcome
 	Events      []events.Event
 }
@@ -121,6 +123,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Aborted:     bs.Aborted,
 		Analyzer:    s.svc.AnalyzerStats().Gauges().String(),
 		Planner:     s.svc.PlannerStats().Gauges().String(),
+		Reliability: s.svc.ReliabilityStats().Gauges().String(),
 	}
 	outs := s.svc.Outcomes()
 	start := 0

@@ -43,6 +43,15 @@ func (f RunnerFunc) RunStep(ctx context.Context, step change.BuildStep, target s
 	return f(ctx, step, target, snap)
 }
 
+// StepHashRunner is an optional StepRunner extension. Runners that implement
+// it receive the target's Algorithm 1 hash alongside each step-unit — the
+// same content address the artifact cache keys by — so layers like the
+// reliability detector can key outcomes by identical inputs. The hash is
+// empty for repo-wide step-units that have no target to address.
+type StepHashRunner interface {
+	RunStepHash(ctx context.Context, step change.BuildStep, target, hash string, snap repo.Snapshot) error
+}
+
 // Request describes one build: a snapshot, the steps to run, and the
 // affected targets (name -> Algorithm 1 hash) the steps cover.
 type Request struct {
@@ -64,10 +73,11 @@ type Request struct {
 
 // Result is a build's final disposition.
 type Result struct {
-	Key        string
-	OK         bool
-	FailedStep string // name of the step that failed, when !OK
-	Err        error  // failure cause; ErrAborted for cancelled builds
+	Key          string
+	OK           bool
+	FailedStep   string // name of the step that failed, when !OK
+	FailedTarget string // target whose step-unit failed, when attributable
+	Err          error  // failure cause; ErrAborted for cancelled builds
 }
 
 // Stats counts controller work. Step-units are (step, target) executions;
@@ -187,19 +197,20 @@ func (c *Controller) execute(ctx context.Context, req Request) Result {
 			// (uncacheable — there is no target hash to address it by).
 			names = []string{""}
 		}
-		if err := c.runStep(ctx, req, step, names); err != nil {
+		if target, err := c.runStep(ctx, req, step, names); err != nil {
 			if ctx.Err() != nil || errors.Is(err, ErrAborted) {
-				return Result{Key: req.Key, OK: false, FailedStep: step.Name, Err: ErrAborted}
+				return Result{Key: req.Key, OK: false, FailedStep: step.Name, FailedTarget: target, Err: ErrAborted}
 			}
-			return Result{Key: req.Key, OK: false, FailedStep: step.Name, Err: err}
+			return Result{Key: req.Key, OK: false, FailedStep: step.Name, FailedTarget: target, Err: err}
 		}
 	}
 	return Result{Key: req.Key, OK: true}
 }
 
 // runStep executes one step over the given target names in parallel and
-// returns the failure of the lowest-indexed failing target (deterministic).
-func (c *Controller) runStep(ctx context.Context, req Request, step change.BuildStep, names []string) error {
+// returns the failing target and failure of the lowest-indexed failing
+// target (deterministic).
+func (c *Controller) runStep(ctx context.Context, req Request, step change.BuildStep, names []string) (string, error) {
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
@@ -214,12 +225,12 @@ func (c *Controller) runStep(ctx context.Context, req Request, step change.Build
 		}(i, name)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return err
+			return names[i], err
 		}
 	}
-	return nil
+	return "", nil
 }
 
 // runUnit executes one (step, target) unit, consulting the artifact cache
@@ -227,7 +238,7 @@ func (c *Controller) runStep(ctx context.Context, req Request, step change.Build
 func (c *Controller) runUnit(ctx context.Context, req Request, step change.BuildStep, name string) error {
 	hash := req.Targets[name]
 	if name == "" || hash == "" {
-		return c.invoke(ctx, step, name, req.Snapshot)
+		return c.invoke(ctx, step, name, "", req.Snapshot)
 	}
 	key := name + "\x00" + hash + "\x00" + step.Kind.String()
 	for {
@@ -253,7 +264,7 @@ func (c *Controller) runUnit(ctx context.Context, req Request, step change.Build
 			continue
 		}
 		c.count(func(s *Stats) { s.CacheMisses++ })
-		err := c.invoke(ctx, step, name, req.Snapshot)
+		err := c.invoke(ctx, step, name, hash, req.Snapshot)
 		c.mu.Lock()
 		if err == nil {
 			a.ok = true
@@ -266,8 +277,9 @@ func (c *Controller) runUnit(ctx context.Context, req Request, step change.Build
 	}
 }
 
-// invoke runs the step through the worker pool.
-func (c *Controller) invoke(ctx context.Context, step change.BuildStep, name string, snap repo.Snapshot) error {
+// invoke runs the step through the worker pool, handing hash-aware runners
+// the target's content address.
+func (c *Controller) invoke(ctx context.Context, step change.BuildStep, name, hash string, snap repo.Snapshot) error {
 	select {
 	case c.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -280,6 +292,9 @@ func (c *Controller) invoke(ctx context.Context, step change.BuildStep, name str
 	c.count(func(s *Stats) { s.Executed++ })
 	if c.runner == nil {
 		return nil
+	}
+	if hr, ok := c.runner.(StepHashRunner); ok {
+		return hr.RunStepHash(ctx, step, name, hash, snap)
 	}
 	return c.runner.RunStep(ctx, step, name, snap)
 }

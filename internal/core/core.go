@@ -24,6 +24,7 @@ import (
 	"mastergreen/internal/planner"
 	"mastergreen/internal/predict"
 	"mastergreen/internal/queue"
+	"mastergreen/internal/reliability"
 	"mastergreen/internal/repo"
 	"mastergreen/internal/speculation"
 	"mastergreen/internal/store"
@@ -61,6 +62,15 @@ type Config struct {
 	// (shared-prefix preparation trie and plan memoization), restoring the
 	// per-build full-merge path. For ablation and benchmarking.
 	LegacyPlanner bool
+	// Reliability tunes the flaky-failure handling layer (retries, flake
+	// detection, quarantine, verification re-runs; DESIGN.md §4g). The zero
+	// value enables the default policy; set Reliability.LegacyNoRetry to
+	// restore the fail-fast baseline.
+	Reliability reliability.Config
+	// FaultInjector, when non-nil, wraps Runner with deterministic fault
+	// injection (tests and chaos experiments); its inner runner is set to
+	// Config.Runner and its counters surface through ReliabilityStats.
+	FaultInjector *reliability.Injector
 }
 
 // Status reports a change's current position in the pipeline.
@@ -78,6 +88,7 @@ type Service struct {
 	analyzer *conflict.Analyzer
 	planner  *planner.Planner
 	ctrl     *buildsys.Controller
+	rel      *reliability.Reliability
 	cfg      Config
 
 	mu       sync.Mutex
@@ -111,7 +122,19 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		an.SetEvents(cfg.Events)
 	}
 	spec := speculation.New(cfg.Predictor)
-	ctrl := buildsys.NewController(cfg.Workers, cfg.Runner)
+	relCfg := cfg.Reliability
+	if relCfg.Events == nil {
+		relCfg.Events = cfg.Events
+	}
+	rel := reliability.New(relCfg)
+	runner := cfg.Runner
+	if cfg.FaultInjector != nil {
+		cfg.FaultInjector.SetInner(runner)
+		runner = cfg.FaultInjector
+		rel.SetInjector(cfg.FaultInjector)
+	}
+	runner = rel.Wrap(runner)
+	ctrl := buildsys.NewController(cfg.Workers, runner)
 	pl := planner.New(r, q, an, spec, ctrl, planner.Config{
 		Budget:              cfg.Workers,
 		MaxSpecDepth:        cfg.MaxSpecDepth,
@@ -121,6 +144,7 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		TestSelectionRadius: cfg.TestSelectionRadius,
 		LegacyPreparation:   cfg.LegacyPlanner,
 		LegacyReplan:        cfg.LegacyPlanner,
+		Reliability:         rel,
 	})
 	return &Service{
 		repo:     r,
@@ -128,6 +152,7 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		analyzer: an,
 		planner:  pl,
 		ctrl:     ctrl,
+		rel:      rel,
 		cfg:      cfg,
 		statuses: map[change.ID]*Status{},
 		recorded: map[change.ID]bool{},
@@ -246,6 +271,12 @@ func (s *Service) AnalyzerStats() conflict.Stats { return s.analyzer.Stats() }
 
 // PlannerStats exposes the planner's incremental-epoch work counters.
 func (s *Service) PlannerStats() planner.Stats { return s.planner.Stats() }
+
+// ReliabilityStats exposes the flaky-failure layer's work counters.
+func (s *Service) ReliabilityStats() reliability.Stats { return s.rel.Stats() }
+
+// Reliability exposes the reliability layer (quarantine operations, tests).
+func (s *Service) Reliability() *reliability.Reliability { return s.rel }
 
 // Start launches the background epoch loop. Call Stop to halt it.
 func (s *Service) Start() {

@@ -30,6 +30,14 @@ const (
 	TypeAnalysisStarted     Type = "analysis-started"
 	TypeAnalysisReused      Type = "analysis-reused"
 	TypeAnalysisInvalidated Type = "analysis-invalidated"
+
+	// Reliability-layer events (DESIGN.md §4g): a step-unit was proven flaky
+	// (fail then pass on identical inputs), a failed suspect build was given
+	// a verification re-run, and a verification re-run passed — averting a
+	// false rejection.
+	TypeFlakyDetected    Type = "flaky-detected"
+	TypeBuildRetried     Type = "build-retried"
+	TypeRejectionAverted Type = "rejection-averted"
 )
 
 // Event is one lifecycle occurrence.

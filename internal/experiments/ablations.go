@@ -16,6 +16,7 @@ import (
 	"mastergreen/internal/predict"
 	"mastergreen/internal/queue"
 	"mastergreen/internal/repo"
+	"mastergreen/internal/sim"
 	"mastergreen/internal/speculation"
 	"mastergreen/internal/strategies"
 	"mastergreen/internal/textplot"
@@ -557,5 +558,70 @@ func AblationPlannerPrep(o Options) *Report {
 		legacyPer, legacy.SnapshotAnalyses, legacy.PatchApplies, legacy.PlansComputed,
 		incPer, inc.SnapshotAnalyses, inc.PatchApplies, inc.PrefixHits,
 		ratio(legacyPer, incPer), inc.PlansSkipped)
+	return r
+}
+
+// AblationReliability measures the reliability layer (DESIGN.md §4g) under
+// an unreliable build fleet: every step of an otherwise-passing build
+// suffers a deterministic injected transient with 5% probability. The
+// LegacyNoRetry baseline rejects innocent changes whenever a decisive build
+// flakes; with the layer on, in-place step retries absorb most transients
+// and a verification re-run against the same snapshot catches the rest, so
+// false rejections drop by orders of magnitude while master stays green and
+// turnaround stays close to the fault-free run.
+func AblationReliability(o Options) *Report {
+	r := newReport("ablation-reliability", "Ablation — retry/quarantine under an unreliable build fleet (§4g)")
+	const rate = 0.05
+	w := workload.Generate(workload.Config{
+		Seed: o.seed(), Count: o.count(300, 600), RatePerHour: 250,
+	})
+
+	cell := func(flakeRate float64, legacy bool) *sim.Result {
+		s := strategies.NewSubmitQueue(w, w.OraclePredictor())
+		return sim.Run(w, s, sim.Config{
+			Workers: 150, UseAnalyzer: true,
+			FlakePerStepRate: flakeRate, FlakeSeed: o.seed() + 99,
+			LegacyNoRetry: legacy,
+		})
+	}
+
+	clean := cell(0, false)
+	legacy := cell(rate, true)
+	retry := cell(rate, false)
+
+	p50Clean := metrics.Percentile(clean.TurnaroundCommittedMin, 50)
+	p50Retry := metrics.Percentile(retry.TurnaroundCommittedMin, 50)
+	reduction := float64(legacy.FalseRejections)
+	if retry.FalseRejections > 0 {
+		reduction = ratio(float64(legacy.FalseRejections), float64(retry.FalseRejections))
+	}
+	r.Metrics["flake_per_step_rate"] = rate
+	r.Metrics["false_rejections_legacy"] = float64(legacy.FalseRejections)
+	r.Metrics["false_rejections_retry"] = float64(retry.FalseRejections)
+	r.Metrics["reduction_x"] = reduction
+	r.Metrics["flakes_injected_legacy"] = float64(legacy.FlakesInjected)
+	r.Metrics["flakes_injected_retry"] = float64(retry.FlakesInjected)
+	r.Metrics["step_retries"] = float64(retry.StepRetries)
+	r.Metrics["flaky_verifications"] = float64(retry.FlakyVerifications)
+	r.Metrics["green_violations"] = float64(clean.GreenViolations +
+		legacy.GreenViolations + retry.GreenViolations)
+	r.Metrics["p50_fault_free"] = p50Clean
+	r.Metrics["p50_retry"] = p50Retry
+	r.Metrics["p50_ratio"] = ratio(p50Retry, p50Clean)
+	r.Metrics["committed_legacy"] = float64(legacy.Committed)
+	r.Metrics["committed_retry"] = float64(retry.Committed)
+	r.Text = fmt.Sprintf(
+		"%d changes, 250/h, 150 workers, %.0f%% injected transient rate per step:\n"+
+			"  legacy (no retry):  %d false rejections (%d flakes injected), %d committed\n"+
+			"  retry+verification: %d false rejections (%d flakes injected; %d step retries,\n"+
+			"                      %d verification re-runs), %d committed — %.0fx fewer\n"+
+			"  P50 turnaround:     fault-free %.0f min → with faults+retry %.0f min (%.2fx)\n"+
+			"  green violations across all cells: %.0f (must be 0)\n",
+		len(w.Changes), rate*100,
+		legacy.FalseRejections, legacy.FlakesInjected, legacy.Committed,
+		retry.FalseRejections, retry.FlakesInjected, retry.StepRetries,
+		retry.FlakyVerifications, retry.Committed, reduction,
+		p50Clean, p50Retry, r.Metrics["p50_ratio"],
+		r.Metrics["green_violations"])
 	return r
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestAblationReliability is the headline acceptance test for the
+// reliability layer (DESIGN.md §4g): with a 5% injected transient rate per
+// step, in-place retries plus verification re-runs must produce at least
+// 10x fewer false rejections than the LegacyNoRetry baseline on the same
+// seeded workload, master must stay green in every cell, and median
+// committed-change turnaround must stay within 1.5x of the fault-free run.
+func TestAblationReliability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full simulation cells; skipped in -short")
+	}
+	r := AblationReliability(opts())
+	checkReport(t, r)
+
+	legacy := r.Metrics["false_rejections_legacy"]
+	retry := r.Metrics["false_rejections_retry"]
+	if legacy < 10 {
+		t.Errorf("legacy false rejections = %v, too few to make the 10x claim meaningful", legacy)
+	}
+	if legacy < 10*retry {
+		t.Errorf("false rejections: legacy %v vs retry %v, want >= 10x reduction", legacy, retry)
+	}
+	if gv := r.Metrics["green_violations"]; gv != 0 {
+		t.Errorf("green violations = %v, master must stay green in every cell", gv)
+	}
+	if ratio := r.Metrics["p50_ratio"]; ratio > 1.5 {
+		t.Errorf("P50 turnaround with faults+retry is %.2fx fault-free, want <= 1.5x", ratio)
+	}
+	if r.Metrics["step_retries"] == 0 {
+		t.Error("no in-place step retries recorded; the retry path did not engage")
+	}
+	if r.Metrics["committed_retry"] < r.Metrics["committed_legacy"] {
+		t.Errorf("retry cell committed %v < legacy %v; retries should only save changes",
+			r.Metrics["committed_retry"], r.Metrics["committed_legacy"])
+	}
+}
+
+// TestAblationReliabilityDeterministic re-runs the experiment with the same
+// seed and requires bit-identical metrics: the injected fault schedule is a
+// pure function of the seed and build identities.
+func TestAblationReliabilityDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full simulation cells; skipped in -short")
+	}
+	a := AblationReliability(Options{Seed: 7, Quick: true})
+	b := AblationReliability(Options{Seed: 7, Quick: true})
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Errorf("metric %s differs across identical-seed runs: %v vs %v", k, v, b.Metrics[k])
+		}
+	}
+}

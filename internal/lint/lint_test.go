@@ -201,3 +201,15 @@ func TestModuleClean(t *testing.T) {
 		t.Errorf("repo not lint-clean: %s", f)
 	}
 }
+
+// TestDefaultPolicyCoversReliability pins internal/reliability into every
+// determinism policy: the fault schedule must replay bit-for-bit from an
+// injected seed and clock, so wallclock/seedrand/maporder all apply (and
+// the repo-wide locksend/errdrop catch-alls reach it too).
+func TestDefaultPolicyCoversReliability(t *testing.T) {
+	for _, an := range []string{"wallclock", "seedrand", "maporder", "locksend", "errdrop"} {
+		if !lint.DefaultPolicy.Applies(an, "internal/reliability") {
+			t.Errorf("DefaultPolicy does not apply %s to internal/reliability", an)
+		}
+	}
+}

@@ -40,6 +40,7 @@ var DefaultPolicy = TablePolicy{
 		"internal/core",
 		"internal/api",
 		"internal/events",
+		"internal/reliability",
 		"internal/experiments",
 		"internal/workload",
 		"internal/predict",
@@ -64,6 +65,7 @@ var DefaultPolicy = TablePolicy{
 		"internal/sim",
 		"internal/core",
 		"internal/strategies",
+		"internal/reliability",
 	}},
 	{Analyzer: "locksend", Packages: []string{"..."}},
 	{Analyzer: "errdrop", Packages: []string{"internal/...", "cmd/..."}},

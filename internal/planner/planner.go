@@ -32,6 +32,7 @@ import (
 	"mastergreen/internal/conflict"
 	"mastergreen/internal/events"
 	"mastergreen/internal/queue"
+	"mastergreen/internal/reliability"
 	"mastergreen/internal/repo"
 	"mastergreen/internal/speculation"
 )
@@ -81,6 +82,11 @@ type Config struct {
 	// unchanged since the previous epoch. Kept for ablation and
 	// benchmarking.
 	LegacyReplan bool
+	// Reliability, when non-nil, provides flaky-failure handling (DESIGN.md
+	// §4g): its retry budget is refreshed each epoch, and before a failed
+	// decisive build rejects its change, suspect failures earn one
+	// verification re-run of the same request (same snapshot, same steps).
+	Reliability *reliability.Reliability
 }
 
 // trackedBuild is a build the planner started, with enough context to
@@ -91,6 +97,12 @@ type trackedBuild struct {
 	task      *buildsys.Task // nil once finished
 	result    buildsys.Result
 	startedAt time.Time
+	// req is the controller request, kept so a suspect failure can be
+	// verified by re-running the identical build (zero for synthetic
+	// merge-failure results). verified marks that the one verification
+	// re-run has been spent.
+	req      buildsys.Request
+	verified bool
 
 	// Cached dynamic key, valid while keyedAt matches the planner's
 	// keyEpoch. Resolutions (commit/reject) are the only events that change
@@ -254,7 +266,12 @@ func (p *Planner) buildKeyLocked(rb *trackedBuild) string {
 // dynamic keys of running and finished builds in slice order. Change
 // features that feed speculation (Spec success counters) change only when a
 // build is reaped, which changes the finished set, so they are covered
-// transitively. Callers hold p.mu.
+// transitively. A build's verified flag is part of its key: a failed build
+// that already spent its verification re-run decides differently (reject)
+// than the same key before verification (re-run), and without the marker
+// the post-verification state would fingerprint identically to the
+// pre-verification epoch and decide would be skipped forever. Callers hold
+// p.mu.
 func (p *Planner) planFingerprintLocked(pending []*change.Change) string {
 	var sb strings.Builder
 	sb.WriteString(string(p.repo.Head().ID))
@@ -268,11 +285,17 @@ func (p *Planner) planFingerprintLocked(pending []*change.Change) string {
 	sb.WriteString("|r:")
 	for _, rb := range p.running {
 		sb.WriteString(p.buildKeyLocked(rb))
+		if rb.verified {
+			sb.WriteByte('!')
+		}
 		sb.WriteByte(';')
 	}
 	sb.WriteString("|f:")
 	for _, fb := range p.finished {
 		sb.WriteString(p.buildKeyLocked(fb))
+		if fb.verified {
+			sb.WriteByte('!')
+		}
 		sb.WriteByte(';')
 	}
 	return sb.String()
@@ -335,6 +358,9 @@ func (p *Planner) staleFinishedLocked(fb *trackedBuild) bool {
 // (keeping an over-grace build) is monotone — so Tick skips them entirely.
 // This is what makes the 250ms Run loop cheap on idle epochs.
 func (p *Planner) Tick(ctx context.Context) (bool, error) {
+	if p.cfg.Reliability != nil {
+		p.cfg.Reliability.BeginEpoch()
+	}
 	progress := p.reap()
 	pending := p.queue.Pending()
 	p.mu.Lock()
@@ -350,7 +376,7 @@ func (p *Planner) Tick(ctx context.Context) (bool, error) {
 	p.mu.Unlock()
 	var cg *conflict.Graph
 	for {
-		n, g, err := p.decide()
+		n, g, err := p.decide(ctx)
 		if err != nil {
 			return progress, err
 		}
@@ -390,6 +416,9 @@ func (p *Planner) reap() bool {
 				detail := "ok"
 				if !res.OK {
 					detail = "failed: " + res.FailedStep
+					if res.FailedTarget != "" {
+						detail += " @ " + res.FailedTarget
+					}
 				}
 				p.cfg.Events.Publish(events.Event{
 					Type: events.TypeBuildFinished, Change: rb.build.Subject,
@@ -415,8 +444,10 @@ func (p *Planner) reap() bool {
 // decide commits or rejects every change whose fate is determined, in
 // submission order. Returns the number of decisions made and the conflict
 // graph it planned over, so reconcile can reuse it when no decision (and no
-// head movement) intervened.
-func (p *Planner) decide() (int, *conflict.Graph, error) {
+// head movement) intervened. A suspect failed decisive build is re-run once
+// for verification instead of rejecting (counted as a decision so the Tick
+// loop and plan fingerprint observe the state change).
+func (p *Planner) decide(ctx context.Context) (int, *conflict.Graph, error) {
 	pending := p.queue.Pending()
 	if len(pending) == 0 {
 		return 0, nil, nil
@@ -459,7 +490,14 @@ func (p *Planner) decide() (int, *conflict.Graph, error) {
 		}
 		res := match.result
 		if !res.OK {
+			if p.verifySuspect(ctx, match) {
+				decisions++
+				continue
+			}
 			reason := fmt.Sprintf("build failed at %s", res.FailedStep)
+			if res.FailedTarget != "" {
+				reason = fmt.Sprintf("build failed at %s (target %s)", res.FailedStep, res.FailedTarget)
+			}
 			if res.Err != nil {
 				reason = fmt.Sprintf("%s: %v", reason, res.Err)
 			}
@@ -477,10 +515,62 @@ func (p *Planner) decide() (int, *conflict.Graph, error) {
 			decisions++
 			continue
 		}
+		if match.verified && p.cfg.Reliability != nil {
+			p.cfg.Reliability.NoteAverted()
+			if p.cfg.Events != nil {
+				p.cfg.Events.Publish(events.Event{
+					Type: events.TypeRejectionAverted, Change: c.ID, Build: match.build.Key(),
+					Detail: "verification re-run passed; flaky failure did not reject",
+				})
+			}
+		}
 		p.resolve(c.ID, change.StateCommitted, "", commit.ID)
 		decisions++
 	}
 	return decisions, cg, nil
+}
+
+// verifySuspect grants a failed decisive build one verification re-run when
+// its failing step is suspect (known-flaky identity, flaky kind, or
+// quarantined kind): the identical request — same snapshot, same steps — is
+// restarted and the build moves from finished back to running, so decide
+// revisits it when the re-run completes. Synthetic merge failures (empty
+// request) and already-verified builds never qualify.
+func (p *Planner) verifySuspect(ctx context.Context, fb *trackedBuild) bool {
+	rel := p.cfg.Reliability
+	if rel == nil || fb.verified || len(fb.req.Steps) == 0 {
+		return false
+	}
+	if !rel.ShouldVerifyBuild(fb.req, fb.result) {
+		return false
+	}
+	detail := "verification re-run of suspect failure: " + fb.result.FailedStep
+	if fb.result.FailedTarget != "" {
+		detail += " @ " + fb.result.FailedTarget
+	}
+	fb.verified = true
+	task := p.controller.Start(ctx, fb.req)
+	go p.notifyDone(task)
+	p.mu.Lock()
+	for i, x := range p.finished {
+		if x == fb {
+			p.finished = append(p.finished[:i], p.finished[i+1:]...)
+			break
+		}
+	}
+	fb.task = task
+	fb.result = buildsys.Result{}
+	fb.startedAt = p.cfg.Now()
+	p.running = append(p.running, fb)
+	p.stats.BuildsStarted++
+	p.mu.Unlock()
+	if p.cfg.Events != nil {
+		p.cfg.Events.Publish(events.Event{
+			Type: events.TypeBuildRetried, Change: fb.build.Subject, Build: fb.build.Key(),
+			Detail: detail,
+		})
+	}
+	return true
 }
 
 // resolve finalizes a change's state.
@@ -679,6 +769,7 @@ func (p *Planner) startBuild(ctx context.Context, b speculation.Build) error {
 		baseLen:   head.Seq + 1,
 		task:      task,
 		startedAt: p.cfg.Now(),
+		req:       req,
 	})
 	p.mu.Unlock()
 	if p.cfg.Events != nil {

@@ -1,0 +1,59 @@
+package reliability
+
+import "mastergreen/internal/metrics"
+
+// Stats counts the reliability layer's work. Injector counters are zero when
+// no fault injector is attached.
+type Stats struct {
+	// Injected faults, by class.
+	InjectedTransients int
+	InjectedSlows      int
+	InjectedStucks     int
+	InjectedCrashes    int
+
+	// Detector: content-addressed step-unit outcomes recorded, fail→pass
+	// flake confirmations, identities ever proven flaky, identities whose
+	// failure was confirmed genuine (two consecutive fails), kinds
+	// quarantined, and histories not tracked because the cap was reached.
+	UnitsRecorded    int
+	FlakesConfirmed  int
+	FlakyUnits       int
+	GenuineFailures  int
+	QuarantinedKinds int
+	HistoryDropped   int
+
+	// Retry policy: in-place retries granted, denials by exhausted epoch
+	// budget, and retries skipped because the identity was confirmed genuine.
+	Retries              int
+	RetryBudgetDenied    int
+	GenuineShortCircuits int
+
+	// Planner integration: verification re-runs granted (quarantine-grants
+	// counted separately as well) and rejections averted by a passing re-run.
+	Verifications           int
+	QuarantineVerifications int
+	RejectionsAverted       int
+}
+
+// InjectedFaults sums all injected fault classes.
+func (s Stats) InjectedFaults() int {
+	return s.InjectedTransients + s.InjectedSlows + s.InjectedStucks + s.InjectedCrashes
+}
+
+// Gauges renders the counters as ordered metrics gauges.
+func (s Stats) Gauges() metrics.Gauges {
+	return metrics.Gauges{
+		{Name: "injected_faults", Value: float64(s.InjectedFaults())},
+		{Name: "injected_transients", Value: float64(s.InjectedTransients)},
+		{Name: "injected_crashes", Value: float64(s.InjectedCrashes)},
+		{Name: "units_recorded", Value: float64(s.UnitsRecorded)},
+		{Name: "flakes_confirmed", Value: float64(s.FlakesConfirmed)},
+		{Name: "flaky_units", Value: float64(s.FlakyUnits)},
+		{Name: "genuine_failures", Value: float64(s.GenuineFailures)},
+		{Name: "quarantined_kinds", Value: float64(s.QuarantinedKinds)},
+		{Name: "retries", Value: float64(s.Retries)},
+		{Name: "retry_budget_denied", Value: float64(s.RetryBudgetDenied)},
+		{Name: "verifications", Value: float64(s.Verifications)},
+		{Name: "rejections_averted", Value: float64(s.RejectionsAverted)},
+	}
+}

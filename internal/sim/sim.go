@@ -20,6 +20,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"sort"
@@ -179,6 +180,23 @@ type Config struct {
 	// Trace, when non-nil, receives a line per engine decision and
 	// reconcile summary (debugging aid).
 	Trace io.Writer
+
+	// FlakePerStepRate, when > 0, models an unreliable build fleet
+	// (DESIGN.md §4g): each of FlakeSteps steps of an otherwise-passing
+	// build independently suffers an injected transient failure with this
+	// probability. Draws are pure hashes of (FlakeSeed, build identity,
+	// execution number, step, attempt), so runs are bit-reproducible.
+	FlakePerStepRate float64
+	// FlakeSteps is the number of per-build steps exposed to flakiness
+	// (default 5, mirroring change.DefaultBuildSteps).
+	FlakeSteps int
+	// FlakeSeed seeds the injected fault schedule.
+	FlakeSeed int64
+	// LegacyNoRetry disables the reliability layer's handling of injected
+	// flakiness: no in-place step retries and no verification re-run before
+	// a failed decisive build rejects its change. The baseline for the
+	// ablation-reliability experiment.
+	LegacyNoRetry bool
 }
 
 // Result aggregates a run's measurements.
@@ -208,6 +226,16 @@ type Result struct {
 	// Undecided counts changes never resolved before the virtual-time cap
 	// (nonzero only for pathological strategy/load combinations).
 	Undecided int
+	// Reliability measurements (Config.FlakePerStepRate > 0):
+	// FalseRejections counts rejected changes that genuinely succeed and
+	// conflict with nothing committed — innocents lost to injected flakes.
+	// FlakesInjected counts injected step failures, StepRetries the in-place
+	// retries the reliability layer spent, and FlakyVerifications the failed
+	// decisive builds granted a verification re-run instead of rejecting.
+	FalseRejections    int
+	FlakesInjected     int
+	StepRetries        int
+	FlakyVerifications int
 }
 
 // Summary returns the order statistics of committed-change turnaround.
@@ -312,6 +340,16 @@ type engine struct {
 	// later builds run incrementally (§6).
 	builtBefore map[int]bool
 
+	// Reliability modeling (cfg.FlakePerStepRate > 0): execSeq numbers the
+	// executions of each raw build spec so re-runs draw fresh faults,
+	// flakeFailed records whether the latest execution of a spec failed only
+	// because of an injected flake (the detector's suspicion signal), and
+	// verifiedSubject marks subjects whose one verification re-run of a
+	// failed decisive build has been spent.
+	execSeq         map[string]int
+	flakeFailed     map[string]bool
+	verifiedSubject map[int]bool
+
 	res *Result
 }
 
@@ -332,6 +370,9 @@ func Run(w *workload.Workload, s Strategy, cfg Config) *Result {
 	if cfg.IncrementalFactor > 1 {
 		cfg.IncrementalFactor = 1
 	}
+	if cfg.FlakeSteps <= 0 {
+		cfg.FlakeSteps = 5
+	}
 	e := &engine{
 		w:   w,
 		cfg: cfg,
@@ -349,6 +390,9 @@ func Run(w *workload.Workload, s Strategy, cfg Config) *Result {
 		finishedBySubject: map[int][]int{},
 		builtBefore:       map[int]bool{},
 		inWork:            map[int]bool{},
+		execSeq:           map[string]int{},
+		flakeFailed:       map[string]bool{},
+		verifiedSubject:   map[int]bool{},
 		res:               &Result{Strategy: s.Name(), Workers: cfg.Workers},
 	}
 	heap.Init(&e.events)
@@ -398,10 +442,22 @@ func (e *engine) handle(ev event) {
 		}
 		delete(e.slots, ev.idx)
 		e.res.WorkerBusy += e.now - slot.start
+		okRes := e.groundTruthOK(slot)
+		if e.cfg.FlakePerStepRate > 0 {
+			flaked := false
+			if okRes {
+				// Injected flakes only flip pass→fail, never fail→pass, so
+				// the green-mainline invariant cannot be violated by
+				// flakiness.
+				okRes = e.flakeOutcome(slot)
+				flaked = !okRes
+			}
+			e.flakeFailed[rawSpecKey(slot.spec)] = flaked
+		}
 		fb := FinishedBuild{
 			Spec:        slot.spec,
 			BaseCommits: slot.base,
-			OK:          e.groundTruthOK(slot),
+			OK:          okRes,
 			FinishedAt:  e.now,
 		}
 		e.finishedBySubject[fb.Spec.Subject] = append(e.finishedBySubject[fb.Spec.Subject], len(e.st.Finished))
@@ -437,6 +493,122 @@ func (e *engine) groundTruthOK(slot *runningSlot) bool {
 			}
 		}
 	}
+	return true
+}
+
+// rawSpecKey renders a build spec's raw shape (subject, applied list,
+// rejection assumptions, batch) as a stable identity for the per-execution
+// fault-draw counter. Unlike specIdentity it is independent of the
+// normalization epoch, so a re-run of the same spec draws fresh faults.
+func rawSpecKey(spec BuildSpec) string {
+	buf := make([]byte, 0, 8*(len(spec.Assumed)+len(spec.AssumedRejected)+len(spec.Batch)+1))
+	buf = strconv.AppendInt(buf, int64(spec.Subject), 10)
+	buf = append(buf, '|')
+	for _, a := range spec.Assumed {
+		buf = strconv.AppendInt(buf, int64(a), 10)
+		buf = append(buf, '+')
+	}
+	buf = append(buf, '!')
+	for _, r := range spec.AssumedRejected {
+		buf = strconv.AppendInt(buf, int64(r), 10)
+		buf = append(buf, ',')
+	}
+	for _, m := range spec.Batch {
+		buf = append(buf, 'B')
+		buf = strconv.AppendInt(buf, int64(m), 10)
+	}
+	return string(buf)
+}
+
+// flakeOutcome perturbs a genuinely-passing build with injected per-step
+// transient failures. With the reliability layer on, each flaked step gets
+// one in-place retry (a second independent draw) — the unit-level
+// fail-then-pass that proves flakiness on identical inputs; under
+// LegacyNoRetry any injected failure fails the build outright.
+func (e *engine) flakeOutcome(slot *runningSlot) bool {
+	key := rawSpecKey(slot.spec)
+	exec := e.execSeq[key]
+	e.execSeq[key] = exec + 1
+	pass := true
+	for s := 0; s < e.cfg.FlakeSteps; s++ {
+		if !e.flakeDraw(key, exec, s, 0) {
+			continue
+		}
+		e.res.FlakesInjected++
+		if e.cfg.LegacyNoRetry {
+			pass = false
+			continue
+		}
+		e.res.StepRetries++
+		if e.flakeDraw(key, exec, s, 1) {
+			e.res.FlakesInjected++
+			pass = false
+		}
+	}
+	return pass
+}
+
+// flakeDraw is the deterministic per-(identity, execution, step, attempt)
+// fault decision: an FNV-1a hash of the tuple against FlakePerStepRate.
+func (e *engine) flakeDraw(key string, exec, step, attempt int) bool {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(e.cfg.FlakeSeed) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(key))
+	b := make([]byte, 0, 24)
+	b = strconv.AppendInt(b, int64(exec), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(step), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(attempt), 10)
+	_, _ = h.Write(b)
+	// Avalanche the sum (murmur3 fmix64): FNV's final byte shifts the hash
+	// by only ~±prime, which would leave the kept top bits — and thus the
+	// draw — nearly identical across attempts.
+	s := h.Sum64()
+	s ^= s >> 33
+	s *= 0xff51afd7ed558ccd
+	s ^= s >> 33
+	s *= 0xc4ceb9fe1a85ec53
+	s ^= s >> 33
+	u := float64(s>>11) / float64(1<<53)
+	return u < e.cfg.FlakePerStepRate
+}
+
+// dropFinished removes st.Finished[k] (a failed decisive build granted a
+// verification re-run) and rebuilds the subject index, so reconcile no
+// longer sees a finished result for the identity and reschedules the build.
+func (e *engine) dropFinished(k int) {
+	e.st.Finished = append(e.st.Finished[:k], e.st.Finished[k+1:]...)
+	e.finishedIdent = append(e.finishedIdent[:k], e.finishedIdent[k+1:]...)
+	e.finishedBySubject = make(map[int][]int, len(e.finishedBySubject))
+	for idx, fb := range e.st.Finished {
+		e.finishedBySubject[fb.Spec.Subject] = append(e.finishedBySubject[fb.Spec.Subject], idx)
+	}
+}
+
+// retryDecisive grants one verification re-run per subject for a failed
+// decisive build under injected flakiness: the failed result is dropped, so
+// the strategy reschedules the identity (fresh fault draws), and only a
+// second consecutive failure rejects the change. Only flake-suspect failures
+// qualify — a build that failed on ground truth (bad change or real
+// conflict) rejects immediately, mirroring the detector's genuine-failure
+// short circuit.
+func (e *engine) retryDecisive(subject, finishedIdx int) bool {
+	if e.cfg.FlakePerStepRate <= 0 || e.cfg.LegacyNoRetry || e.verifiedSubject[subject] {
+		return false
+	}
+	if !e.flakeFailed[rawSpecKey(e.st.Finished[finishedIdx].Spec)] {
+		return false
+	}
+	e.verifiedSubject[subject] = true
+	e.dropFinished(finishedIdx)
+	e.res.FlakyVerifications++
+	e.dirty = true
+	e.pushWork(subject)
 	return true
 }
 
@@ -518,7 +690,7 @@ func (e *engine) decide() {
 		if !e.st.pending[i] {
 			continue
 		}
-		fb, ok := e.decisiveBuild(i)
+		fb, fbIdx, ok := e.decisiveBuild(i)
 		if !ok {
 			continue
 		}
@@ -528,7 +700,9 @@ func (e *engine) decide() {
 					e.commit(m)
 				}
 			} else if len(fb.Spec.Batch) == 1 {
-				e.reject(fb.Spec.Batch[0])
+				if !e.retryDecisive(fb.Spec.Batch[0], fbIdx) {
+					e.reject(fb.Spec.Batch[0])
+				}
 			}
 			// Failed multi-change batches are left to the strategy to split
 			// and retry (Chromium CQ behavior).
@@ -536,17 +710,18 @@ func (e *engine) decide() {
 		}
 		if fb.OK {
 			e.commit(i)
-		} else {
+		} else if !e.retryDecisive(i, fbIdx) {
 			e.reject(i)
 		}
 	}
 }
 
 // decisiveBuild finds a finished build that decides change i given the
-// current committed/rejected reality. A change is decidable only when every
-// pending conflicting predecessor is accounted for: resolved, or (for batch
-// builds) a member of the same batch.
-func (e *engine) decisiveBuild(i int) (FinishedBuild, bool) {
+// current committed/rejected reality, returning its st.Finished index too
+// (so a suspect failure can be dropped for a verification re-run). A change
+// is decidable only when every pending conflicting predecessor is accounted
+// for: resolved, or (for batch builds) a member of the same batch.
+func (e *engine) decisiveBuild(i int) (FinishedBuild, int, bool) {
 	preds := e.st.PendingConflictingPredecessors(i)
 	idxs := e.finishedBySubject[i]
 	for k := len(idxs) - 1; k >= 0; k-- {
@@ -584,9 +759,9 @@ func (e *engine) decisiveBuild(i int) (FinishedBuild, bool) {
 		if !ok {
 			continue
 		}
-		return fb, true
+		return fb, idxs[k], true
 	}
-	return FinishedBuild{}, false
+	return FinishedBuild{}, -1, false
 }
 
 // onResolved pushes every pending change that might be unblocked by the
@@ -633,6 +808,21 @@ func (e *engine) reject(i int) {
 	e.decisionsEpoch++
 	if !e.st.pending[i] {
 		return
+	}
+	// False-rejection accounting under injected flakiness: the change
+	// genuinely succeeds and conflicts with nothing committed, so only a
+	// flake could have failed its decisive build.
+	if e.cfg.FlakePerStepRate > 0 && e.w.Changes[i].Succeeds {
+		innocent := true
+		for j := range e.w.Changes[i].RealConflicts {
+			if e.committedSet[j] {
+				innocent = false
+				break
+			}
+		}
+		if innocent {
+			e.res.FalseRejections++
+		}
 	}
 	e.st.rejected[i] = true
 	e.removePending(i)
