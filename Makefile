@@ -24,10 +24,9 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# bench runs the buildgraph/buildsys/conflict micro-benchmarks (see
-# BENCH_buildgraph.json and BENCH_conflict.json).
+# bench runs the subsystem micro-benchmarks (see the BENCH_*.json files).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/ ./internal/planner/
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/ ./internal/planner/ ./internal/shard/ ./internal/arbiter/
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once so
 # benchmarks cannot bitrot; CI runs it on every push. The root-level paper

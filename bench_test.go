@@ -241,3 +241,17 @@ func BenchmarkAblationBoosting(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAblationShards measures the §4h sharded multi-planner scale-out:
+// commit throughput at 1/4/8/16 planner shards on a many-subtree workload,
+// against the legacy single-planner engine (BENCH_shards.json records the
+// full 512-change run).
+func BenchmarkAblationShards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationShards(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "committed_per_hour_1", "committed_per_hour_8",
+				"speedup_8", "speedup_16", "green_violations")
+		}
+	}
+}

@@ -54,10 +54,11 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent builds")
 	epoch := flag.Duration("epoch", 250*time.Millisecond, "planner epoch")
 	dataDir := flag.String("data", "", "directory for durable state (empty = in-memory only)")
+	shards := flag.Int("shards", 0, "planner shards (>= 1 enables the sharded scale-out; 0 = classic single planner)")
 	flag.Parse()
 
 	bus := events.NewBus(1024)
-	cfg := core.Config{Workers: *workers, Epoch: *epoch, Events: bus}
+	cfg := core.Config{Workers: *workers, Epoch: *epoch, Events: bus, Shards: *shards}
 
 	var svc *core.Service
 	var repoPath string
@@ -108,6 +109,10 @@ func main() {
 	log.Printf("sqd: analyzer %s", svc.AnalyzerStats().Gauges())
 	log.Printf("sqd: planner %s", svc.PlannerStats().Gauges())
 	log.Printf("sqd: reliability %s", svc.ReliabilityStats().Gauges())
+	if svc.Sharded() {
+		log.Printf("sqd: shards %s", svc.ShardStats().Gauges())
+		log.Printf("sqd: arbiter %s", svc.ArbiterStats().Gauges())
+	}
 	if repoPath != "" {
 		f, err := os.Create(repoPath)
 		if err != nil {

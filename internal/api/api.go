@@ -79,10 +79,10 @@ type StatusResponse struct {
 	BuildsAborted int    `json:"builds_aborted"`
 
 	// Conflict-analyzer cache effectiveness (DESIGN.md §4e).
-	AnalyzerGraphBuilds     int     `json:"analyzer_graph_builds"`
-	AnalyzerReusedAnalyses  int     `json:"analyzer_reused_analyses"`
-	AnalyzerPairCacheHits   int     `json:"analyzer_pair_cache_hits"`
-	AnalyzerPairsReused     int     `json:"analyzer_pairs_reused"`
+	AnalyzerGraphBuilds       int     `json:"analyzer_graph_builds"`
+	AnalyzerReusedAnalyses    int     `json:"analyzer_reused_analyses"`
+	AnalyzerPairCacheHits     int     `json:"analyzer_pair_cache_hits"`
+	AnalyzerPairsReused       int     `json:"analyzer_pairs_reused"`
 	AnalyzerAnalysisReuseRate float64 `json:"analyzer_analysis_reuse_rate"`
 
 	// Planner incremental-epoch effectiveness (DESIGN.md §4f).
@@ -101,6 +101,18 @@ type StatusResponse struct {
 	ReliabilityQuarantinedKinds  int `json:"reliability_quarantined_kinds"`
 	ReliabilityVerifications     int `json:"reliability_verifications"`
 	ReliabilityRejectionsAverted int `json:"reliability_rejections_averted"`
+
+	// Sharded multi-planner scale-out (DESIGN.md §4h); zero when the classic
+	// single-planner engine runs.
+	Sharded                  bool        `json:"sharded"`
+	ShardsActive             int         `json:"shards_active"`
+	ShardComponents          int         `json:"shard_components"`
+	ShardRebalanced          int         `json:"shard_rebalanced"`
+	ArbiterCommits           int         `json:"arbiter_commits"`
+	ArbiterCrossShardChecks  int         `json:"arbiter_cross_shard_checks"`
+	ArbiterCrossShardRejects int         `json:"arbiter_cross_shard_rejects"`
+	ArbiterMaxQueueDepth     int         `json:"arbiter_max_queue_depth"`
+	ArbiterCommitsByShard    map[int]int `json:"arbiter_commits_by_shard,omitempty"`
 }
 
 // Server adapts a core.Service to HTTP.
@@ -246,6 +258,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	as := s.svc.AnalyzerStats()
 	ps := s.svc.PlannerStats()
 	rs := s.svc.ReliabilityStats()
+	ss := s.svc.ShardStats()
+	abs := s.svc.ArbiterStats()
 	head := s.svc.Repo().Head()
 	reuseRate := 0.0
 	if total := as.ReusedAnalyses + as.AnalyzedChanges; total > 0 {
@@ -282,5 +296,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		ReliabilityQuarantinedKinds:  rs.QuarantinedKinds,
 		ReliabilityVerifications:     rs.Verifications,
 		ReliabilityRejectionsAverted: rs.RejectionsAverted,
+
+		Sharded:                  s.svc.Sharded(),
+		ShardsActive:             ss.ShardsActive,
+		ShardComponents:          ss.Components,
+		ShardRebalanced:          ss.Rebalanced,
+		ArbiterCommits:           abs.Commits,
+		ArbiterCrossShardChecks:  abs.CrossShardChecks,
+		ArbiterCrossShardRejects: abs.CrossShardRejects,
+		ArbiterMaxQueueDepth:     abs.MaxQueueDepth,
+		ArbiterCommitsByShard:    abs.CommitsByShard,
 	})
 }

@@ -80,6 +80,8 @@ builds: {{.Builds}} run / {{.Aborted}} aborted</p>
 <p>analyzer: {{.Analyzer}}</p>
 <p>planner: {{.Planner}}</p>
 <p>reliability: {{.Reliability}}</p>
+{{if .Sharded}}<p>shards: {{.Shards}}</p>
+<p>arbiter: {{.Arbiter}}</p>{{end}}
 <h2>recent outcomes</h2>
 <table><tr><th>change</th><th>state</th><th>detail</th></tr>
 {{range .Outcomes}}<tr><td>{{.ID}}</td><td class="{{.State}}">{{.State}}</td><td>{{.Detail}}</td></tr>
@@ -99,6 +101,9 @@ type dashboardData struct {
 	Analyzer    string // conflict-analyzer cache gauges, "name=value …"
 	Planner     string // planner incremental-epoch gauges, "name=value …"
 	Reliability string // flaky-failure layer gauges, "name=value …"
+	Sharded     bool
+	Shards      string // shard-coordinator gauges, "name=value …"
+	Arbiter     string // commit-arbiter gauges, "name=value …"
 	Outcomes    []dashboardOutcome
 	Events      []events.Event
 }
@@ -124,6 +129,9 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Analyzer:    s.svc.AnalyzerStats().Gauges().String(),
 		Planner:     s.svc.PlannerStats().Gauges().String(),
 		Reliability: s.svc.ReliabilityStats().Gauges().String(),
+		Sharded:     s.svc.Sharded(),
+		Shards:      s.svc.ShardStats().Gauges().String(),
+		Arbiter:     s.svc.ArbiterStats().Gauges().String(),
 	}
 	outs := s.svc.Outcomes()
 	start := 0

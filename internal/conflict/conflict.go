@@ -43,6 +43,25 @@ import (
 // analyses; BuildGraph retries the pass once before assuming conflict.
 var errHeadMoved = errors.New("conflict: head moved during analysis")
 
+// ApplyError is the canonical rejection error for a change whose patch no
+// longer applies to the current head. The analyzer produces it from a failed
+// merge, and the sharded planner's engine view reproduces it from a live
+// applicability check so both paths reject with identical wording.
+func ApplyError(id change.ID, err error) error {
+	return fmt.Errorf("conflict: change %s does not apply to head: %w", id, err)
+}
+
+// IsApplyFailure reports whether an analysis error was a patch-applicability
+// failure (merge conflict with committed work) as opposed to a structural
+// analysis failure such as a malformed BUILD file. Applicability is a
+// function of the current head, so cached apply failures go stale the moment
+// the head moves; structural failures travel with the change itself.
+func IsApplyFailure(err error) bool {
+	return errors.Is(err, repo.ErrFileExists) ||
+		errors.Is(err, repo.ErrNoSuchFile) ||
+		errors.Is(err, repo.ErrMergeConflict)
+}
+
 // Analysis is everything the analyzer derives from a single change at a
 // given head.
 type Analysis struct {
@@ -297,7 +316,7 @@ func (a *Analyzer) analyzeAt(c *change.Change, head repo.CommitID, headGraph *bu
 	snap, err := a.repo.Merged(head, c.Patch)
 	if err != nil {
 		a.count(func(s *Stats) { s.PatchApplyFailures++ })
-		return nil, fmt.Errorf("conflict: change %s does not apply to head: %w", c.ID, err)
+		return nil, ApplyError(c.ID, err)
 	}
 	g, err := buildgraph.Analyze(snap)
 	if err != nil {
@@ -323,6 +342,22 @@ func (a *Analyzer) analyzeAt(c *change.Change, head repo.CommitID, headGraph *bu
 		Graph:            g,
 		paths:            paths,
 	}, nil
+}
+
+// StructureChanged reports whether the cached analysis for the change (at
+// the head it was computed or re-homed to) altered build-graph structure.
+// known is false when no analysis is cached — selective invalidation dropped
+// it, or it was never computed — and callers needing a safe answer should
+// then assume the structure did change. The commit arbiter consults this
+// during cross-shard re-validation without forcing a recomputation.
+func (a *Analyzer) StructureChanged(id change.ID) (changed, known bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	an, ok := a.analyses[id]
+	if !ok {
+		return false, false
+	}
+	return an.StructureChanged, true
 }
 
 // Conflicts reports whether two changes conflict at the current HEAD.

@@ -108,6 +108,14 @@ func (g *Graph) Order() []change.ID { return append([]change.ID(nil), g.order...
 // Conflict reports whether two changes are joined by an edge.
 func (g *Graph) Conflict(a, b change.ID) bool { return g.edges[a][b] }
 
+// Contains reports whether the change is a vertex of the graph. The shard
+// layer's per-engine views use it to detect changes the coordinator has not
+// yet analyzed, which must be treated conservatively.
+func (g *Graph) Contains(id change.ID) bool {
+	_, ok := g.index[id]
+	return ok
+}
+
 // Neighbors returns the changes conflicting with id, in submission order.
 func (g *Graph) Neighbors(id change.ID) []change.ID {
 	out := make([]change.ID, 0, len(g.edges[id]))

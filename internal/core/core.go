@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"mastergreen/internal/arbiter"
 	"mastergreen/internal/buildsys"
 	"mastergreen/internal/change"
 	"mastergreen/internal/conflict"
@@ -26,6 +27,7 @@ import (
 	"mastergreen/internal/queue"
 	"mastergreen/internal/reliability"
 	"mastergreen/internal/repo"
+	"mastergreen/internal/shard"
 	"mastergreen/internal/speculation"
 	"mastergreen/internal/store"
 )
@@ -71,6 +73,16 @@ type Config struct {
 	// injection (tests and chaos experiments); its inner runner is set to
 	// Config.Runner and its counters surface through ReliabilityStats.
 	FaultInjector *reliability.Injector
+	// Shards, when >= 1, enables the sharded multi-planner scale-out
+	// (DESIGN.md §4h): that many independent planner engines over
+	// connected-component partitions of the conflict graph, with a serialized
+	// commit arbiter owning head advancement. <= 0 keeps the classic
+	// single-planner engine.
+	Shards int
+	// SingleShard forces the classic single-planner engine even when Shards
+	// is set — the preserved legacy path, bit-for-bit identical to the
+	// service before the shard layer existed.
+	SingleShard bool
 }
 
 // Status reports a change's current position in the pipeline.
@@ -86,7 +98,9 @@ type Service struct {
 	repo     *repo.Repo
 	queue    *queue.Queue
 	analyzer *conflict.Analyzer
-	planner  *planner.Planner
+	planner  *planner.Planner // single-planner mode; nil when sharded
+	runtime  *shard.Runtime   // sharded mode; nil when single-planner
+	arb      *arbiter.Arbiter // sharded mode; nil when single-planner
 	ctrl     *buildsys.Controller
 	rel      *reliability.Reliability
 	cfg      Config
@@ -135,7 +149,7 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 	}
 	runner = rel.Wrap(runner)
 	ctrl := buildsys.NewController(cfg.Workers, runner)
-	pl := planner.New(r, q, an, spec, ctrl, planner.Config{
+	pcfg := planner.Config{
 		Budget:              cfg.Workers,
 		MaxSpecDepth:        cfg.MaxSpecDepth,
 		PreemptionGrace:     cfg.PreemptionGrace,
@@ -145,18 +159,29 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		LegacyPreparation:   cfg.LegacyPlanner,
 		LegacyReplan:        cfg.LegacyPlanner,
 		Reliability:         rel,
-	})
-	return &Service{
+	}
+	s := &Service{
 		repo:     r,
 		queue:    q,
 		analyzer: an,
-		planner:  pl,
 		ctrl:     ctrl,
 		rel:      rel,
 		cfg:      cfg,
 		statuses: map[change.ID]*Status{},
 		recorded: map[change.ID]bool{},
 	}
+	if cfg.Shards >= 1 && !cfg.SingleShard {
+		s.arb = arbiter.New(r, arbiter.Config{Analyzer: an, Events: cfg.Events})
+		s.runtime = shard.New(r, q, an, s.arb, ctrl, shard.Config{
+			Shards:  cfg.Shards,
+			Planner: pcfg,
+			Spec:    func() *speculation.Engine { return speculation.New(cfg.Predictor) },
+			Events:  cfg.Events,
+		})
+	} else {
+		s.planner = planner.New(r, q, an, spec, ctrl, pcfg)
+	}
+	return s
 }
 
 // Repo exposes the managed repository (read-only use expected).
@@ -213,9 +238,11 @@ func (s *Service) State(id change.ID) (Status, error) {
 }
 
 // syncOutcomes folds planner outcomes into the status map and journals
-// newly-final dispositions.
+// newly-final dispositions. The first decision for a change wins: in sharded
+// mode a change moved between engines mid-decision can surface a bounced
+// duplicate, and a final status must never flip.
 func (s *Service) syncOutcomes() {
-	outs := s.planner.Outcomes()
+	outs := s.plannerOutcomes()
 	var toJournal []store.OutcomeRecord
 	s.mu.Lock()
 	for _, o := range outs {
@@ -223,6 +250,9 @@ func (s *Service) syncOutcomes() {
 		if !ok {
 			st = &Status{ID: o.ID}
 			s.statuses[o.ID] = st
+		}
+		if st.State == change.StateCommitted || st.State == change.StateRejected {
+			continue // already final; first decision wins
 		}
 		st.State = o.State
 		st.Reason = o.Reason
@@ -242,9 +272,22 @@ func (s *Service) syncOutcomes() {
 	}
 }
 
+// plannerOutcomes returns the dispositions from whichever engine layer runs.
+func (s *Service) plannerOutcomes() []planner.Outcome {
+	if s.runtime != nil {
+		return s.runtime.Outcomes()
+	}
+	return s.planner.Outcomes()
+}
+
 // Tick runs one planner epoch (for callers managing their own loop).
 func (s *Service) Tick(ctx context.Context) error {
-	_, err := s.planner.Tick(ctx)
+	var err error
+	if s.runtime != nil {
+		_, err = s.runtime.Tick(ctx)
+	} else {
+		_, err = s.planner.Tick(ctx)
+	}
 	s.syncOutcomes()
 	return err
 }
@@ -252,16 +295,26 @@ func (s *Service) Tick(ctx context.Context) error {
 // ProcessAll drives the planner until every submitted change is committed or
 // rejected (or the context is cancelled).
 func (s *Service) ProcessAll(ctx context.Context) error {
-	err := s.planner.Quiesce(ctx)
+	var err error
+	if s.runtime != nil {
+		err = s.runtime.Quiesce(ctx)
+	} else {
+		err = s.planner.Quiesce(ctx)
+	}
 	s.syncOutcomes()
 	return err
 }
 
 // Outcomes returns all final dispositions so far, in decision order.
-func (s *Service) Outcomes() []planner.Outcome { return s.planner.Outcomes() }
+func (s *Service) Outcomes() []planner.Outcome { return s.plannerOutcomes() }
 
-// PendingCount returns the number of changes still in the queue.
-func (s *Service) PendingCount() int { return s.queue.Len() }
+// PendingCount returns the number of changes still undecided.
+func (s *Service) PendingCount() int {
+	if s.runtime != nil {
+		return s.runtime.PendingCount()
+	}
+	return s.queue.Len()
+}
 
 // BuildStats exposes the build controller's work counters.
 func (s *Service) BuildStats() buildsys.Stats { return s.ctrl.Stats() }
@@ -269,8 +322,35 @@ func (s *Service) BuildStats() buildsys.Stats { return s.ctrl.Stats() }
 // AnalyzerStats exposes the conflict analyzer's work counters.
 func (s *Service) AnalyzerStats() conflict.Stats { return s.analyzer.Stats() }
 
-// PlannerStats exposes the planner's incremental-epoch work counters.
-func (s *Service) PlannerStats() planner.Stats { return s.planner.Stats() }
+// PlannerStats exposes the planner's incremental-epoch work counters
+// (aggregated across engines in sharded mode).
+func (s *Service) PlannerStats() planner.Stats {
+	if s.runtime != nil {
+		return s.runtime.PlannerStats()
+	}
+	return s.planner.Stats()
+}
+
+// ShardStats exposes the shard coordinator's counters (zero value when the
+// service runs the classic single-planner engine).
+func (s *Service) ShardStats() shard.Stats {
+	if s.runtime == nil {
+		return shard.Stats{}
+	}
+	return s.runtime.Stats()
+}
+
+// ArbiterStats exposes the commit arbiter's counters (zero value when the
+// service runs the classic single-planner engine).
+func (s *Service) ArbiterStats() arbiter.Stats {
+	if s.arb == nil {
+		return arbiter.Stats{}
+	}
+	return s.arb.Stats()
+}
+
+// Sharded reports whether the sharded multi-planner runtime is active.
+func (s *Service) Sharded() bool { return s.runtime != nil }
 
 // ReliabilityStats exposes the flaky-failure layer's work counters.
 func (s *Service) ReliabilityStats() reliability.Stats { return s.rel.Stats() }
@@ -291,7 +371,11 @@ func (s *Service) Start() {
 	s.loopDone = done
 	go func() {
 		defer close(done)
-		_ = s.planner.Run(ctx, s.cfg.Epoch)
+		if s.runtime != nil {
+			_ = s.runtime.Run(ctx, s.cfg.Epoch)
+		} else {
+			_ = s.planner.Run(ctx, s.cfg.Epoch)
+		}
 	}()
 }
 

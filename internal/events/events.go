@@ -38,6 +38,12 @@ const (
 	TypeFlakyDetected    Type = "flaky-detected"
 	TypeBuildRetried     Type = "build-retried"
 	TypeRejectionAverted Type = "rejection-averted"
+
+	// Shard-layer events (DESIGN.md §4h): the commit arbiter advanced the
+	// mainline head, and the coordinator moved changes between planner
+	// shards after a partition epoch.
+	TypeHeadAdvanced    Type = "head-advanced"
+	TypeShardRebalanced Type = "shard-rebalanced"
 )
 
 // Event is one lifecycle occurrence.

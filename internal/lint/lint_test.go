@@ -213,3 +213,18 @@ func TestDefaultPolicyCoversReliability(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultPolicyCoversShardScaleOut pins the sharded scale-out packages
+// into every determinism policy: the coordinator's partition and the
+// arbiter's total commit order must replay bit-for-bit (the golden trace
+// test depends on it), so wallclock/seedrand/maporder all apply, plus the
+// repo-wide locksend/errdrop catch-alls.
+func TestDefaultPolicyCoversShardScaleOut(t *testing.T) {
+	for _, pkg := range []string{"internal/shard", "internal/arbiter"} {
+		for _, an := range []string{"wallclock", "seedrand", "maporder", "locksend", "errdrop"} {
+			if !lint.DefaultPolicy.Applies(an, pkg) {
+				t.Errorf("DefaultPolicy does not apply %s to %s", an, pkg)
+			}
+		}
+	}
+}

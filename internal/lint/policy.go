@@ -41,6 +41,8 @@ var DefaultPolicy = TablePolicy{
 		"internal/api",
 		"internal/events",
 		"internal/reliability",
+		"internal/shard",
+		"internal/arbiter",
 		"internal/experiments",
 		"internal/workload",
 		"internal/predict",
@@ -66,6 +68,8 @@ var DefaultPolicy = TablePolicy{
 		"internal/core",
 		"internal/strategies",
 		"internal/reliability",
+		"internal/shard",
+		"internal/arbiter",
 	}},
 	{Analyzer: "locksend", Packages: []string{"..."}},
 	{Analyzer: "errdrop", Packages: []string{"internal/...", "cmd/..."}},

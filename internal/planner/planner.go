@@ -40,6 +40,52 @@ import (
 // ErrStopped is returned by Quiesce when its context is cancelled.
 var ErrStopped = errors.New("planner: stopped")
 
+// ErrCrossShardConflict is returned by a Committer when re-validation against
+// commits that landed after the decisive build's base fails. The planner
+// reacts by dropping the decisive build so reconcile schedules a fresh one
+// against the new head — the change is rebuilt, not rejected.
+var ErrCrossShardConflict = errors.New("planner: cross-shard conflict at commit")
+
+// ConflictSource supplies the conflict graph the planner plans over. The
+// single-planner service passes the *conflict.Analyzer directly; sharded
+// planner engines receive a coordinator-fed view scoped to their component
+// group, so concurrent engines never contend on one incremental graph memo.
+type ConflictSource interface {
+	BuildGraph(pending []*change.Change) (*conflict.Graph, map[change.ID]error)
+}
+
+// CommitProposal describes a commit-ready change a planner wants to land:
+// the decisive build's base, everything the build merged, and the footprint
+// a commit arbiter needs for cross-shard re-validation (DESIGN.md §4h).
+type CommitProposal struct {
+	// Shard identifies the proposing planner engine (stats and events).
+	Shard int
+	// Change is the subject whose decisive build passed.
+	Change *change.Change
+	// BaseLen is the repo mainline length at the decisive build's base; any
+	// commit at sequence >= BaseLen landed after the build started.
+	BaseLen int
+	// Applied are the changes the decisive build merged (assumed-committed
+	// predecessors followed by the subject); interleaved commits of these
+	// changes are part of the build and need no re-validation.
+	Applied []change.ID
+	// Targets are the affected-target names of the decisive build's delta.
+	Targets []string
+	// Paths are the files the subject's patch touches.
+	Paths []string
+	// Now is the commit timestamp (the planner's injected clock).
+	Now time.Time
+}
+
+// Committer owns head advancement. When Config.Committer is nil the planner
+// commits directly with repo.CommitPatch, exactly as before the shard layer
+// existed; in sharded mode every engine routes proposals through the
+// serialized commit arbiter, which re-validates cross-shard interleavings
+// and applies commits in a deterministic total order.
+type Committer interface {
+	Commit(p CommitProposal) (*repo.Commit, error)
+}
+
 // Outcome records the final disposition of a change.
 type Outcome struct {
 	ID     change.ID
@@ -87,6 +133,19 @@ type Config struct {
 	// decisive build rejects its change, suspect failures earn one
 	// verification re-run of the same request (same snapshot, same steps).
 	Reliability *reliability.Reliability
+	// Committer, when non-nil, owns head advancement: decide proposes
+	// commit-ready changes instead of calling repo.CommitPatch directly.
+	// Sharded mode points every engine at the shared commit arbiter.
+	Committer Committer
+	// ShardID identifies this planner engine in sharded mode (proposal
+	// attribution; 0 for the single-planner service).
+	ShardID int
+	// ExternalSubjectState stops resolve from writing Subject.State/Reason in
+	// place. The shard coordinator sets it: a rebalance can briefly assign one
+	// change to two engines, and concurrent in-place writes would race, so the
+	// coordinator applies the single winning decision itself at outcome-merge
+	// time.
+	ExternalSubjectState bool
 }
 
 // trackedBuild is a build the planner started, with enough context to
@@ -118,7 +177,7 @@ type trackedBuild struct {
 type Planner struct {
 	repo       *repo.Repo
 	queue      *queue.Queue
-	analyzer   *conflict.Analyzer
+	analyzer   ConflictSource
 	spec       *speculation.Engine
 	controller *buildsys.Controller
 	cfg        Config
@@ -158,7 +217,7 @@ type Planner struct {
 }
 
 // New creates a Planner over the repository.
-func New(r *repo.Repo, q *queue.Queue, an *conflict.Analyzer, spec *speculation.Engine, ctrl *buildsys.Controller, cfg Config) *Planner {
+func New(r *repo.Repo, q *queue.Queue, an ConflictSource, spec *speculation.Engine, ctrl *buildsys.Controller, cfg Config) *Planner {
 	if cfg.Budget <= 0 {
 		cfg.Budget = 4
 	}
@@ -203,6 +262,15 @@ func (p *Planner) Outcomes() []Outcome {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return append([]Outcome(nil), p.outcomes...)
+}
+
+// OutcomeCount returns the number of dispositions recorded so far. The shard
+// coordinator polls it each epoch and fetches the full slice only when the
+// count advanced, keeping the idle path allocation-free.
+func (p *Planner) OutcomeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.outcomes)
 }
 
 // dynamicKey identifies a build by its absolute apply list (committed prefix
@@ -453,6 +521,10 @@ func (p *Planner) decide(ctx context.Context) (int, *conflict.Graph, error) {
 		return 0, nil, nil
 	}
 	cg, failed := p.analyzer.BuildGraph(pending)
+	byID := make(map[change.ID]*change.Change, len(pending))
+	for _, c := range pending {
+		byID[c.ID] = c
+	}
 	decisions := 0
 	// Changes that no longer apply to head are rejected outright (merge
 	// conflict with committed work), in a stable order so outcome logs and
@@ -463,7 +535,7 @@ func (p *Planner) decide(ctx context.Context) (int, *conflict.Graph, error) {
 	}
 	sort.Slice(failedIDs, func(i, j int) bool { return failedIDs[i] < failedIDs[j] })
 	for _, id := range failedIDs {
-		p.resolve(id, change.StateRejected, fmt.Sprintf("patch no longer applies: %v", failed[id]), "")
+		p.resolve(byID[id], change.StateRejected, fmt.Sprintf("patch no longer applies: %v", failed[id]), "")
 		decisions++
 	}
 	if decisions > 0 {
@@ -501,17 +573,39 @@ func (p *Planner) decide(ctx context.Context) (int, *conflict.Graph, error) {
 			if res.Err != nil {
 				reason = fmt.Sprintf("%s: %v", reason, res.Err)
 			}
-			p.resolve(c.ID, change.StateRejected, reason, "")
+			p.resolve(c, change.StateRejected, reason, "")
 			decisions++
 			continue
 		}
-		head := p.repo.Head()
-		commit, err := p.repo.CommitPatch(head.ID, c.Patch, c.Author.Name, c.Description, p.cfg.Now())
+		var commit *repo.Commit
+		var err error
+		if p.cfg.Committer != nil {
+			commit, err = p.cfg.Committer.Commit(CommitProposal{
+				Shard:   p.cfg.ShardID,
+				Change:  c,
+				BaseLen: match.baseLen,
+				Applied: match.build.Changes,
+				Targets: targetNames(match.req.Targets),
+				Paths:   c.Patch.Paths(),
+				Now:     p.cfg.Now(),
+			})
+		} else {
+			head := p.repo.Head()
+			commit, err = p.repo.CommitPatch(head.ID, c.Patch, c.Author.Name, c.Description, p.cfg.Now())
+		}
 		if err != nil {
 			if errors.Is(err, repo.ErrStaleHead) {
 				continue // concurrent commit; retry next tick
 			}
-			p.resolve(c.ID, change.StateRejected, fmt.Sprintf("commit failed: %v", err), "")
+			if errors.Is(err, ErrCrossShardConflict) {
+				// The decisive build raced a conflicting foreign commit. Drop
+				// it so reconcile schedules a fresh build against the new
+				// head; the change is rebuilt, not rejected.
+				p.dropFinished(match)
+				decisions++
+				continue
+			}
+			p.resolve(c, change.StateRejected, fmt.Sprintf("commit failed: %v", err), "")
 			decisions++
 			continue
 		}
@@ -524,7 +618,7 @@ func (p *Planner) decide(ctx context.Context) (int, *conflict.Graph, error) {
 				})
 			}
 		}
-		p.resolve(c.ID, change.StateCommitted, "", commit.ID)
+		p.resolve(c, change.StateCommitted, "", commit.ID)
 		decisions++
 	}
 	return decisions, cg, nil
@@ -573,14 +667,19 @@ func (p *Planner) verifySuspect(ctx context.Context, fb *trackedBuild) bool {
 	return true
 }
 
-// resolve finalizes a change's state.
-func (p *Planner) resolve(id change.ID, st change.State, reason string, commit repo.CommitID) {
-	c, err := p.queue.Get(id)
-	if err != nil {
+// resolve finalizes a change's state. It always records the outcome, even if
+// the change has already left this planner's queue: in sharded mode the
+// coordinator may move a change between engines while a decision is in
+// flight, and dropping the outcome here would lose the decision entirely.
+func (p *Planner) resolve(c *change.Change, st change.State, reason string, commit repo.CommitID) {
+	if c == nil {
 		return
 	}
-	c.State = st
-	c.Reason = reason
+	id := c.ID
+	if !p.cfg.ExternalSubjectState {
+		c.State = st
+		c.Reason = reason
+	}
 	_ = p.queue.Remove(id)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -604,6 +703,38 @@ func (p *Planner) resolve(id change.ID, st change.State, reason string, commit r
 		}
 		p.cfg.Events.Publish(events.Event{Type: typ, Change: id, Detail: detail})
 	}
+}
+
+// dropFinished removes a finished build after the arbiter bounced its commit
+// proposal: the build's base predates a conflicting foreign commit, so its
+// result is unusable and reconcile must schedule a fresh decisive build
+// against the new head.
+func (p *Planner) dropFinished(fb *trackedBuild) {
+	p.mu.Lock()
+	for i, x := range p.finished {
+		if x == fb {
+			p.finished = append(p.finished[:i], p.finished[i+1:]...)
+			break
+		}
+	}
+	p.stats.CrossShardRebuilds++
+	p.mu.Unlock()
+	if p.cfg.Events != nil {
+		p.cfg.Events.Publish(events.Event{
+			Type: events.TypeBuildAborted, Change: fb.build.Subject, Build: fb.build.Key(),
+			Detail: "cross-shard conflict at commit; rebuilding against new head",
+		})
+	}
+}
+
+// targetNames returns the sorted target names of a build request's delta.
+func targetNames(targets map[string]string) []string {
+	out := make([]string, 0, len(targets))
+	for name := range targets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // reconcile computes the current plan and aligns running builds with it.

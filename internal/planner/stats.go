@@ -32,6 +32,11 @@ type Stats struct {
 	KeysComputed   int // dynamic keys rebuilt from the committed history
 	KeysCached     int // dynamic keys served from the per-build cache
 	FinishedPruned int // finished builds garbage-collected
+
+	// CrossShardRebuilds counts decisive builds the commit arbiter bounced
+	// (a conflicting foreign commit landed after the build's base) and the
+	// planner rebuilt against the new head.
+	CrossShardRebuilds int
 }
 
 // PrepOps is the total preparation work startBuild performed: analyze calls
@@ -55,5 +60,6 @@ func (s Stats) Gauges() metrics.Gauges {
 		{Name: "keys_computed", Value: float64(s.KeysComputed)},
 		{Name: "keys_cached", Value: float64(s.KeysCached)},
 		{Name: "finished_pruned", Value: float64(s.FinishedPruned)},
+		{Name: "cross_shard_rebuilds", Value: float64(s.CrossShardRebuilds)},
 	}
 }

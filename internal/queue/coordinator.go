@@ -64,6 +64,66 @@ func weight(shard int, node string) uint64 {
 	return binary.BigEndian.Uint64(h[:8])
 }
 
+// keyWeight is the rendezvous score of (key, node) for arbitrary string
+// keys. The shard layer hashes target-subtree anchors through it so a
+// conflict-graph component lands on a stable planner shard as the queue
+// churns.
+func keyWeight(key, node string) uint64 {
+	h := sha256.Sum256([]byte(key + "|" + node))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// KeyOwner returns the live node owning an arbitrary key under rendezvous
+// hashing, or "" if the cluster is empty. Stability mirrors Owner: a node
+// joining claims only the keys it now ranks first on; a node leaving moves
+// only its own keys.
+func (c *Coordinator) KeyOwner(key string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	best, bestW := "", uint64(0)
+	for n := range c.nodes {
+		if w := keyWeight(key, n); best == "" || w > bestW || (w == bestW && n < best) {
+			best, bestW = n, w
+		}
+	}
+	return best
+}
+
+// BalancedAssignment assigns every shard to a live node with strict balance:
+// every node owns either ⌊shards/nodes⌋ or ⌈shards/nodes⌉ shards, so any two
+// nodes differ by at most one. Shards are placed in index order, each going
+// to its highest-weight node that still has capacity, so the result tracks
+// pure rendezvous except where the balance constraint forces a spill. It
+// returns nil if the cluster is empty.
+func (c *Coordinator) BalancedAssignment() map[int]string {
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	lo := c.shards / len(nodes)
+	rem := c.shards % len(nodes) // this many nodes may own lo+1 shards
+	hiUsed := 0
+	load := make(map[string]int, len(nodes))
+	out := make(map[int]string, c.shards)
+	for s := 0; s < c.shards; s++ {
+		best, bestW := "", uint64(0)
+		for _, n := range nodes {
+			if load[n] >= lo && (load[n] >= lo+1 || hiUsed >= rem) {
+				continue // at capacity: lo, or lo+1 with the quota spent
+			}
+			if w := weight(s, n); best == "" || w > bestW || (w == bestW && n < best) {
+				best, bestW = n, w
+			}
+		}
+		out[s] = best
+		load[best]++
+		if load[best] == lo+1 {
+			hiUsed++
+		}
+	}
+	return out
+}
+
 // Owner returns the node owning the shard, or "" if the cluster is empty.
 func (c *Coordinator) Owner(shard int) string {
 	c.mu.RLock()

@@ -148,3 +148,100 @@ func TestCoordinatorWithQueueShards(t *testing.T) {
 		t.Fatalf("coverage = %v", perNode)
 	}
 }
+
+// TestKeyOwnerStability is the rendezvous stability property over arbitrary
+// string keys: a node leaving moves only its own keys, and a node joining
+// steals keys only for itself.
+func TestKeyOwnerStability(t *testing.T) {
+	c := cluster(1, "a", "b", "c", "d")
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("subtree%03d", i)
+	}
+	before := map[string]string{}
+	for _, k := range keys {
+		owner := c.KeyOwner(k)
+		if owner == "" {
+			t.Fatalf("key %s unowned", k)
+		}
+		before[k] = owner
+	}
+	c.Leave("b")
+	for _, k := range keys {
+		after := c.KeyOwner(k)
+		if before[k] != "b" && after != before[k] {
+			t.Fatalf("leave(b) moved key %s from %s to %s", k, before[k], after)
+		}
+		if before[k] == "b" && after == "b" {
+			t.Fatalf("key %s still owned by departed node", k)
+		}
+	}
+	c.Join("b")
+	for _, k := range keys {
+		if got := c.KeyOwner(k); got != before[k] {
+			t.Fatalf("rejoin did not restore key %s: %s != %s", k, got, before[k])
+		}
+	}
+	c.Join("e")
+	moved := 0
+	for _, k := range keys {
+		after := c.KeyOwner(k)
+		if after != before[k] {
+			if after != "e" {
+				t.Fatalf("join(e) moved key %s to %s, not e", k, after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join(e) stole no keys from 200; rendezvous weights suspicious")
+	}
+}
+
+// TestBalancedAssignmentWithinOne: under BalancedAssignment any two nodes own
+// within one shard of each other, every shard has a live owner, and the
+// result is deterministic.
+func TestBalancedAssignmentWithinOne(t *testing.T) {
+	for _, nodes := range [][]string{
+		{"a"}, {"a", "b"}, {"a", "b", "c"}, {"a", "b", "c", "d", "e"},
+		{"a", "b", "c", "d", "e", "f", "g"},
+	} {
+		c := cluster(16, nodes...)
+		asg := c.BalancedAssignment()
+		if len(asg) != 16 {
+			t.Fatalf("nodes=%v: %d shards assigned", nodes, len(asg))
+		}
+		load := map[string]int{}
+		for s, n := range asg {
+			if n == "" {
+				t.Fatalf("nodes=%v: shard %d unowned", nodes, s)
+			}
+			load[n]++
+		}
+		min, max := 16, 0
+		for _, n := range nodes {
+			if load[n] < min {
+				min = load[n]
+			}
+			if load[n] > max {
+				max = load[n]
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("nodes=%v: imbalance %v", nodes, load)
+		}
+		again := c.BalancedAssignment()
+		for s := range asg {
+			if asg[s] != again[s] {
+				t.Fatalf("nodes=%v: assignment not deterministic at shard %d", nodes, s)
+			}
+		}
+	}
+}
+
+// TestBalancedAssignmentEmpty: no nodes, no assignment.
+func TestBalancedAssignmentEmpty(t *testing.T) {
+	if got := NewCoordinator(8).BalancedAssignment(); got != nil {
+		t.Fatalf("expected nil assignment, got %v", got)
+	}
+}

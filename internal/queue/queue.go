@@ -70,6 +70,27 @@ func (q *Queue) Enqueue(c *change.Change) error {
 	return nil
 }
 
+// EnqueueSeq adds a change under an explicit global submission sequence
+// number. The shard layer uses it when moving a change between per-shard
+// sub-queues: the change keeps the sequence its original submission assigned,
+// so submission order — the order serializability is defined over — survives
+// rebalancing.
+func (q *Queue) EnqueueSeq(c *change.Change, seq uint64) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.entries[c.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, c.ID)
+	}
+	q.entries[c.ID] = &entry{c: c, seq: seq, shard: q.shardOf(c.ID)}
+	if seq >= q.nextSeq {
+		q.nextSeq = seq + 1
+	}
+	return nil
+}
+
 // Remove deletes a change (after commit or rejection).
 func (q *Queue) Remove(id change.ID) error {
 	q.mu.Lock()

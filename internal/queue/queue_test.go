@@ -184,3 +184,53 @@ func TestConcurrentAccess(t *testing.T) {
 		prev = s
 	}
 }
+
+// TestEnqueueSeqPreservesOrder: re-homing a change under its original
+// sequence keeps the global submission order, and the sequence counter never
+// moves backwards.
+func TestEnqueueSeqPreservesOrder(t *testing.T) {
+	src := New(1)
+	for _, id := range []string{"c1", "c2", "c3"} {
+		if err := src.Enqueue(mk(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := New(1)
+	// Move c3 first, then c1: insertion order must not matter.
+	for _, id := range []string{"c3", "c1", "c2"} {
+		c, err := src.Get(change.ID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := src.Seq(change.ID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Remove(change.ID(id)); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.EnqueueSeq(c, seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := dst.Pending()
+	want := []string{"c1", "c2", "c3"}
+	for i, c := range got {
+		if string(c.ID) != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, c.ID, want[i])
+		}
+	}
+	// New plain enqueues continue after the highest re-homed sequence.
+	if err := dst.Enqueue(mk("c4")); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := dst.Seq("c3")
+	s4, _ := dst.Seq("c4")
+	if s4 <= s3 {
+		t.Fatalf("seq regressed: c4=%d <= c3=%d", s4, s3)
+	}
+	// Duplicates and invalid changes are rejected.
+	if err := dst.EnqueueSeq(mk("c4"), 99); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate EnqueueSeq: %v", err)
+	}
+}

@@ -257,6 +257,81 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 	return Snapshot{files: next, fp: fp}, nil
 }
 
+// Check reports whether the patches would apply cleanly to the snapshot in
+// order, returning exactly the error Merged would, without materializing the
+// merged tree. Apply clones the whole file map (O(tree)); Check walks only
+// the patches with an overlay for intra-sequence effects (O(patch)), so the
+// sharded planner can re-validate every pending change's applicability
+// against the live head each epoch.
+func (s Snapshot) Check(patches ...Patch) error {
+	type overlayState struct {
+		content string
+		deleted bool
+	}
+	var overlay map[string]overlayState
+	for i, p := range patches {
+		for _, fc := range p.Changes {
+			var cur string
+			var exists bool
+			if st, ok := overlay[fc.Path]; ok {
+				cur, exists = st.content, !st.deleted
+			} else {
+				cur, exists = s.files[fc.Path]
+			}
+			var next overlayState
+			var err error
+			switch fc.Op {
+			case OpCreate:
+				if exists {
+					err = fmt.Errorf("%w: create %s", ErrFileExists, fc.Path)
+					break
+				}
+				next = overlayState{content: fc.NewContent}
+			case OpModify:
+				if !exists {
+					err = fmt.Errorf("%w: modify %s", ErrNoSuchFile, fc.Path)
+					break
+				}
+				if HashContent(cur) != fc.BaseHash {
+					err = fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
+					break
+				}
+				next = overlayState{content: fc.NewContent}
+			case OpDelete:
+				if !exists {
+					err = fmt.Errorf("%w: delete %s", ErrNoSuchFile, fc.Path)
+					break
+				}
+				if HashContent(cur) != fc.BaseHash {
+					err = fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
+					break
+				}
+				next = overlayState{deleted: true}
+			case OpEditLines:
+				if !exists {
+					err = fmt.Errorf("%w: edit %s", ErrNoSuchFile, fc.Path)
+					break
+				}
+				var edited string
+				if edited, err = applyEditLines(cur, fc); err != nil {
+					break
+				}
+				next = overlayState{content: edited}
+			default:
+				err = fmt.Errorf("repo: unknown op %v for %s", fc.Op, fc.Path)
+			}
+			if err != nil {
+				return fmt.Errorf("applying patch %d: %w", i, err)
+			}
+			if overlay == nil {
+				overlay = map[string]overlayState{}
+			}
+			overlay[fc.Path] = next
+		}
+	}
+	return nil
+}
+
 // ChangedPaths returns the sorted set of paths whose content differs between
 // the two snapshots (added, removed, or modified in either direction). The
 // conflict analyzer's selective invalidation uses it to decide whether a head

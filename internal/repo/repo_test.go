@@ -112,6 +112,72 @@ func TestApplyErrors(t *testing.T) {
 	}
 }
 
+// TestCheckMatchesMerged pins the dry-run Check to Merged: for every outcome
+// class — clean sequences, each failure kind, intra-sequence effects — Check
+// must agree with the materializing path on both success and the exact error
+// string, since the sharded planner relies on Check to reproduce analyzer
+// rejection reasons verbatim.
+func TestCheckMatchesMerged(t *testing.T) {
+	r := newTestRepo()
+	s := r.Head().Snapshot()
+	cases := []struct {
+		name    string
+		patches []Patch
+	}{
+		{"clean create+modify+delete", []Patch{{Changes: []FileChange{
+			{Path: "new.txt", Op: OpCreate, NewContent: "n"},
+			modify(s, "docs/README", "bye"),
+			{Path: "lib/util.go", Op: OpDelete, BaseHash: HashContent("util v1")},
+		}}}},
+		{"create existing", []Patch{{Changes: []FileChange{
+			{Path: "docs/README", Op: OpCreate, NewContent: "dup"},
+		}}}},
+		{"modify missing", []Patch{{Changes: []FileChange{
+			{Path: "nope", Op: OpModify, NewContent: "x"},
+		}}}},
+		{"modify stale base", []Patch{{Changes: []FileChange{
+			{Path: "docs/README", Op: OpModify, BaseHash: "bad", NewContent: "x"},
+		}}}},
+		{"delete missing", []Patch{{Changes: []FileChange{
+			{Path: "nope", Op: OpDelete},
+		}}}},
+		{"delete stale base", []Patch{{Changes: []FileChange{
+			{Path: "docs/README", Op: OpDelete, BaseHash: "bad"},
+		}}}},
+		{"unknown op", []Patch{{Changes: []FileChange{
+			{Path: "docs/README", Op: FileOp(99)},
+		}}}},
+		{"intra-patch create then modify", []Patch{{Changes: []FileChange{
+			{Path: "new.txt", Op: OpCreate, NewContent: "n"},
+			{Path: "new.txt", Op: OpModify, BaseHash: HashContent("n"), NewContent: "n2"},
+		}}}},
+		{"intra-patch delete then create", []Patch{{Changes: []FileChange{
+			{Path: "docs/README", Op: OpDelete, BaseHash: HashContent("hello")},
+			{Path: "docs/README", Op: OpCreate, NewContent: "reborn"},
+		}}}},
+		{"second patch conflicts with first", []Patch{
+			{Changes: []FileChange{{Path: "new.txt", Op: OpCreate, NewContent: "a"}}},
+			{Changes: []FileChange{{Path: "new.txt", Op: OpCreate, NewContent: "b"}}},
+		}},
+	}
+	for _, c := range cases {
+		_, mergedErr := r.Merged(r.Head().ID, c.patches...)
+		checkErr := s.Check(c.patches...)
+		switch {
+		case mergedErr == nil && checkErr != nil:
+			t.Errorf("%s: Check failed where Merged succeeded: %v", c.name, checkErr)
+		case mergedErr != nil && checkErr == nil:
+			t.Errorf("%s: Check passed where Merged failed: %v", c.name, mergedErr)
+		case mergedErr != nil && mergedErr.Error() != checkErr.Error():
+			t.Errorf("%s: error mismatch:\nMerged %v\nCheck  %v", c.name, mergedErr, checkErr)
+		}
+	}
+	// Check must not mutate the snapshot.
+	if c, _ := s.Read("docs/README"); c != "hello" {
+		t.Error("Check mutated receiver")
+	}
+}
+
 func TestMergeConflictBetweenPatches(t *testing.T) {
 	// Two patches both authored against root, editing the same file: the
 	// second must fail with ErrMergeConflict after the first applies.

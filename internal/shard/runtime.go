@@ -1,0 +1,457 @@
+// Package shard implements the sharded multi-planner scale-out (DESIGN.md
+// §4h): a coordinator partitions the pending changes into connected
+// components of the conflict graph, assigns each component group to one of N
+// independent planner engines by rendezvous-hashing the component's target
+// subtree anchor, and routes every engine's commits through the serialized
+// commit arbiter. Changes in different components are mutually independent
+// (§5), so per-engine planning does O(k²) conflict work over its own
+// component group instead of O(n²) over the global queue — the source of the
+// scale-out win — while the arbiter's cross-shard re-validation keeps the
+// mainline exactly as green as the single-planner path.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mastergreen/internal/arbiter"
+	"mastergreen/internal/buildsys"
+	"mastergreen/internal/change"
+	"mastergreen/internal/conflict"
+	"mastergreen/internal/events"
+	"mastergreen/internal/planner"
+	"mastergreen/internal/queue"
+	"mastergreen/internal/repo"
+	"mastergreen/internal/speculation"
+)
+
+// Config tunes the shard runtime.
+type Config struct {
+	// Shards is the number of planner engines (<=0: 1).
+	Shards int
+	// Planner is the per-engine planner configuration template. Budget is the
+	// *total* build budget and is split evenly across engines (minimum 1
+	// each); Committer and ShardID are overwritten per engine.
+	Planner planner.Config
+	// Spec builds one speculation engine per planner engine (planner.New
+	// mutates the engine's MaxSpecDepth, so engines must not share one).
+	Spec func() *speculation.Engine
+	// Events, when non-nil, receives TypeShardRebalanced events.
+	Events *events.Bus
+}
+
+// member is a pending change the coordinator has adopted from the intake
+// queue: its original global submission sequence and its current engine.
+type member struct {
+	c     *change.Change
+	seq   uint64
+	shard int // -1 until first assignment
+}
+
+// engine is one planner shard: an isolated sub-queue plus a planner instance
+// whose conflict source is a coordinator-fed view of the global graph.
+type engine struct {
+	id      int
+	queue   *queue.Queue
+	planner *planner.Planner
+	wake    chan struct{}
+}
+
+// Runtime is the sharding coordinator: it owns the component partition, the
+// engine fleet, and the outcome merge.
+type Runtime struct {
+	repo     *repo.Repo
+	intake   *queue.Queue
+	analyzer *conflict.Analyzer
+	arb      *arbiter.Arbiter
+	coord    *queue.Coordinator
+	engines  []*engine
+	nodeIdx  map[string]int
+	cfg      Config
+	headWake <-chan struct{}
+
+	// gmu guards the cached global conflict graph the engine views read.
+	gmu    sync.RWMutex
+	graph  *conflict.Graph
+	failed map[change.ID]error
+
+	mu          sync.Mutex
+	members     map[change.ID]*member
+	seen        []int // outcomes already merged, per engine
+	outcomes    []planner.Outcome
+	outSeen     map[change.ID]bool
+	first       bool
+	lastRejects int // arbiter CrossShardRejects at the last heavy partition
+	stats       Stats
+}
+
+// New creates a runtime with cfg.Shards planner engines over the repository.
+// intake is the service's submission queue: the coordinator drains it each
+// partition epoch and re-homes changes into per-engine sub-queues, preserving
+// their global submission sequence. All engines share the build controller
+// (one global worker pool) and the commit arbiter.
+func New(r *repo.Repo, intake *queue.Queue, an *conflict.Analyzer, arb *arbiter.Arbiter, ctrl *buildsys.Controller, cfg Config) *Runtime {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	rt := &Runtime{
+		repo:     r,
+		intake:   intake,
+		analyzer: an,
+		arb:      arb,
+		coord:    queue.NewCoordinator(cfg.Shards),
+		nodeIdx:  make(map[string]int, cfg.Shards),
+		cfg:      cfg,
+		headWake: arb.Subscribe(),
+		members:  map[change.ID]*member{},
+		seen:     make([]int, cfg.Shards),
+		outSeen:  map[change.ID]bool{},
+		first:    true,
+	}
+	perEngine := cfg.Planner.Budget / cfg.Shards
+	if perEngine < 1 {
+		perEngine = 1
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		node := fmt.Sprintf("shard-%d", i)
+		rt.coord.Join(node)
+		rt.nodeIdx[node] = i
+		ecfg := cfg.Planner
+		ecfg.Budget = perEngine
+		ecfg.Committer = arb
+		ecfg.ShardID = i
+		ecfg.ExternalSubjectState = true // coordinator applies the winner (see collectOutcomesLocked)
+		eq := queue.New(1)
+		rt.engines = append(rt.engines, &engine{
+			id:      i,
+			queue:   eq,
+			planner: planner.New(r, eq, &engineView{rt: rt}, cfg.Spec(), ctrl, ecfg),
+			wake:    make(chan struct{}, 1),
+		})
+	}
+	return rt
+}
+
+// Shards returns the engine count.
+func (rt *Runtime) Shards() int { return len(rt.engines) }
+
+// Coordinator exposes the rendezvous-hashing coordinator (tests, rebalance).
+func (rt *Runtime) Coordinator() *queue.Coordinator { return rt.coord }
+
+// PendingCount returns the changes not yet decided: still in intake plus
+// adopted members.
+func (rt *Runtime) PendingCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.intake.Len() + len(rt.members)
+}
+
+// Outcomes returns all merged final dispositions so far.
+func (rt *Runtime) Outcomes() []planner.Outcome {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.collectOutcomesLocked()
+	return append([]planner.Outcome(nil), rt.outcomes...)
+}
+
+// collectOutcomesLocked merges newly-decided outcomes from every engine,
+// first decision wins (the coordinator may briefly double-assign a change
+// while moving it; the arbiter guarantees at most one of the decisions
+// commits). A rejection for a change the arbiter has already landed is a
+// stale loser — the change hit the mainline through another engine before
+// this one noticed, so its "no longer applies" verdict is suppressed and the
+// winner's commit outcome records the decision. Because a double-assigned
+// change has two engines holding the same *change.Change, the engines never
+// write Subject.State in place (planner.Config.ExternalSubjectState); the
+// coordinator applies the one winning decision here, under rt.mu. Decided
+// members leave the partition and their engine sub-queue. Callers hold rt.mu.
+func (rt *Runtime) collectOutcomesLocked() {
+	for i, e := range rt.engines {
+		n := e.planner.OutcomeCount()
+		if n == rt.seen[i] {
+			continue
+		}
+		outs := e.planner.Outcomes()
+		for _, o := range outs[rt.seen[i]:] {
+			if o.State != change.StateCommitted && rt.arb.Committed(o.ID) {
+				continue
+			}
+			if m, ok := rt.members[o.ID]; ok {
+				if m.shard >= 0 {
+					_ = rt.engines[m.shard].queue.Remove(o.ID)
+				}
+				delete(rt.members, o.ID)
+				if !rt.outSeen[o.ID] {
+					m.c.State = o.State
+					m.c.Reason = o.Reason
+				}
+			}
+			if !rt.outSeen[o.ID] {
+				rt.outSeen[o.ID] = true
+				rt.outcomes = append(rt.outcomes, o)
+			}
+		}
+		rt.seen[i] = n
+	}
+}
+
+// Partition runs one coordinator epoch: adopt intake arrivals, retire decided
+// members, and — when arrivals, a cross-shard bounce, or the first run demand
+// it — recompute the global conflict graph, its connected components, and the
+// component→shard assignment. Decisions only shrink components, so the
+// expensive graph pass is skipped entirely on quiet epochs.
+func (rt *Runtime) Partition() {
+	rt.mu.Lock()
+	newArrivals := false
+	for _, c := range rt.intake.Pending() {
+		seq, err := rt.intake.Seq(c.ID)
+		if err != nil {
+			continue // raced a concurrent removal
+		}
+		_ = rt.intake.Remove(c.ID)
+		rt.members[c.ID] = &member{c: c, seq: seq, shard: -1}
+		newArrivals = true
+	}
+	rt.collectOutcomesLocked()
+	rt.stats.Partitions++
+	regroup := false
+	if ast := rt.arb.Stats(); ast.CrossShardRejects != rt.lastRejects {
+		// A bounced proposal means two shards' footprints overlapped: the
+		// partition is stale, so regroup before the engines retry.
+		rt.lastRejects = ast.CrossShardRejects
+		regroup = true
+	}
+	if !newArrivals && !rt.first && !regroup {
+		rt.stats.ShardsActive = rt.activeLocked()
+		rt.mu.Unlock()
+		return
+	}
+	rt.first = false
+	rt.stats.HeavyPartitions++
+
+	ms := make([]*member, 0, len(rt.members))
+	for _, m := range rt.members {
+		//lint:ignore maporder ms is sorted by submission sequence below
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].seq < ms[j].seq })
+	pending := make([]*change.Change, len(ms))
+	for i, m := range ms {
+		pending[i] = m.c
+	}
+	g, failed := rt.analyzer.BuildGraph(pending)
+	rt.gmu.Lock()
+	rt.graph = g
+	rt.failed = failed
+	rt.gmu.Unlock()
+
+	comps := g.Components()
+	var failedIDs []change.ID
+	for id := range failed {
+		failedIDs = append(failedIDs, id)
+	}
+	sort.Slice(failedIDs, func(i, j int) bool { return failedIDs[i] < failedIDs[j] })
+	for _, id := range failedIDs {
+		comps = append(comps, []change.ID{id}) // singleton: engine rejects it
+	}
+	rt.stats.Components = len(comps)
+
+	moved := 0
+	nudge := make([]bool, len(rt.engines))
+	for _, comp := range comps {
+		sh := rt.shardForLocked(comp)
+		for _, id := range comp {
+			m, ok := rt.members[id]
+			if !ok || m.shard == sh {
+				continue
+			}
+			if m.shard >= 0 {
+				_ = rt.engines[m.shard].queue.Remove(id)
+				moved++
+			}
+			if err := rt.engines[sh].queue.EnqueueSeq(m.c, m.seq); err != nil {
+				continue // duplicate: already owned by the target engine
+			}
+			m.shard = sh
+			nudge[sh] = true
+		}
+	}
+	rt.stats.Rebalanced += moved
+	rt.stats.ShardsActive = rt.activeLocked()
+	rt.mu.Unlock()
+
+	// Wake engines and publish after releasing the coordinator mutex: never
+	// send on a channel while holding a lock.
+	if moved > 0 && rt.cfg.Events != nil {
+		rt.cfg.Events.Publish(events.Event{
+			Type:   events.TypeShardRebalanced,
+			Detail: fmt.Sprintf("%d changes moved across %d components", moved, len(comps)),
+		})
+	}
+	for i, n := range nudge {
+		if !n {
+			continue
+		}
+		select {
+		case rt.engines[i].wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// activeLocked counts engines with a non-empty sub-queue. Callers hold rt.mu.
+func (rt *Runtime) activeLocked() int {
+	n := 0
+	for _, e := range rt.engines {
+		if e.queue.Len() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// shardForLocked maps a connected component to an engine by rendezvous-
+// hashing its target-subtree anchor: the lexicographically smallest top-level
+// directory any member touches. Components rooted in the same subtree land on
+// the same engine, and the assignment is stable as unrelated components come
+// and go. Callers hold rt.mu.
+func (rt *Runtime) shardForLocked(comp []change.ID) int {
+	anchor := ""
+	for _, id := range comp {
+		m, ok := rt.members[id]
+		if !ok {
+			continue
+		}
+		for _, p := range m.c.Patch.Paths() {
+			top := p
+			if i := strings.IndexByte(p, '/'); i >= 0 {
+				top = p[:i]
+			}
+			if anchor == "" || top < anchor {
+				anchor = top
+			}
+		}
+	}
+	if anchor == "" && len(comp) > 0 {
+		anchor = string(comp[0])
+	}
+	return rt.nodeIdx[rt.coord.KeyOwner(anchor)]
+}
+
+// Tick runs one synchronous epoch: a partition pass, one planner tick per
+// engine in shard order, and a final partition pass so freshly-decided
+// outcomes are merged before the caller observes state. Deterministic given
+// deterministic inputs — the golden trace test relies on it.
+func (rt *Runtime) Tick(ctx context.Context) (bool, error) {
+	rt.Partition()
+	progress := false
+	for _, e := range rt.engines {
+		p, err := e.planner.Tick(ctx)
+		if err != nil {
+			return progress, err
+		}
+		progress = progress || p
+	}
+	rt.Partition()
+	return progress, nil
+}
+
+// engineLoop ticks one engine until stopped, waking on rebalances and build
+// completions (via the planner's own wake channel, covered by the short poll).
+func (rt *Runtime) engineLoop(ctx context.Context, e *engine, stop <-chan struct{}, errs chan<- error) {
+	for {
+		if _, err := e.planner.Tick(ctx); err != nil {
+			select {
+			case errs <- err:
+			default:
+			}
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-e.wake:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Quiesce runs engines concurrently until every adopted change is decided
+// and the intake queue is empty, then stops the fleet. It returns
+// planner.ErrStopped if the context is cancelled first.
+func (rt *Runtime) Quiesce(ctx context.Context) error {
+	stop := make(chan struct{})
+	errs := make(chan error, len(rt.engines))
+	var wg sync.WaitGroup
+	for _, e := range rt.engines {
+		wg.Add(1)
+		go func(e *engine) {
+			defer wg.Done()
+			rt.engineLoop(ctx, e, stop, errs)
+		}(e)
+	}
+	var err error
+	for {
+		rt.Partition()
+		if rt.PendingCount() == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = planner.ErrStopped
+		case <-rt.headWake:
+		case <-time.After(time.Millisecond):
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	rt.Partition() // merge outcomes decided during shutdown
+	select {
+	case e := <-errs:
+		if err == nil {
+			err = e
+		}
+	default:
+	}
+	return err
+}
+
+// Run drives the fleet on the epoch period until the context is cancelled:
+// every engine runs its own planner loop and the coordinator repartitions on
+// each tick and head advancement.
+func (rt *Runtime) Run(ctx context.Context, epoch time.Duration) error {
+	if epoch <= 0 {
+		epoch = 250 * time.Millisecond
+	}
+	var wg sync.WaitGroup
+	for _, e := range rt.engines {
+		wg.Add(1)
+		go func(e *engine) {
+			defer wg.Done()
+			_ = e.planner.Run(ctx, epoch)
+		}(e)
+	}
+	tick := time.NewTicker(epoch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			rt.Partition()
+			return ctx.Err()
+		case <-tick.C:
+			rt.Partition()
+		case <-rt.headWake:
+			rt.Partition()
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"mastergreen/internal/metrics"
+	"mastergreen/internal/planner"
+)
+
+// Stats counts coordinator work so the partition layer is observable: how
+// often the cheap light path sufficed, how big the component partition is,
+// and how much churn rebalancing caused.
+type Stats struct {
+	// ShardsActive is the number of engines with a non-empty sub-queue at the
+	// last partition epoch.
+	ShardsActive int
+	// Components is the connected-component count at the last heavy partition
+	// (merge-failed changes count as singletons).
+	Components int
+	// Members is the number of adopted, undecided changes.
+	Members int
+	// Partitions counts coordinator epochs; HeavyPartitions counts the subset
+	// that recomputed the global conflict graph and the shard assignment.
+	Partitions      int
+	HeavyPartitions int
+	// Rebalanced counts changes moved from one engine to another.
+	Rebalanced int
+}
+
+// Stats returns a copy of the coordinator's counters.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := rt.stats
+	s.Members = len(rt.members)
+	return s
+}
+
+// PlannerStats aggregates the per-engine planner counters field by field, so
+// the sharded service surfaces the same planner gauges as the single-planner
+// path.
+func (rt *Runtime) PlannerStats() planner.Stats {
+	var sum planner.Stats
+	for _, e := range rt.engines {
+		s := e.planner.Stats()
+		sum.BuildsStarted += s.BuildsStarted
+		sum.PrefixHits += s.PrefixHits
+		sum.PrefixMisses += s.PrefixMisses
+		sum.PrefixInvalidations += s.PrefixInvalidations
+		sum.HeadGraphBuilds += s.HeadGraphBuilds
+		sum.SnapshotAnalyses += s.SnapshotAnalyses
+		sum.PatchApplies += s.PatchApplies
+		sum.PlansComputed += s.PlansComputed
+		sum.PlansSkipped += s.PlansSkipped
+		sum.KeysComputed += s.KeysComputed
+		sum.KeysCached += s.KeysCached
+		sum.FinishedPruned += s.FinishedPruned
+		sum.CrossShardRebuilds += s.CrossShardRebuilds
+	}
+	return sum
+}
+
+// Gauges renders the counters as ordered name/value pairs for the status
+// endpoint, the dashboard, and experiment reports.
+func (s Stats) Gauges() metrics.Gauges {
+	return metrics.Gauges{
+		{Name: "shards_active", Value: float64(s.ShardsActive)},
+		{Name: "components", Value: float64(s.Components)},
+		{Name: "members", Value: float64(s.Members)},
+		{Name: "partitions", Value: float64(s.Partitions)},
+		{Name: "heavy_partitions", Value: float64(s.HeavyPartitions)},
+		{Name: "rebalanced", Value: float64(s.Rebalanced)},
+	}
+}
