@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke
+.PHONY: check check-race build vet lint test race bench bench-smoke
 
 # check is the CI entry point: everything must pass before merge.
 check: build vet lint race
@@ -23,6 +23,12 @@ test:
 # the plain `test` target and are impractically slow under the race detector.
 race:
 	$(GO) test -race -short ./...
+
+# check-race is the full suite under the race detector — including the
+# simulation-backed experiment tests the -short gate skips. Too slow for the
+# inner `check` loop; CI runs it as its own job on every PR.
+check-race:
+	$(GO) test -race -timeout 60m ./...
 
 # bench runs the subsystem micro-benchmarks (see the BENCH_*.json files).
 bench:

@@ -6,6 +6,7 @@
 //
 //	go run ./cmd/mglint ./...
 //	go run ./cmd/mglint -json ./...          # machine-readable, for CI
+//	go run ./cmd/mglint -annotations ./...   # GitHub Actions ::error lines
 //	go run ./cmd/mglint -analyzers wallclock,maporder ./...
 //
 // Package patterns are accepted for command-line symmetry with go vet but the
@@ -27,6 +28,7 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON (one object with a findings array)")
+	annotations := flag.Bool("annotations", false, "also emit GitHub Actions ::error workflow commands so findings annotate PR diffs")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
@@ -73,6 +75,13 @@ func main() {
 		}
 	}
 
+	if *annotations {
+		// Workflow commands are scanned per line from the job log, so they
+		// compose with either output mode below.
+		for _, f := range findings {
+			fmt.Println(annotationLine(f))
+		}
+	}
 	if *jsonOut {
 		out := struct {
 			Findings []lint.Finding `json:"findings"`
@@ -98,4 +107,23 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// annotationLine renders one finding as a GitHub Actions error annotation:
+// `::error file=...,line=...,col=...,title=...::message`. Property values and
+// the message have distinct escaping rules per the workflow-command spec.
+func annotationLine(f lint.Finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=mglint %s::%s",
+		escapeProperty(f.File), f.Line, f.Col, escapeProperty(f.Analyzer), escapeData(f.Message))
+}
+
+// escapeData escapes a workflow-command message.
+func escapeData(s string) string {
+	return strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(s)
+}
+
+// escapeProperty escapes a workflow-command property value, which must also
+// hide the `,` and `:` delimiters.
+func escapeProperty(s string) string {
+	return strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C").Replace(s)
 }

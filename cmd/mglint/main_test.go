@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"mastergreen/internal/lint"
+)
+
+// TestAnnotationLine pins the GitHub Actions workflow-command format: the
+// scanner splits properties on `,` and `:`, so those must be escaped in
+// property values, while the message only escapes `%` and newlines.
+func TestAnnotationLine(t *testing.T) {
+	cases := []struct {
+		name string
+		f    lint.Finding
+		want string
+	}{
+		{
+			name: "plain",
+			f: lint.Finding{
+				Analyzer: "wallclock", File: "internal/sim/clock.go", Line: 12, Col: 7,
+				Message: "direct time.Now call reads the wall clock",
+			},
+			want: "::error file=internal/sim/clock.go,line=12,col=7,title=mglint wallclock::direct time.Now call reads the wall clock",
+		},
+		{
+			name: "message with colon and percent survives as data",
+			f: lint.Finding{
+				Analyzer: "locksend", File: "a.go", Line: 1, Col: 1,
+				Message: "call may block: channel send at b.go:9, 100% of the time",
+			},
+			want: "::error file=a.go,line=1,col=1,title=mglint locksend::call may block: channel send at b.go:9, 100%25 of the time",
+		},
+		{
+			name: "delimiters escaped in property values",
+			f: lint.Finding{
+				Analyzer: "errdrop", File: "weird,name:v2.go", Line: 3, Col: 2,
+				Message: "multi\nline",
+			},
+			want: "::error file=weird%2Cname%3Av2.go,line=3,col=2,title=mglint errdrop::multi%0Aline",
+		},
+	}
+	for _, c := range cases {
+		if got := annotationLine(c.f); got != c.want {
+			t.Errorf("%s:\n got %q\nwant %q", c.name, got, c.want)
+		}
+	}
+}

@@ -154,6 +154,7 @@ func computeHashes(g *Graph, snap repo.Snapshot, base *Graph, dirty map[string]b
 	}
 	work := make(chan string, len(dirty))
 	for _, name := range ready {
+		//lint:ignore locksend work is buffered to len(dirty) and receives exactly len(dirty) sends total, so seeding cannot block even under a caller's lock
 		work <- name
 	}
 	done := 0
@@ -197,5 +198,6 @@ func computeHashes(g *Graph, snap repo.Snapshot, base *Graph, dirty map[string]b
 			}
 		}()
 	}
+	//lint:ignore locksend bounded wait: workers only drain the buffered work channel and take no caller-visible locks, so this terminates even when Analyze holds cacheMu
 	wg.Wait()
 }

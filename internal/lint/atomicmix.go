@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// AtomicmixAnalyzer flags fields and variables that are accessed through
+// sync/atomic in one place and by plain load or store in another — anywhere
+// in the module, which is what makes the check interprocedural: the atomic
+// half and the racy half are usually in different files (the stats fast path
+// uses atomic.AddInt64, a later-added snapshot method reads the field bare).
+// Mixing the two is a data race the happy path never trips: the plain read
+// can see a torn or stale value exactly when the counter is hottest.
+//
+// Initialization inside a composite literal is exempt — the struct is not
+// shared yet. Everything else, including writes in constructors and reads
+// "protected" by an unrelated mutex, is reported: the fix is to use the
+// atomic API everywhere or to move the field behind one lock.
+var AtomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "disallow mixing sync/atomic and plain access to the same field",
+	Run:  runAtomicmix,
+}
+
+// atomicIndex is the module-wide map of atomically-accessed variables,
+// built once per Run and shared by every package's pass.
+type atomicIndex struct {
+	once sync.Once
+	// vars maps each variable that is ever passed to a sync/atomic function
+	// to one witness position (for the message).
+	vars map[*types.Var]witness
+	// argSpans are the source ranges of atomic call arguments; uses inside
+	// them are the sanctioned atomic half.
+	argSpans []span
+}
+
+type witness struct {
+	pos  token.Pos
+	fset *token.FileSet
+}
+
+type span struct{ from, to token.Pos }
+
+func runAtomicmix(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	idx := pass.Mod.atomicVars()
+	if len(idx.vars) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Syntax {
+		// Composite-literal value spans: a use of the field name as a
+		// literal key is initialization, not access.
+		var litKeys []span
+		ast.Inspect(file, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				litKeys = append(litKeys, span{kv.Key.Pos(), kv.Key.End()})
+			}
+			return true
+		})
+		inSpans := func(pos token.Pos, spans []span) bool {
+			for _, s := range spans {
+				if pos >= s.from && pos <= s.to {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			w, tracked := idx.vars[v]
+			if !tracked || inSpans(id.Pos(), idx.argSpans) || inSpans(id.Pos(), litKeys) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %q, which is accessed with sync/atomic at %s; use the atomic API everywhere or move it behind one lock",
+				id.Name, posString(w.fset, w.pos))
+			return true
+		})
+	}
+}
+
+// atomicVars builds (once) the module-wide index of atomically-accessed
+// variables: any field or variable whose address is the first argument of a
+// sync/atomic package function.
+func (m *Module) atomicVars() *atomicIndex {
+	idx := m.atomicIdx
+	idx.once.Do(func() {
+		idx.vars = map[*types.Var]witness{}
+		for _, pkg := range m.Pkgs {
+			info := pkg.Info
+			for _, file := range pkg.Syntax {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					pkgPath, _, ok := pkgFuncCall(info, call)
+					if !ok || pkgPath != "sync/atomic" || len(call.Args) == 0 {
+						return true
+					}
+					for _, arg := range call.Args {
+						idx.argSpans = append(idx.argSpans, span{arg.Pos(), arg.End()})
+					}
+					// The addressed operand is the first argument for every
+					// sync/atomic function (Add, Load, Store, Swap, CAS).
+					un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						return true
+					}
+					if root := addrTarget(info, un.X); root != nil {
+						if _, dup := idx.vars[root]; !dup {
+							idx.vars[root] = witness{pos: call.Pos(), fset: pkg.Fset}
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+	return idx
+}
+
+// addrTarget resolves the variable behind &x, &x.f, or &x.f[i].g.
+func addrTarget(info *types.Info, e ast.Expr) *types.Var {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		tv, _ := info.Uses[v].(*types.Var)
+		return tv
+	case *ast.SelectorExpr:
+		tv, _ := info.Uses[v.Sel].(*types.Var)
+		return tv
+	case *ast.IndexExpr:
+		return addrTarget(info, v.X)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"sync"
+	"testing"
+
+	"mastergreen/internal/lint"
+)
+
+// benchPkgs loads and type-checks the whole module exactly once across the
+// lint benchmarks: the load is file I/O plus go/types work that `make lint`
+// pays identically before and after the v2 analyzers, so it stays out of the
+// measured region.
+var benchPkgs = sync.OnceValues(func() ([]*lint.Package, error) {
+	root, modpath, err := lint.FindModule(".")
+	if err != nil {
+		return nil, err
+	}
+	return lint.LoadModule(root, modpath)
+})
+
+// BenchmarkRunModule measures one full lint pass over the loaded module —
+// call-graph construction, function summaries, and all nine analyzers under
+// the default policy. This is the part of `make lint` wall-clock that the
+// interprocedural passes grew and the GOMAXPROCS-bounded package fan-out
+// claws back; EXPERIMENTS.md records the headline number.
+func BenchmarkRunModule(b *testing.B) {
+	pkgs, err := benchPkgs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := lint.Run(pkgs, lint.Analyzers(), lint.DefaultPolicy); len(findings) != 0 {
+			b.Fatalf("repo not lint-clean: %v", findings[0])
+		}
+	}
+}
+
+// BenchmarkRunModuleV1 runs only the five original per-function analyzers —
+// the pre-v2 baseline. Comparing against BenchmarkRunModule isolates what the
+// call graph, summaries, and four new analyzers cost on top of it.
+func BenchmarkRunModuleV1(b *testing.B) {
+	pkgs, err := benchPkgs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var analyzers []*lint.Analyzer
+	for _, name := range []string{"wallclock", "seedrand", "maporder", "locksend", "errdrop"} {
+		a := lint.AnalyzerByName(name)
+		if a == nil {
+			b.Fatalf("analyzer %s missing", name)
+		}
+		analyzers = append(analyzers, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lint.Run(pkgs, analyzers, lint.DefaultPolicy)
+	}
+}

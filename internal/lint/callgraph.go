@@ -1,0 +1,556 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds mglint's interprocedural substrate: a call graph over every
+// function body in the loaded packages. Per-function facts (summary.go) are
+// composed transitively along its edges, which is what lets lockorder see a
+// mutex acquired three calls away and locksend see a channel send inside a
+// callee.
+//
+// Resolution is class-hierarchy style, all from go/types:
+//
+//   - static: direct calls of package-level functions and methods with a
+//     concrete receiver (promoted methods follow the embedded declaration),
+//     plus immediately-invoked function literals;
+//   - interface: a call through an interface method fans out to that method
+//     on every module type whose method set implements the interface;
+//   - funcvalue: a call through a function-typed value fans out to every
+//     module function or literal whose address is taken somewhere and whose
+//     signature matches.
+//
+// interface and funcvalue edges are conservative over-approximations; each
+// analyzer decides which edge kinds it traverses (summary propagation uses
+// static edges only — the precision trade-offs are documented in DESIGN.md
+// §4i).
+
+// EdgeKind classifies how a call site was resolved to its callee.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call: package function, concrete method, or
+	// immediately-invoked function literal. The callee is exact.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is interface-method dispatch; the callee is one of the
+	// CHA candidates (every implementing module type's method).
+	EdgeInterface
+	// EdgeFuncValue is a call through a function-typed value; the callee is
+	// one of the address-taken functions with a matching signature.
+	EdgeFuncValue
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeFuncValue:
+		return "funcvalue"
+	}
+	return "unknown"
+}
+
+// Edge is one resolved call-site → callee pair.
+type Edge struct {
+	Site   *ast.CallExpr
+	Kind   EdgeKind
+	Callee *FuncNode
+	// Concurrent marks calls made via a `go` statement: the callee runs on
+	// its own goroutine, so its blocking and locking behavior does not
+	// happen on the caller's stack.
+	Concurrent bool
+}
+
+// FuncNode is one function body in the module: a declared function or method,
+// or a function literal.
+type FuncNode struct {
+	// Obj is the declared function or method; nil for function literals.
+	Obj *types.Func
+	// Lit is the literal; nil for declared functions.
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+	Pkg  *Package
+	// Name is a stable human-readable name: "pkg.Func", "pkg.(*T).Method",
+	// or "pkg.Func$2" for the second literal inside Func.
+	Name string
+	Sig  *types.Signature
+	// Out is this function's resolved call edges, in source order.
+	Out []Edge
+
+	summary *Summary // computed by BuildModule; nil until then
+	index   int      // dense index for SCC computation
+}
+
+// Module is the interprocedural index shared by every Pass of one Run: the
+// call graph plus the per-function summaries. It is immutable once built.
+type Module struct {
+	Pkgs  []*Package
+	Nodes []*FuncNode
+
+	byObj  map[*types.Func]*FuncNode
+	byBody map[*ast.BlockStmt]*FuncNode
+	// siteEdges indexes Out edges by call site for O(1) lookup from
+	// analyzers walking an AST.
+	siteEdges map[*ast.CallExpr][]Edge
+
+	lockGraph *lockGraph   // lazily built by lockorder, memoized
+	atomicIdx *atomicIndex // lazily built by atomicmix, memoized
+	// dirs caches each package's //lint:ignore directives; the summary layer
+	// honors a directive placed on a witness operation (a blocking op for
+	// locksend, a loop for goleak, a Lock for lockorder), so one reasoned
+	// suppression at the root silences every transitive caller finding.
+	dirs map[*Package][]directive
+}
+
+// suppressedAt reports whether a reasoned //lint:ignore <analyzer> directive
+// covers the given position.
+func (m *Module) suppressedAt(pkg *Package, pos token.Pos, analyzer string) bool {
+	p := pkg.Fset.Position(pos)
+	return suppressed(m.dirs[pkg], Finding{Analyzer: analyzer, File: p.Filename, Line: p.Line})
+}
+
+// NodeOf returns the node for a declared function or method, or nil.
+func (m *Module) NodeOf(fn *types.Func) *FuncNode { return m.byObj[fn] }
+
+// NodeByBody returns the node whose body is the given block, or nil. This is
+// how a per-package analyzer walking functions with eachFunc finds the node
+// it is inside.
+func (m *Module) NodeByBody(body *ast.BlockStmt) *FuncNode { return m.byBody[body] }
+
+// CalleesOf returns the resolved edges of one call site (empty for calls of
+// non-module functions, builtins, and conversions).
+func (m *Module) CalleesOf(call *ast.CallExpr) []Edge { return m.siteEdges[call] }
+
+// BuildModule constructs the call graph and computes every function summary.
+// Cost is one AST walk per package plus a linear-in-edges fixpoint, so it is
+// cheap next to type checking.
+func BuildModule(pkgs []*Package) *Module {
+	m := &Module{
+		Pkgs:      pkgs,
+		byObj:     map[*types.Func]*FuncNode{},
+		byBody:    map[*ast.BlockStmt]*FuncNode{},
+		siteEdges: map[*ast.CallExpr][]Edge{},
+		// The lazy per-analyzer indexes are allocated up front so their
+		// sync.Once guards are in place before packages fan out in parallel.
+		lockGraph: &lockGraph{},
+		atomicIdx: &atomicIndex{},
+		dirs:      map[*Package][]directive{},
+	}
+	for _, pkg := range pkgs {
+		m.dirs[pkg] = directives(pkg)
+	}
+	m.collectNodes()
+	taken, ifaceImpls := m.collectTargets()
+	for _, n := range m.Nodes {
+		m.resolveEdges(n, taken, ifaceImpls)
+	}
+	computeSummaries(m)
+	return m
+}
+
+// collectNodes creates a FuncNode for every function declaration and literal,
+// naming literals after their innermost enclosing declaration.
+func (m *Module) collectNodes() {
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := &FuncNode{
+					Obj:  obj,
+					Body: fd.Body,
+					Pkg:  pkg,
+					Name: funcDisplayName(pkg, obj),
+					Sig:  obj.Type().(*types.Signature),
+				}
+				m.addNode(node)
+				m.collectLits(pkg, fd.Body, node.Name)
+			}
+		}
+	}
+	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].Name < m.Nodes[j].Name })
+	for i, n := range m.Nodes {
+		n.index = i
+	}
+}
+
+// collectLits registers every function literal nested (at any depth) inside
+// body under the enclosing name.
+func (m *Module) collectLits(pkg *Package, body *ast.BlockStmt, enclosing string) {
+	seq := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		seq++
+		sig, _ := pkg.Info.TypeOf(lit).(*types.Signature)
+		name := fmt.Sprintf("%s$%d", enclosing, seq)
+		m.addNode(&FuncNode{
+			Lit:  lit,
+			Body: lit.Body,
+			Pkg:  pkg,
+			Name: name,
+			Sig:  sig,
+		})
+		m.collectLits(pkg, lit.Body, name)
+		return false // inner literals were just named under this one
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		return walk(n)
+	})
+}
+
+func (m *Module) addNode(n *FuncNode) {
+	if _, dup := m.byBody[n.Body]; dup {
+		return
+	}
+	m.Nodes = append(m.Nodes, n)
+	m.byBody[n.Body] = n
+	if n.Obj != nil {
+		m.byObj[n.Obj] = n
+	}
+}
+
+// funcDisplayName renders "pkg.Func" or "pkg.(*T).Method" using the
+// module-relative package path.
+func funcDisplayName(pkg *Package, fn *types.Func) string {
+	short := pkg.RelPath
+	if short == "" {
+		short = pkg.ImportPath
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		name := ""
+		if p, ok := recv.(*types.Pointer); ok {
+			name = "(*" + typeBaseName(p.Elem()) + ")"
+		} else {
+			name = typeBaseName(recv)
+		}
+		return short + "." + name + "." + fn.Name()
+	}
+	return short + "." + fn.Name()
+}
+
+func typeBaseName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// collectTargets scans every package for (a) address-taken functions — any
+// reference to a declared function, method, or literal outside call position,
+// indexed by signature for funcvalue resolution — and (b) the per-method-name
+// table of module types used for interface CHA.
+func (m *Module) collectTargets() (taken map[string][]*FuncNode, ifaceImpls map[string][]*FuncNode) {
+	taken = map[string][]*FuncNode{}
+	addTaken := func(n *FuncNode) {
+		if n == nil || n.Sig == nil {
+			return
+		}
+		key := sigKey(n.Sig)
+		taken[key] = append(taken[key], n)
+	}
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Syntax {
+			// callPos marks the expressions that are the Fun of a call; a
+			// function reference there is a call, not an address-taken use.
+			callPos := map[ast.Expr]bool{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					callPos[ast.Unparen(call.Fun)] = true
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.FuncLit:
+					if !callPos[ast.Expr(v)] {
+						addTaken(m.byBody[v.Body])
+					}
+				case *ast.Ident:
+					if callPos[ast.Expr(v)] {
+						return true
+					}
+					if fn, ok := info.Uses[v].(*types.Func); ok {
+						addTaken(m.byObj[fn])
+					}
+				case *ast.SelectorExpr:
+					if callPos[ast.Expr(v)] {
+						return true
+					}
+					if s, ok := info.Selections[v]; ok && s.Kind() == types.MethodVal {
+						if fn, ok := s.Obj().(*types.Func); ok {
+							addTaken(m.byObj[fn])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Method table: every method of every named module type, by name. CHA
+	// filters this by interface satisfaction at the call site.
+	ifaceImpls = map[string][]*FuncNode{}
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				meth := named.Method(i)
+				if node := m.byObj[meth]; node != nil {
+					ifaceImpls[meth.Name()] = append(ifaceImpls[meth.Name()], node)
+				}
+			}
+		}
+	}
+	return taken, ifaceImpls
+}
+
+// sigKey canonicalizes a signature (receiver dropped) for funcvalue matching.
+func sigKey(sig *types.Signature) string {
+	noRecv := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.TypeString(noRecv, nil)
+}
+
+// resolveEdges walks one function body (shallow — nested literals own their
+// calls) and resolves every call site.
+func (m *Module) resolveEdges(n *FuncNode, taken map[string][]*FuncNode, ifaceImpls map[string][]*FuncNode) {
+	info := n.Pkg.Info
+	// goCalls marks call expressions spawned by a `go` statement.
+	goCalls := map[*ast.CallExpr]bool{}
+	inspectShallow(n.Body, func(nd ast.Node) bool {
+		if g, ok := nd.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true
+		}
+		return true
+	})
+	addEdge := func(site *ast.CallExpr, kind EdgeKind, callee *FuncNode) {
+		if callee == nil {
+			return
+		}
+		e := Edge{Site: site, Kind: kind, Callee: callee, Concurrent: goCalls[site]}
+		n.Out = append(n.Out, e)
+		m.siteEdges[site] = append(m.siteEdges[site], e)
+	}
+	inspectShallow(n.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		// Conversions are not calls.
+		if tv, ok := info.Types[fun]; ok && tv.IsType() {
+			return true
+		}
+		switch f := fun.(type) {
+		case *ast.Ident:
+			switch obj := info.Uses[f].(type) {
+			case *types.Func:
+				addEdge(call, EdgeStatic, m.byObj[obj])
+				return true
+			case *types.Var:
+				m.resolveFuncValue(call, obj.Type(), taken, addEdge)
+				return true
+			case *types.Builtin, nil:
+				return true
+			}
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[f]; ok {
+				switch s.Kind() {
+				case types.MethodVal:
+					fn, _ := s.Obj().(*types.Func)
+					if fn == nil {
+						return true
+					}
+					if types.IsInterface(s.Recv()) {
+						m.resolveInterface(call, s.Recv(), fn, ifaceImpls, addEdge)
+					} else {
+						addEdge(call, EdgeStatic, m.byObj[fn])
+					}
+					return true
+				case types.FieldVal:
+					// Call of a func-typed struct field.
+					m.resolveFuncValue(call, s.Type(), taken, addEdge)
+					return true
+				}
+			}
+			// Qualified identifier pkg.Func.
+			if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+				addEdge(call, EdgeStatic, m.byObj[fn])
+				return true
+			}
+			if v, ok := info.Uses[f.Sel].(*types.Var); ok {
+				m.resolveFuncValue(call, v.Type(), taken, addEdge)
+			}
+			return true
+		case *ast.FuncLit:
+			addEdge(call, EdgeStatic, m.byBody[f.Body])
+			return true
+		default:
+			// Call of an arbitrary func-typed expression (index, call
+			// result, type assertion): resolve by signature.
+			if t := info.TypeOf(fun); t != nil {
+				m.resolveFuncValue(call, t, taken, addEdge)
+			}
+		}
+		return true
+	})
+}
+
+// resolveFuncValue fans a call through a function-typed value out to every
+// address-taken function with the same signature.
+func (m *Module) resolveFuncValue(call *ast.CallExpr, t types.Type, taken map[string][]*FuncNode, addEdge func(*ast.CallExpr, EdgeKind, *FuncNode)) {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for _, cand := range taken[sigKey(sig)] {
+		addEdge(call, EdgeFuncValue, cand)
+	}
+}
+
+// resolveInterface fans an interface-method call out to that method on every
+// module type implementing the interface (CHA).
+func (m *Module) resolveInterface(call *ast.CallExpr, recv types.Type, fn *types.Func, ifaceImpls map[string][]*FuncNode, addEdge func(*ast.CallExpr, EdgeKind, *FuncNode)) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	for _, cand := range ifaceImpls[fn.Name()] {
+		if cand.Obj == nil || cand.Sig == nil || cand.Sig.Recv() == nil {
+			continue
+		}
+		rt := cand.Sig.Recv().Type()
+		// The method set of *T includes methods with value receiver T, so
+		// checking the pointer type covers both receiver forms.
+		if !types.Implements(rt, iface) && !types.Implements(types.NewPointer(deref(rt)), iface) {
+			continue
+		}
+		addEdge(call, EdgeInterface, cand)
+	}
+}
+
+// sccOrder condenses the static, same-goroutine call graph into strongly
+// connected components and returns them in reverse topological order
+// (callees before callers), so summaries can be computed bottom-up with one
+// fixpoint iteration per cycle. Tarjan's algorithm, iterative over a
+// deterministic node order.
+func sccOrder(nodes []*FuncNode) [][]*FuncNode {
+	n := len(nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]*FuncNode
+	next := 0
+
+	type frame struct {
+		v    int
+		edge int
+		out  []int
+	}
+	staticOut := func(v int) []int {
+		var out []int
+		for _, e := range nodes[v].Out {
+			if e.Kind == EdgeStatic && !e.Concurrent {
+				out = append(out, e.Callee.index)
+			}
+		}
+		return out
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start, out: staticOut(start)}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(f.out) {
+				w := f.out[f.edge]
+				f.edge++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, out: staticOut(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []*FuncNode
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, nodes[w])
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// posString renders a position as "file:line" with just the base filename.
+func posString(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", shortFile(p.Filename), p.Line)
+}
+
+func shortFile(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

@@ -25,8 +25,10 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer report, positioned at file:line:col.
@@ -53,10 +55,13 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one (analyzer, package) unit of work.
+// Pass carries one (analyzer, package) unit of work. Mod is the shared
+// interprocedural index (call graph + function summaries) built once per Run;
+// it is immutable, so passes running in parallel read it freely.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Mod      *Module
 	findings *[]Finding
 }
 
@@ -84,6 +89,10 @@ func Analyzers() []*Analyzer {
 		MaporderAnalyzer,
 		LocksendAnalyzer,
 		ErrdropAnalyzer,
+		LockorderAnalyzer,
+		GoleakAnalyzer,
+		AtomicmixAnalyzer,
+		TainttimeAnalyzer,
 	}
 }
 
@@ -101,36 +110,48 @@ func AnalyzerByName(name string) *Analyzer {
 // suppression-filtered findings sorted by position. A nil policy applies
 // every analyzer to every package (used by fixture tests); the real gate
 // passes DefaultPolicy.
+//
+// The interprocedural index (call graph + summaries) is built once up front;
+// packages then fan out across GOMAXPROCS workers — analyses only read the
+// type-checked ASTs and the immutable Module, so per-package runs are
+// embarrassingly parallel, and the final sort keeps output deterministic
+// regardless of completion order.
 func Run(pkgs []*Package, analyzers []*Analyzer, policy Policy) []Finding {
+	mod := BuildModule(pkgs)
+	// Force the lazy module-wide indexes that analyzers share before the
+	// fan-out; their sync.Once guards make this belt-and-braces rather than
+	// load-bearing, but it keeps the parallel section read-only.
+	mod.lockOrderGraph()
+	mod.atomicVars()
+
+	perPkg := make([][]Finding, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				perPkg[i] = runPackage(pkgs[i], mod, analyzers, policy)
+			}
+		}()
+	}
+	for i := range pkgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
 	var findings []Finding
-	for _, pkg := range pkgs {
-		dirs := directives(pkg)
-		for _, d := range dirs {
-			if d.reason == "" {
-				findings = append(findings, Finding{
-					Analyzer: "mglint",
-					File:     d.file,
-					Line:     d.line,
-					Col:      d.col,
-					Message:  "//lint:ignore directive is missing a reason",
-					Package:  pkg.RelPath,
-				})
-			}
-		}
-		for _, a := range analyzers {
-			if policy != nil && !policy.Applies(a.Name, pkg.RelPath) {
-				continue
-			}
-			var raw []Finding
-			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
-			a.Run(pass)
-			for _, f := range raw {
-				if pkg.Generated[f.File] || suppressed(dirs, f) {
-					continue
-				}
-				findings = append(findings, f)
-			}
-		}
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -145,6 +166,40 @@ func Run(pkgs []*Package, analyzers []*Analyzer, policy Policy) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+	return findings
+}
+
+// runPackage executes every applicable analyzer over one package and returns
+// its suppression-filtered findings.
+func runPackage(pkg *Package, mod *Module, analyzers []*Analyzer, policy Policy) []Finding {
+	var findings []Finding
+	dirs := directives(pkg)
+	for _, d := range dirs {
+		if d.reason == "" {
+			findings = append(findings, Finding{
+				Analyzer: "mglint",
+				File:     d.file,
+				Line:     d.line,
+				Col:      d.col,
+				Message:  "//lint:ignore directive is missing a reason",
+				Package:  pkg.RelPath,
+			})
+		}
+	}
+	for _, a := range analyzers {
+		if policy != nil && !policy.Applies(a.Name, pkg.RelPath) {
+			continue
+		}
+		var raw []Finding
+		pass := &Pass{Analyzer: a, Pkg: pkg, Mod: mod, findings: &raw}
+		a.Run(pass)
+		for _, f := range raw {
+			if pkg.Generated[f.File] || suppressed(dirs, f) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
 	return findings
 }
 

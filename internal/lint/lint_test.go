@@ -75,6 +75,16 @@ func TestMaporderFixture(t *testing.T)  { checkMarkers(t, "maporder", loadFixtur
 func TestLocksendFixture(t *testing.T)  { checkMarkers(t, "locksend", loadFixture(t, "locksend")) }
 func TestErrdropFixture(t *testing.T)   { checkMarkers(t, "errdrop", loadFixture(t, "errdrop")) }
 
+// The v2 interprocedural analyzers: lock-order cycles, goroutine termination,
+// atomic/plain mixing, determinism taint, and locksend through callees.
+func TestLockorderFixture(t *testing.T) { checkMarkers(t, "lockorder", loadFixture(t, "lockorder")) }
+func TestGoleakFixture(t *testing.T)    { checkMarkers(t, "goleak", loadFixture(t, "goleak")) }
+func TestAtomicmixFixture(t *testing.T) { checkMarkers(t, "atomicmix", loadFixture(t, "atomicmix")) }
+func TestTainttimeFixture(t *testing.T) { checkMarkers(t, "tainttime", loadFixture(t, "tainttime")) }
+func TestLocksendIPFixture(t *testing.T) {
+	checkMarkers(t, "locksendip", loadFixture(t, "locksendip"))
+}
+
 // TestAlltripFixture pins the edge case of one function tripping every
 // analyzer at once.
 func TestAlltripFixture(t *testing.T) {

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LockorderAnalyzer builds the module-wide lock-acquisition-order graph —
+// an edge A → B whenever some function acquires lock class B while holding
+// lock class A, directly or through any chain of static calls — and reports
+// every acquisition that participates in a cycle. A cycle (A → B somewhere,
+// B → A somewhere else) is the classic deadlock recipe: two goroutines taking
+// the two locks in opposite orders wedge the queue the first time an abort
+// storm makes them race. The fix is a single global acquisition order (or
+// narrowing one critical section so the nested acquisition moves outside).
+//
+// Lock identity is class-based: every instance of planner.Planner.mu is one
+// node. That is sound for the AB/BA inversion pattern but cannot order two
+// instances of the same class, so same-class nesting is reported only when
+// the two acquisitions textually name the same lock (a certain
+// self-deadlock: Go mutexes are not reentrant) or when the nested acquisition
+// happens inside a callee (possible recursion back into the held lock).
+var LockorderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report cycles in the interprocedural lock-acquisition-order graph",
+	Run:  runLockorder,
+}
+
+// lockPair is one observed "B acquired while A held" event.
+type lockPair struct {
+	from, to         string // lock class keys
+	fromRecv, toRecv string // textual receivers at the observation site
+	pos              token.Pos
+	pkg              *Package
+	path             string // "" for a direct nested Lock, else "via pkg.f ..."
+}
+
+type lockGraph struct {
+	once  sync.Once
+	pairs []lockPair
+	// inCycle marks lock-class keys whose SCC contains a cycle, and
+	// reverse[from][to] records one witness position of each edge for
+	// cross-referencing in messages.
+	inCycle map[string]int // key -> SCC id (only for cyclic SCCs)
+	witness map[[2]string]token.Pos
+	fsets   map[[2]string]*token.FileSet
+}
+
+func runLockorder(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	g := pass.Mod.lockOrderGraph()
+	for _, p := range g.pairs {
+		if p.pkg != pass.Pkg {
+			continue
+		}
+		fromSCC, fromCyc := g.inCycle[p.from]
+		toSCC, toCyc := g.inCycle[p.to]
+		if p.from == p.to {
+			// Same-class nesting: certain self-deadlock when the textual
+			// receiver is identical, possible recursive re-acquisition when
+			// it happens through a callee.
+			switch {
+			case p.path == "" && p.fromRecv == p.toRecv:
+				pass.Reportf(p.pos, "%s.Lock while %s is already held in this function: Go mutexes are not reentrant, this deadlocks", p.fromRecv, p.fromRecv)
+			case p.path != "":
+				pass.Reportf(p.pos, "call may re-acquire %s (%s) while it is held: non-reentrant deadlock if the receiver is the same instance", p.from, p.path)
+			}
+			continue
+		}
+		if !fromCyc || !toCyc || fromSCC != toSCC {
+			continue
+		}
+		via := ""
+		if p.path != "" {
+			via = " " + p.path
+		}
+		other := ""
+		if pos, ok := g.witness[[2]string{p.to, p.from}]; ok {
+			other = fmt.Sprintf("; reverse order at %s", posString(g.fsets[[2]string{p.to, p.from}], pos))
+		}
+		pass.Reportf(p.pos, "lock order inversion: %s acquired%s while %s is held%s — deadlock cycle; pick one global acquisition order", p.to, via, p.from, other)
+	}
+}
+
+// lockOrderGraph builds (once) the module's acquisition-order graph and its
+// cycle analysis.
+func (m *Module) lockOrderGraph() *lockGraph {
+	g := m.lockGraph
+	g.once.Do(func() {
+		for _, n := range m.Nodes {
+			g.pairs = append(g.pairs, lockPairsOf(m, n)...)
+		}
+		sort.Slice(g.pairs, func(i, j int) bool {
+			a, b := g.pairs[i], g.pairs[j]
+			if a.from != b.from {
+				return a.from < b.from
+			}
+			if a.to != b.to {
+				return a.to < b.to
+			}
+			return a.pos < b.pos
+		})
+		g.witness = map[[2]string]token.Pos{}
+		g.fsets = map[[2]string]*token.FileSet{}
+		adj := map[string][]string{}
+		for _, p := range g.pairs {
+			k := [2]string{p.from, p.to}
+			if _, ok := g.witness[k]; !ok {
+				g.witness[k] = p.pos
+				g.fsets[k] = p.pkg.Fset
+				adj[p.from] = append(adj[p.from], p.to)
+			}
+		}
+		g.inCycle = cyclicSCCs(adj)
+	})
+	return g
+}
+
+// lockPairsOf extracts the acquisition-order pairs one function contributes:
+// for every held interval of lock A, every nested direct Lock of B and every
+// static same-goroutine call whose callee transitively acquires B.
+func lockPairsOf(m *Module, n *FuncNode) []lockPair {
+	intervals, events := lockIntervals(n.Pkg, n.Body)
+	if len(intervals) == 0 {
+		return nil
+	}
+	var pairs []lockPair
+	add := func(iv heldInterval, to, toRecv string, pos token.Pos, path string) {
+		if iv.key == "" || to == "" {
+			return
+		}
+		pairs = append(pairs, lockPair{
+			from: iv.key, to: to,
+			fromRecv: iv.recv, toRecv: toRecv,
+			pos: pos, pkg: n.Pkg, path: path,
+		})
+	}
+	for _, iv := range intervals {
+		for _, ev := range events {
+			if ev.kind == evLock && ev.pos > iv.from && ev.pos < iv.to {
+				add(iv, ev.key, ev.recv, ev.pos, "")
+			}
+		}
+		for _, e := range n.Out {
+			if e.Kind != EdgeStatic || e.Concurrent {
+				continue
+			}
+			pos := e.Site.Pos()
+			if pos <= iv.from || pos >= iv.to {
+				continue
+			}
+			cs := e.Callee.Summary()
+			if cs == nil {
+				continue
+			}
+			keys := make([]string, 0, len(cs.Acquires))
+			for key := range cs.Acquires {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				acq := cs.Acquires[key]
+				path := extendPath(e.Callee.Name, acq.Path)
+				// Skip local mutexes of the callee: they are private to one
+				// call frame and cannot participate in cross-goroutine
+				// ordering.
+				if strings.HasPrefix(key, "local:") {
+					continue
+				}
+				add(iv, key, key, pos, path)
+			}
+		}
+	}
+	return pairs
+}
+
+// cyclicSCCs condenses the key digraph and returns, for every node in a
+// strongly connected component that contains a cycle (size > 1; self-loops
+// are handled separately by the same-class rules), its SCC id.
+func cyclicSCCs(adj map[string][]string) map[string]int {
+	keys := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			keys = append(keys, from)
+		}
+		for _, to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				keys = append(keys, to)
+			}
+		}
+	}
+	sort.Strings(keys)
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	sccID := 0
+	out := map[string]int{}
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := append([]string(nil), adj[v]...)
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				for _, w := range scc {
+					out[w] = sccID
+				}
+				sccID++
+			}
+		}
+	}
+	for _, k := range keys {
+		if _, visited := index[k]; !visited {
+			strongconnect(k)
+		}
+	}
+	return out
+}

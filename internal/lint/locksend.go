@@ -10,19 +10,28 @@ import (
 
 // LocksendAnalyzer flags blocking channel operations — sends, receives,
 // channel-range loops, select without default, sync.WaitGroup.Wait — executed
-// while a sync.Mutex or sync.RWMutex is held in the same function scope. This
-// is the classic build-controller deadlock shape: the goroutine that would
-// drain the channel needs the same lock, and an abort storm wedges the epoch
-// loop. The fix is always the same — collect under the lock, release, then
-// communicate (see events.Bus.Publish).
+// while a sync.Mutex or sync.RWMutex is held. This is the classic
+// build-controller deadlock shape: the goroutine that would drain the channel
+// needs the same lock, and an abort storm wedges the epoch loop. The fix is
+// always the same — collect under the lock, release, then communicate (see
+// events.Bus.Publish).
+//
+// Since mglint v2 the check is interprocedural: a call made while the lock is
+// held is resolved through the module call graph, and if any static callee
+// may block (transitively — the Summary.Blocks fact), the call site is
+// reported with the chain to the blocking op. Interface and funcvalue edges
+// are not followed — an over-approximated callee set would flag nearly every
+// indirect call — so a blocking op behind dynamic dispatch still needs the
+// caller-side discipline locksend has always enforced.
 //
 // Non-blocking communication (a select with a default clause) is allowed, as
 // is anything inside a nested function literal: its body runs on its own
 // goroutine or call, not under the caller's lock... unless it is invoked
-// inline, which this analyzer conservatively does not model.
+// inline, which the call graph does model (an immediately-invoked literal is
+// a static callee).
 var LocksendAnalyzer = &Analyzer{
 	Name: "locksend",
-	Doc:  "disallow blocking channel ops and WaitGroup.Wait while a mutex is held",
+	Doc:  "disallow blocking channel ops and WaitGroup.Wait while a mutex is held, including inside callees",
 	Run:  runLocksend,
 }
 
@@ -38,29 +47,32 @@ type lockEvent struct {
 	pos  token.Pos
 	end  token.Pos
 	kind lockEventKind
-	recv string // textual receiver, e.g. "p.mu"
+	recv string // textual receiver, e.g. "p.mu" — pairs Lock with Unlock
+	key  string // cross-function lock class key, e.g. "pkg.Planner.mu"
 }
 
 type heldInterval struct {
 	from, to token.Pos
 	recv     string
+	key      string
 }
 
 func runLocksend(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, file := range pass.Pkg.Syntax {
 		eachFunc(file, func(body *ast.BlockStmt) {
-			intervals := lockIntervals(pass, body)
+			intervals, _ := lockIntervals(pass.Pkg, body)
 			if len(intervals) == 0 {
 				return
 			}
-			report := func(pos token.Pos, what string) {
+			report := func(pos token.Pos, what string) bool {
 				for _, iv := range intervals {
 					if pos > iv.from && pos < iv.to {
 						pass.Reportf(pos, "%s while %s is held; release the lock before blocking (collect-then-communicate)", what, iv.recv)
-						return
+						return true
 					}
 				}
+				return false
 			}
 			inspectShallow(body, func(n ast.Node) bool {
 				switch v := n.(type) {
@@ -87,7 +99,9 @@ func runLocksend(pass *Pass) {
 				case *ast.CallExpr:
 					if fn := calledMethod(info, v); fn != nil && fn.Name() == "Wait" && methodRecvPath(fn) == "sync.WaitGroup" {
 						report(v.Pos(), "sync.WaitGroup.Wait")
+						return true
 					}
+					reportBlockingCallee(pass, v, report)
 				}
 				return true
 			})
@@ -95,16 +109,41 @@ func runLocksend(pass *Pass) {
 	}
 }
 
+// reportBlockingCallee resolves a call made under a lock through the call
+// graph and reports it when a static, same-goroutine callee may block.
+func reportBlockingCallee(pass *Pass, call *ast.CallExpr, report func(token.Pos, string) bool) {
+	if pass.Mod == nil {
+		return
+	}
+	for _, e := range pass.Mod.CalleesOf(call) {
+		if e.Kind != EdgeStatic || e.Concurrent {
+			continue
+		}
+		s := e.Callee.Summary()
+		if s == nil || !s.Blocks {
+			continue
+		}
+		chain := extendPath(e.Callee.Name, s.BlockPath)
+		what := "call may block: " + s.BlockWhat + " " + chain +
+			" at " + posString(e.Callee.Pkg.Fset, s.BlockPos)
+		if report(call.Pos(), what) {
+			return // one finding per call site is enough
+		}
+	}
+}
+
 // lockIntervals computes the held regions of every sync.Mutex/RWMutex in one
-// function scope by pairing Lock/Unlock calls on the same textual receiver.
-// A deferred or unmatched unlock holds to the end of the scope.
-func lockIntervals(pass *Pass, body *ast.BlockStmt) []heldInterval {
-	info := pass.Pkg.Info
+// function scope by pairing Lock/Unlock calls on the same textual receiver,
+// returning both the intervals and the raw lock events (lockorder consumes
+// the events for nested-acquisition pairs). A deferred or unmatched unlock
+// holds to the end of the scope.
+func lockIntervals(pkg *Package, body *ast.BlockStmt) ([]heldInterval, []lockEvent) {
+	info := pkg.Info
 	var events []lockEvent
 	inspectShallow(body, func(n ast.Node) bool {
 		if def, ok := n.(*ast.DeferStmt); ok {
-			if kind, recv, ok := mutexCall(pass, info, def.Call); ok && kind == evUnlock {
-				events = append(events, lockEvent{pos: def.Pos(), end: def.End(), kind: evDeferUnlock, recv: recv})
+			if kind, recv, key, ok := mutexCall(pkg, info, def.Call); ok && kind == evUnlock {
+				events = append(events, lockEvent{pos: def.Pos(), end: def.End(), kind: evDeferUnlock, recv: recv, key: key})
 			}
 			return false // the deferred call does not execute here
 		}
@@ -112,13 +151,13 @@ func lockIntervals(pass *Pass, body *ast.BlockStmt) []heldInterval {
 		if !ok {
 			return true
 		}
-		if kind, recv, ok := mutexCall(pass, info, call); ok {
-			events = append(events, lockEvent{pos: call.Pos(), end: call.End(), kind: kind, recv: recv})
+		if kind, recv, key, ok := mutexCall(pkg, info, call); ok {
+			events = append(events, lockEvent{pos: call.Pos(), end: call.End(), kind: kind, recv: recv, key: key})
 		}
 		return true
 	})
 	if len(events) == 0 {
-		return nil
+		return nil, nil
 	}
 	// events arrive in source order from the inspection.
 	open := map[string][]lockEvent{} // recv -> stack of open locks
@@ -138,41 +177,42 @@ func lockIntervals(pass *Pass, body *ast.BlockStmt) []heldInterval {
 			if ev.kind == evDeferUnlock {
 				to = body.End()
 			}
-			out = append(out, heldInterval{from: lock.end, to: to, recv: ev.recv})
+			out = append(out, heldInterval{from: lock.end, to: to, recv: ev.recv, key: lock.key})
 		}
 	}
 	for recv, stack := range open {
 		for _, lock := range stack {
-			out = append(out, heldInterval{from: lock.end, to: body.End(), recv: recv})
+			out = append(out, heldInterval{from: lock.end, to: body.End(), recv: recv, key: lock.key})
 		}
 	}
-	return out
+	return out, events
 }
 
 // mutexCall classifies a call as a sync.Mutex/RWMutex Lock or Unlock
 // (including promoted methods on embedding structs), returning the textual
-// receiver expression as the pairing key.
-func mutexCall(pass *Pass, info *types.Info, call *ast.CallExpr) (kind lockEventKind, recv string, ok bool) {
+// receiver expression as the pairing key and the cross-function class key.
+func mutexCall(pkg *Package, info *types.Info, call *ast.CallExpr) (kind lockEventKind, recv, key string, ok bool) {
 	fn := calledMethod(info, call)
 	if fn == nil {
-		return 0, "", false
+		return 0, "", "", false
 	}
 	if p := methodRecvPath(fn); p != "sync.Mutex" && p != "sync.RWMutex" {
-		return 0, "", false
+		return 0, "", "", false
 	}
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
-		return 0, "", false
+		return 0, "", "", false
 	}
 	var buf bytes.Buffer
-	_ = printer.Fprint(&buf, pass.Pkg.Fset, sel.X)
+	_ = printer.Fprint(&buf, pkg.Fset, sel.X)
+	key, _ = lockClassKey(pkg, call)
 	switch fn.Name() {
 	case "Lock", "RLock":
-		return evLock, buf.String(), true
+		return evLock, buf.String(), key, true
 	case "Unlock", "RUnlock":
-		return evUnlock, buf.String(), true
+		return evUnlock, buf.String(), key, true
 	}
-	return 0, "", false
+	return 0, "", "", false
 }
 
 // calledMethod resolves the *types.Func a method call invokes (following

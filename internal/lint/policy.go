@@ -73,6 +73,33 @@ var DefaultPolicy = TablePolicy{
 	}},
 	{Analyzer: "locksend", Packages: []string{"..."}},
 	{Analyzer: "errdrop", Packages: []string{"internal/...", "cmd/..."}},
+	// The interprocedural suite (mglint v2). lockorder and goleak are
+	// repo-wide like locksend: a deadlock cycle or a leaked goroutine
+	// anywhere takes the queue down. atomicmix covers all first-party code.
+	// tainttime governs the same sim-deterministic core as wallclock — it is
+	// wallclock's transitive closure.
+	{Analyzer: "lockorder", Packages: []string{"..."}},
+	{Analyzer: "goleak", Packages: []string{"..."}},
+	{Analyzer: "atomicmix", Packages: []string{"internal/...", "cmd/..."}},
+	{Analyzer: "tainttime", Packages: []string{
+		"internal/sim",
+		"internal/planner",
+		"internal/speculation",
+		"internal/queue",
+		"internal/conflict",
+		"internal/core",
+		"internal/events",
+		"internal/reliability",
+		"internal/shard",
+		"internal/arbiter",
+		"internal/experiments",
+		"internal/workload",
+		"internal/predict",
+		"internal/buildgraph",
+		"internal/buildsys",
+		"internal/strategies",
+		"internal/metrics",
+	}},
 }
 
 // Applies implements Policy.

@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Summary is the per-function fact sheet the interprocedural analyzers
+// compose. Every transitive field is propagated along static, same-goroutine
+// call edges only: interface and funcvalue edges over-approximate call
+// targets so badly that following them would drown the report in
+// false positives (see DESIGN.md §4i for the trade-off).
+type Summary struct {
+	// Blocks reports that calling this function may block the caller's
+	// goroutine: a channel send/receive, a range over a channel, a select
+	// without default, or sync.WaitGroup.Wait, here or in a callee.
+	Blocks bool
+	// BlockWhat describes the witness op ("channel send"), BlockPath the
+	// call chain to it ("" when the op is in this very function, else
+	// "via pkg.f → pkg.g"), and BlockPos its position.
+	BlockWhat string
+	BlockPath string
+	BlockPos  token.Pos
+
+	// Hangs reports that this function may never return: it (or a callee on
+	// every-path... conservatively, any reachable callee) contains an
+	// unconditional for-loop with no reachable return, break, or process
+	// exit.
+	Hangs    bool
+	HangPath string
+	HangPos  token.Pos
+
+	// Acquires maps lock class keys (lockClassKey) to the site where this
+	// function — or a transitive callee — acquires them, even if released
+	// before returning.
+	Acquires map[string]AcqSite
+
+	// ReturnsTainted reports that some return value derives from the wall
+	// clock (time.Now/Since/Until) or the global math/rand source.
+	// TaintWhy names the root source and chain ("time.Now at sim.go:10" or
+	// "pkg.f → time.Now at x.go:3").
+	ReturnsTainted bool
+	TaintWhy       string
+	// ParamFlows[i] reports that parameter i can flow into a return value,
+	// which is how caller-side taint rides through helper functions.
+	ParamFlows []bool
+}
+
+// AcqSite is where a lock class is acquired, with the call chain when the
+// acquisition happens in a callee.
+type AcqSite struct {
+	Pos  token.Pos
+	Path string // "" when direct, else "via pkg.f → pkg.g"
+}
+
+// blockOp is one directly-blocking operation in a function body.
+type blockOp struct {
+	pos  token.Pos
+	what string
+}
+
+// computeSummaries fills every node's summary bottom-up over the SCC
+// condensation of the static call graph. Within a cycle the transitive facts
+// are iterated to a fixpoint (they are monotone booleans and set unions, so
+// this terminates).
+func computeSummaries(m *Module) {
+	for _, n := range m.Nodes {
+		n.summary = directSummary(m, n)
+	}
+	for _, scc := range sccOrder(m.Nodes) {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if propagateCallees(n) {
+					changed = true
+				}
+			}
+			// Acyclic components converge in one pass; only real recursion
+			// iterates.
+			if len(scc) == 1 {
+				break
+			}
+		}
+	}
+	computeTaintSummaries(m)
+}
+
+// Summary returns the node's computed summary (never nil after BuildModule).
+func (n *FuncNode) Summary() *Summary { return n.summary }
+
+// directSummary computes the facts visible in one function body alone.
+func directSummary(m *Module, n *FuncNode) *Summary {
+	s := &Summary{Acquires: map[string]AcqSite{}}
+	for _, op := range directBlockOps(n.Pkg, n.Body) {
+		// A reasoned //lint:ignore locksend at the op itself (e.g. a send on
+		// a channel provably buffered for all its sends) removes it from the
+		// summary, silencing every transitive caller finding at the root.
+		if m.suppressedAt(n.Pkg, op.pos, "locksend") {
+			continue
+		}
+		s.Blocks = true
+		s.BlockWhat = op.what
+		s.BlockPos = op.pos
+		break
+	}
+	for _, pos := range inescapableLoops(n.Body) {
+		if m.suppressedAt(n.Pkg, pos, "goleak") {
+			continue
+		}
+		s.Hangs = true
+		s.HangPos = pos
+		break
+	}
+	info := n.Pkg.Info
+	inspectShallow(n.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, _, key, ok := mutexCall(n.Pkg, info, call); ok && kind == evLock && key != "" {
+			if m.suppressedAt(n.Pkg, call.Pos(), "lockorder") {
+				return true
+			}
+			if _, dup := s.Acquires[key]; !dup {
+				s.Acquires[key] = AcqSite{Pos: call.Pos()}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// propagateCallees folds the static callees' summaries into n's; reports
+// whether anything changed.
+func propagateCallees(n *FuncNode) bool {
+	s := n.summary
+	changed := false
+	for _, e := range n.Out {
+		if e.Kind != EdgeStatic || e.Concurrent {
+			continue
+		}
+		cs := e.Callee.summary
+		if cs == nil {
+			continue
+		}
+		if cs.Blocks && !s.Blocks {
+			s.Blocks = true
+			s.BlockWhat = cs.BlockWhat
+			s.BlockPos = cs.BlockPos
+			s.BlockPath = extendPath(e.Callee.Name, cs.BlockPath)
+			changed = true
+		}
+		if cs.Hangs && !s.Hangs {
+			s.Hangs = true
+			s.HangPos = cs.HangPos
+			s.HangPath = extendPath(e.Callee.Name, cs.HangPath)
+			changed = true
+		}
+		for key, site := range cs.Acquires {
+			if _, ok := s.Acquires[key]; ok {
+				continue
+			}
+			s.Acquires[key] = AcqSite{Pos: site.Pos, Path: extendPath(e.Callee.Name, site.Path)}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// extendPath prepends one callee hop to an existing chain description.
+func extendPath(callee, rest string) string {
+	if rest == "" {
+		return "via " + callee
+	}
+	return "via " + callee + " " + strings.TrimPrefix(rest, "via ")
+}
+
+// directBlockOps lists the operations in body (shallow) that block the
+// current goroutine: the same op set locksend polices. Deferred calls count —
+// they run on this goroutine before it returns.
+func directBlockOps(pkg *Package, body *ast.BlockStmt) []blockOp {
+	info := pkg.Info
+	var ops []blockOp
+	inspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			ops = append(ops, blockOp{v.Pos(), "channel send"})
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				ops = append(ops, blockOp{v.Pos(), "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ops = append(ops, blockOp{v.Pos(), "range over channel"})
+				}
+			}
+		case *ast.SelectStmt:
+			for _, clause := range v.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					return false // non-blocking poll
+				}
+			}
+			ops = append(ops, blockOp{v.Pos(), "blocking select"})
+			return false
+		case *ast.CallExpr:
+			if fn := calledMethod(info, v); fn != nil && fn.Name() == "Wait" && methodRecvPath(fn) == "sync.WaitGroup" {
+				ops = append(ops, blockOp{v.Pos(), "sync.WaitGroup.Wait"})
+			}
+		}
+		return true
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	return ops
+}
+
+// inescapableLoops returns the positions of unconditional for-loops in body
+// (shallow) that contain no reachable exit: no return, no break that targets
+// the loop, no goto, and no process-exit call. Such a loop, once entered,
+// runs for the life of the goroutine — for a spawned goroutine that means a
+// leak unless the loop can return via a done/stop receive or context check
+// (which would appear as a return or break inside it).
+func inescapableLoops(body *ast.BlockStmt) []token.Pos {
+	var loops []token.Pos
+	inspectShallow(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasExit(loop) {
+			loops = append(loops, loop.Pos())
+		}
+		return true
+	})
+	return loops
+}
+
+// loopHasExit reports whether the unconditional loop's body contains a
+// statement that escapes it: return, goto, a break whose target is this loop
+// (unlabeled break inside a nested for/select/switch targets the inner
+// construct — the classic `for { select { case <-done: break } }` bug is
+// correctly treated as NOT exiting), panic, or a process-exit call.
+func loopHasExit(loop *ast.ForStmt) bool {
+	// Any labeled break is accepted as a possible exit (the label may name
+	// this loop; resolving labels precisely is not worth the false-positive
+	// risk — conservative toward not reporting).
+	exit := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if exit || n == nil {
+			return
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return // separate goroutine/call; its returns do not exit the loop
+		case *ast.ReturnStmt:
+			exit = true
+			return
+		case *ast.BranchStmt:
+			switch v.Tok {
+			case token.BREAK:
+				if v.Label != nil || depth == 0 {
+					exit = true
+				}
+			case token.GOTO:
+				exit = true // may jump out; conservative toward not reporting
+			}
+			return
+		case *ast.CallExpr:
+			if isProcessExit(v) {
+				exit = true
+				return
+			}
+		case *ast.ForStmt:
+			walkAll(v.Init, v.Cond, v.Post, depth, walk)
+			walk(v.Body, depth+1)
+			return
+		case *ast.RangeStmt:
+			walkAll(v.X, nil, nil, depth, walk)
+			walk(v.Body, depth+1)
+			return
+		case *ast.SelectStmt:
+			walk(v.Body, depth+1)
+			return
+		case *ast.SwitchStmt:
+			walkAll(v.Init, v.Tag, nil, depth, walk)
+			walk(v.Body, depth+1)
+			return
+		case *ast.TypeSwitchStmt:
+			walkAll(v.Init, nil, nil, depth, walk)
+			walk(v.Assign, depth)
+			walk(v.Body, depth+1)
+			return
+		}
+		for _, c := range childNodes(n) {
+			walk(c, depth)
+		}
+	}
+	walk(loop.Body, 0)
+	return exit
+}
+
+// walkAll visits the non-nil nodes at the same nesting depth; absent AST
+// fields are nil interface values, so a plain nil check suffices.
+func walkAll(a, b, c ast.Node, depth int, walk func(ast.Node, int)) {
+	for _, n := range []ast.Node{a, b, c} {
+		if n != nil {
+			walk(n, depth)
+		}
+	}
+}
+
+// childNodes returns the immediate children of n, in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// isProcessExit reports calls that terminate the goroutine or process:
+// os.Exit, runtime.Goexit, log.Fatal*, and the panic builtin.
+func isProcessExit(call *ast.CallExpr) bool {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := f.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return f.Sel.Name == "Exit"
+		case "runtime":
+			return f.Sel.Name == "Goexit"
+		case "log":
+			return strings.HasPrefix(f.Sel.Name, "Fatal")
+		}
+	}
+	return false
+}
+
+// lockClassKey names the lock a Lock/Unlock call operates on in a way that is
+// stable across functions: "pkg.Type.field" for a mutex field (including
+// promoted/embedded mutexes), "pkg.var" for a package-level mutex, and a
+// position-unique "local:..." key for function-local mutexes. Two different
+// instances of the same struct share a class — lock-order analysis is
+// class-based, which is standard (and sound for the AB/BA pattern; it cannot
+// order two instances of the same class, see DESIGN.md §4i).
+func lockClassKey(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	info := pkg.Info
+	x := ast.Unparen(sel.X)
+
+	// p.Lock() with an embedded sync.Mutex: the selection's index path names
+	// the embedded field chain.
+	if s, ok := info.Selections[sel]; ok && len(s.Index()) > 1 {
+		t := deref(s.Recv())
+		idx := s.Index()
+		names := []string{namedPathOrStr(t)}
+		for _, i := range idx[:len(idx)-1] {
+			st, ok := deref(t).Underlying().(*types.Struct)
+			if !ok {
+				break
+			}
+			f := st.Field(i)
+			names = append(names, f.Name())
+			t = f.Type()
+		}
+		return strings.Join(names, "."), true
+	}
+
+	switch mx := x.(type) {
+	case *ast.SelectorExpr:
+		// a.b.mu → "<type of a.b>.mu"
+		if parent := info.TypeOf(mx.X); parent != nil {
+			if np := namedPath(parent); np != "" {
+				return np + "." + mx.Sel.Name, true
+			}
+		}
+		// pkg.mu → "pkgpath.mu"
+		if v, ok := info.Uses[mx.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		obj, _ := info.Uses[mx].(*types.Var)
+		if obj == nil {
+			return "", false
+		}
+		if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+		// Function-local mutex: unique per declaration.
+		return fmt.Sprintf("local:%s:%d", obj.Name(), obj.Pos()), true
+	case *ast.IndexExpr:
+		if t := info.TypeOf(mx); t != nil {
+			if np := namedPath(t); np != "" {
+				return np, true
+			}
+		}
+	}
+	return "", false
+}
+
+func namedPathOrStr(t types.Type) string {
+	if np := namedPath(t); np != "" {
+		return np
+	}
+	return t.String()
+}

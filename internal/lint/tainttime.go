@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TainttimeAnalyzer is the interprocedural upgrade of wallclock/seedrand:
+// instead of "no direct time.Now call in this package", it enforces "no value
+// derived from the wall clock or the global math/rand source reaches a
+// determinism-sensitive output in this package" — no matter how many call
+// hops away the source is. A helper in a non-deterministic package that
+// returns time.Now() taints its result; when a sim-deterministic package
+// stores that result under a map key, feeds it to a hash or sort, sends it
+// on a channel, or branches on it, the sink is reported with the full chain
+// back to the clock read.
+//
+// Taint rides through module functions via their summaries (ReturnsTainted,
+// ParamFlows) along static call edges, and through unknown (stdlib) calls by
+// the conservative args-to-result rule — which is what carries
+// t.UnixNano(), fmt.Sprintf("%d", t), and string conversions. Direct
+// time.Now calls in a governed package are wallclock's finding; tainttime
+// reports them again only when they actually reach a sink (the fixture pins
+// both markers on such lines).
+var TainttimeAnalyzer = &Analyzer{
+	Name: "tainttime",
+	Doc:  "no wall-clock/global-rand derived value may reach a hash, sort key, map key, channel, or branch in deterministic packages",
+	Run:  runTainttime,
+}
+
+func runTainttime(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Syntax {
+		eachFunc(file, func(body *ast.BlockStmt) {
+			node := pass.Mod.NodeByBody(body)
+			if node == nil {
+				return
+			}
+			st := funcTaint(pass.Mod, node)
+			checkTaintSinks(pass, st, body)
+		})
+	}
+}
+
+// checkTaintSinks walks one function body (shallow) reporting every sink a
+// real-tainted value reaches.
+func checkTaintSinks(pass *Pass, st *taintState, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	report := func(e ast.Expr, sink string) {
+		l, why := st.exprLabel(e)
+		if !l.real {
+			return
+		}
+		if why == "" {
+			why = "wall-clock/global-rand derived value"
+		}
+		pass.Reportf(e.Pos(), "%s derived from the wall clock or global rand (%s); deterministic packages must take time/randomness from injected sources", sink, why)
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := info.TypeOf(idx.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							report(idx.Index, "map insertion key")
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			report(v.Value, "value published on a channel")
+		case *ast.IfStmt:
+			report(v.Cond, "branch condition")
+		case *ast.SwitchStmt:
+			if v.Tag != nil {
+				report(v.Tag, "switch value")
+			}
+		case *ast.CallExpr:
+			if pkgPath, _, ok := pkgFuncCall(info, v); ok && (pkgPath == "sort" || pkgPath == "slices") {
+				for _, arg := range v.Args {
+					report(arg, "sort input")
+				}
+				return true
+			}
+			if recv, name, ok := methodCallOn(info, v); ok && (writeMethods[name] || name == "Sum") {
+				if np := namedPath(recv); strings.HasPrefix(np, "hash.") || strings.HasPrefix(np, "crypto/") {
+					for _, arg := range v.Args {
+						report(arg, "hash input")
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,11 +1,12 @@
 // Package alltrip deliberately violates every invariant at once: one
-// function tripping all five analyzers.
+// function tripping all nine analyzers.
 package alltrip
 
 import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,9 +16,18 @@ type S struct {
 	ch chan string
 }
 
+// T carries the second lock of the ordering cycle.
+type T struct{ mu sync.Mutex }
+
+var other T
+
+// hits is atomic in Everything's increment, plain in its read.
+var hits int64
+
 func mayFail() error { return nil }
 
-// Everything trips wallclock, seedrand, maporder, locksend, and errdrop.
+// Everything trips wallclock, seedrand, maporder, locksend, errdrop,
+// lockorder, goleak, atomicmix, and tainttime.
 func (s *S) Everything(m map[string]int) string {
 	t := time.Now()    // want wallclock
 	n := rand.Intn(10) // want seedrand
@@ -25,10 +35,28 @@ func (s *S) Everything(m map[string]int) string {
 	for k := range m {
 		sb.WriteString(k) // want maporder
 	}
+	go func() { // want goleak
+		for {
+			<-s.ch
+		}
+	}()
 	s.mu.Lock()
+	other.mu.Lock() // want lockorder
+	other.mu.Unlock()
 	s.ch <- sb.String() // want locksend
 	s.mu.Unlock()
 	mayFail() // want errdrop
-	_, _ = t, n
+	if t.UnixNano() > int64(n) { // want tainttime
+		atomic.AddInt64(&hits, 1)
+	}
+	_ = hits // want atomicmix
 	return sb.String()
+}
+
+// Reverse closes the S.mu/T.mu cycle Everything opens.
+func (s *S) Reverse() {
+	other.mu.Lock()
+	s.mu.Lock() // want lockorder
+	s.mu.Unlock()
+	other.mu.Unlock()
 }

@@ -1,0 +1,57 @@
+// Package atomicmix exercises the atomic/plain mixed-access analyzer: a field
+// or package variable touched through sync/atomic anywhere in the module must
+// be touched through sync/atomic everywhere; composite-literal initialization
+// is the only sanctioned plain use.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	// hits is mixed: atomic in Incr, plain in Snapshot and Reset.
+	hits int64
+	// total is atomic-only.
+	total int64
+	// name is never touched atomically, so plain access is fine.
+	name string
+}
+
+func (c *counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Snapshot reads the hot counter bare: a data race with Incr.
+func (c *counter) Snapshot() int64 {
+	return c.hits // want atomicmix
+}
+
+// Reset stores bare for the same field.
+func (c *counter) Reset() {
+	c.hits = 0 // want atomicmix
+}
+
+func (c *counter) Total() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+func (c *counter) Name() string {
+	return c.name
+}
+
+// NewCounter initializes fields in a composite literal: the struct is not
+// shared yet, so this is exempt.
+func NewCounter(name string) *counter {
+	return &counter{hits: 0, total: 0, name: name}
+}
+
+// ops is a package-level variable with the same split: atomic increment in
+// one function, bare read in another.
+var ops int64
+
+func IncrOps() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func ReadOps() int64 {
+	return ops // want atomicmix
+}

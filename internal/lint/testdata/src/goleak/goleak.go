@@ -1,0 +1,128 @@
+// Package goleak exercises the goroutine-termination analyzer: spawned
+// bodies (literal or resolved through the call graph) whose unconditional
+// loop has no reachable exit are findings; done-channel returns, context
+// checks, bounded loops, range-over-channel, and dynamic dispatch are not.
+package goleak
+
+import "context"
+
+// Leaky spawns an endless receive loop with no way out.
+func Leaky(ch chan int) {
+	go func() { // want goleak
+		for {
+			<-ch
+		}
+	}()
+}
+
+// SelectBreak has the classic bug: break exits the select, not the loop, so
+// the goroutine still never terminates.
+func SelectBreak(in chan int, done chan struct{}) {
+	go func() { // want goleak
+		for {
+			select {
+			case <-in:
+			case <-done:
+				break
+			}
+		}
+	}()
+}
+
+// GoodDone returns on the done receive.
+func GoodDone(in chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-in:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// GoodCtx returns on context cancellation.
+func GoodCtx(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-in:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// spin loops forever with no exit; worker reaches it one call deeper.
+func spin(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+func worker(ch chan int) {
+	spin(ch)
+}
+
+// LeakyNamed spawns a named function that hangs directly.
+func LeakyNamed(ch chan int) {
+	go spin(ch) // want goleak
+}
+
+// LeakyTransitive spawns a function that hangs two calls down.
+func LeakyTransitive(ch chan int) {
+	go worker(ch) // want goleak
+}
+
+// GoodBounded loops a bounded number of times.
+func GoodBounded(ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// GoodRange terminates when the channel is closed.
+func GoodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// GoodLoopBreak exits the loop directly.
+func GoodLoopBreak(ch chan int) {
+	go func() {
+		for {
+			if _, ok := <-ch; !ok {
+				break
+			}
+		}
+	}()
+}
+
+// runner hides a hanging body behind an interface; goleak follows static
+// edges only, so dynamic dispatch is not analyzed.
+type runner interface{ Run(chan int) }
+
+type spinner struct{}
+
+func (spinner) Run(ch chan int) {
+	for {
+		ch <- 2
+	}
+}
+
+func ViaInterface(r runner, ch chan int) {
+	go r.Run(ch)
+}
+
+// ViaFuncValue likewise hides it behind a function value.
+func ViaFuncValue(ch chan int) {
+	f := spin
+	go f(ch)
+}

@@ -1,0 +1,131 @@
+// Package lockorder exercises the lock-acquisition-order analyzer: AB/BA
+// cycles (direct and through callees) and non-reentrant re-acquisition are
+// findings; consistent global order, goroutine-spawned acquisitions, and
+// nesting reached only through interface or funcvalue dispatch are not.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// AThenB nests b.mu under a.mu; together with BThenA this is the classic
+// deadlock cycle, so both nested acquisitions are reported.
+func AThenB() {
+	a.mu.Lock()
+	b.mu.Lock() // want lockorder
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BThenA is the reverse order.
+func BThenA() {
+	b.mu.Lock()
+	a.mu.Lock() // want lockorder
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func lockB() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// AThenBIndirect acquires b.mu through a callee while a.mu is held: the same
+// cycle edge, one call away.
+func AThenBIndirect() {
+	a.mu.Lock()
+	lockB() // want lockorder
+	a.mu.Unlock()
+}
+
+// Reentrant double-locks the same mutex in one function: a certain deadlock,
+// Go mutexes are not reentrant.
+func Reentrant() {
+	a.mu.Lock()
+	a.mu.Lock() // want lockorder
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockA() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// ReentrantViaCallee may re-acquire a.mu through the callee while holding it.
+func ReentrantViaCallee() {
+	a.mu.Lock()
+	lockA() // want lockorder
+	a.mu.Unlock()
+}
+
+// Consistent order on a disjoint lock pair: C before D everywhere, no cycle,
+// no findings.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var (
+	c C
+	d D
+)
+
+func CThenD() {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func CThenDAgain() {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// Spawned acquires d.mu on a fresh goroutine while c.mu is held: no ordering
+// edge — the goroutine does not run under the caller's lock.
+func Spawned() {
+	c.mu.Lock()
+	go lockD()
+	c.mu.Unlock()
+}
+
+// locker hides a reverse acquisition behind an interface; lockorder follows
+// static edges only, so no D→C edge (and no cycle) is recorded.
+type locker interface{ Grab() }
+
+type reverser struct{}
+
+func (reverser) Grab() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func ViaInterface(l locker) {
+	d.mu.Lock()
+	l.Grab()
+	d.mu.Unlock()
+}
+
+// ViaFuncValue likewise hides it behind a function value.
+func ViaFuncValue() {
+	f := lockD
+	var e sync.Mutex
+	e.Lock()
+	f()
+	e.Unlock()
+}

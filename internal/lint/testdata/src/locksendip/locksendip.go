@@ -1,0 +1,104 @@
+// Package locksendip exercises the interprocedural half of locksend: a call
+// made while a mutex is held is reported when any static callee may block
+// (transitively), while dynamic dispatch, released locks, and
+// reason-suppressed roots stay clean.
+package locksendip
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex
+	subs []chan int
+	out  chan int
+	buf  chan int
+}
+
+// notify blocks on an unbuffered send; its summary says so.
+func (h *hub) notify(v int) {
+	h.out <- v
+}
+
+// relay adds a hop: the blocking fact propagates through the chain.
+func (h *hub) relay(v int) {
+	h.notify(v + 1)
+}
+
+// flush parks on a WaitGroup, the other blocking shape summaries carry.
+func (h *hub) flush() {
+	var wg sync.WaitGroup
+	wg.Wait()
+}
+
+// BadDirect is the classic intraprocedural finding, unchanged from v1.
+func (h *hub) BadDirect(v int) {
+	h.mu.Lock()
+	h.out <- v // want locksend
+	h.mu.Unlock()
+}
+
+// Bad publishes through the callee while holding the lock: same deadlock,
+// one call away.
+func (h *hub) Bad(v int) {
+	h.mu.Lock()
+	h.notify(v) // want locksend
+	h.mu.Unlock()
+}
+
+// BadTwoHop reaches the send through two calls.
+func (h *hub) BadTwoHop(v int) {
+	h.mu.Lock()
+	h.relay(v) // want locksend
+	h.mu.Unlock()
+}
+
+// BadWait blocks on the callee's WaitGroup under the lock.
+func (h *hub) BadWait(v int) {
+	h.mu.Lock()
+	h.flush() // want locksend
+	h.mu.Unlock()
+}
+
+// Good collects under the lock, releases, then communicates.
+func (h *hub) Good(v int) {
+	h.mu.Lock()
+	h.subs = append(h.subs, nil)
+	h.mu.Unlock()
+	h.notify(v)
+}
+
+// sink hides the blocking send behind an interface; locksend follows static
+// edges only, so the dispatch is the caller's responsibility.
+type sink interface{ Push(int) }
+
+type chanSink struct{ c chan int }
+
+func (s chanSink) Push(v int) {
+	s.c <- v
+}
+
+func (h *hub) ViaInterface(s sink, v int) {
+	h.mu.Lock()
+	s.Push(v)
+	h.mu.Unlock()
+}
+
+// ViaFuncValue likewise hides it behind a method value.
+func (h *hub) ViaFuncValue(v int) {
+	f := h.notify
+	h.mu.Lock()
+	f(v)
+	h.mu.Unlock()
+}
+
+// seed's send is provably non-blocking and carries a reasoned suppression at
+// the root: the summary drops the fact, so callers under a lock stay clean.
+func (h *hub) seed() {
+	//lint:ignore locksend buf is buffered to 1 and seeded exactly once before any receive, so the send cannot block
+	h.buf <- 0
+}
+
+func (h *hub) GoodSuppressedRoot() {
+	h.mu.Lock()
+	h.seed()
+	h.mu.Unlock()
+}

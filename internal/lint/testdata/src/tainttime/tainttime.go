@@ -1,0 +1,101 @@
+// Package tainttime exercises the interprocedural determinism-taint
+// analyzer: wall-clock and global-rand values picked up in helpers reach
+// sinks (map keys, channel sends, branches, sort and hash inputs) through
+// call summaries; injected parameters and taint-dropping callees stay clean.
+package tainttime
+
+import (
+	"crypto/sha256"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// stamp reads the wall clock one call away from every sink below; its
+// summary carries the taint back to callers.
+func stamp() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+// jitter forwards its parameter to its result: a flow, not a source.
+func jitter(base int64) int64 {
+	return base + 1
+}
+
+// constant ignores its argument entirely, so taint dies here.
+func constant(x int64) int64 {
+	_ = x
+	return 7
+}
+
+type index struct {
+	byTime map[int64]string
+	out    chan int64
+}
+
+// Record keys the map by a clock-derived value: iteration order and replay
+// both diverge run to run.
+func (ix *index) Record(name string) {
+	t := stamp()
+	ix.byTime[t] = name // want tainttime
+}
+
+// RecordAt takes the timestamp from the caller — the injected-clock idiom.
+func (ix *index) RecordAt(t int64, name string) {
+	ix.byTime[t] = name
+}
+
+// Publish sends a clock-derived value on a channel, through the forwarding
+// helper.
+func (ix *index) Publish() {
+	ix.out <- jitter(stamp()) // want tainttime
+}
+
+// PublishFixed pushes the tainted argument through a callee whose summary
+// drops it: resolved module calls are precise, not args-to-result.
+func (ix *index) PublishFixed() {
+	ix.out <- constant(stamp())
+}
+
+// Expired branches on the clock.
+func Expired(deadline int64) bool {
+	if stamp() > deadline { // want tainttime
+		return true
+	}
+	return false
+}
+
+// BadSort feeds a clock-derived key into the sort input.
+func BadSort(keys []int64) {
+	keys = append(keys, stamp())
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] }) // want tainttime
+}
+
+// GoodSort sorts caller-supplied keys only.
+func GoodSort(keys []int64) {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+// BadHash mixes a wall-clock read into a digest.
+func BadHash(data []byte) []byte {
+	h := sha256.New()
+	h.Write(data)
+	h.Write([]byte(strconv.FormatInt(stamp(), 10))) // want tainttime
+	return h.Sum(nil)
+}
+
+// pickName draws from the global rand source; the taint rides the indexed
+// result.
+func pickName(names []string) string {
+	return names[rand.Intn(len(names))] // want seedrand
+}
+
+// BadPick switches on the rand-derived name two hops from the draw.
+func BadPick(names []string) string {
+	switch pickName(names) { // want tainttime
+	case "a":
+		return "first"
+	}
+	return "other"
+}
