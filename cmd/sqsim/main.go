@@ -48,6 +48,7 @@ var registry = []struct {
 	{"ablation-shards", "sharded multi-planner scale-out", experiments.AblationShards},
 	{"ablation-planner", "planner shared-prefix preparation & plan memo", experiments.AblationPlannerPrep},
 	{"ablation-reliability", "retry/quarantine under injected flakiness", experiments.AblationReliability},
+	{"ablation-leanci", "obsolete-build pruning + predictor-gated skipping", experiments.AblationLeanCI},
 }
 
 func main() {

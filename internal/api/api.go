@@ -94,6 +94,15 @@ type StatusResponse struct {
 	PlannerFinishedPruned int     `json:"planner_finished_pruned"`
 	PlannerPrefixHitRate  float64 `json:"planner_prefix_hit_rate"`
 
+	// Lean-CI fleet-compute accounting (DESIGN.md §4j): executed step
+	// wall-time split by whether the owning build's result was used.
+	ComputeExecSeconds         float64 `json:"compute_exec_seconds"`
+	ComputeUsefulSeconds       float64 `json:"compute_useful_seconds"`
+	ComputeWastedSeconds       float64 `json:"compute_wasted_seconds"`
+	ComputeWasteRate           float64 `json:"compute_waste_rate"`
+	PlannerObsoleteAborted     int     `json:"planner_obsolete_aborted"`
+	PlannerSpecBranchesSkipped int     `json:"planner_spec_branches_skipped"`
+
 	// Reliability-layer effectiveness (DESIGN.md §4g).
 	ReliabilityInjectedFaults    int `json:"reliability_injected_faults"`
 	ReliabilityRetries           int `json:"reliability_retries"`
@@ -289,6 +298,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		PlannerKeysCached:     ps.KeysCached,
 		PlannerFinishedPruned: ps.FinishedPruned,
 		PlannerPrefixHitRate:  prefixRate,
+
+		ComputeExecSeconds:         bs.ExecTime.Seconds(),
+		ComputeUsefulSeconds:       bs.UsefulTime.Seconds(),
+		ComputeWastedSeconds:       bs.WastedTime.Seconds(),
+		ComputeWasteRate:           bs.WasteRate(),
+		PlannerObsoleteAborted:     ps.ObsoleteAborted,
+		PlannerSpecBranchesSkipped: ps.SpecBranchesSkipped,
 
 		ReliabilityInjectedFaults:    rs.InjectedFaults(),
 		ReliabilityRetries:           rs.Retries,

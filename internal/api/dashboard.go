@@ -77,6 +77,7 @@ var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
 <h1>SubmitQueue — master is green</h1>
 <p>mainline: {{.MainlineLen}} commits, HEAD {{.Head}} | pending: {{.Pending}} |
 builds: {{.Builds}} run / {{.Aborted}} aborted</p>
+<p>compute: {{.Compute}}</p>
 <p>analyzer: {{.Analyzer}}</p>
 <p>planner: {{.Planner}}</p>
 <p>reliability: {{.Reliability}}</p>
@@ -98,6 +99,7 @@ type dashboardData struct {
 	Pending     int
 	Builds      int
 	Aborted     int
+	Compute     string // fleet-compute gauges (useful vs wasted), "name=value …"
 	Analyzer    string // conflict-analyzer cache gauges, "name=value …"
 	Planner     string // planner incremental-epoch gauges, "name=value …"
 	Reliability string // flaky-failure layer gauges, "name=value …"
@@ -126,6 +128,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Pending:     s.svc.PendingCount(),
 		Builds:      bs.Builds,
 		Aborted:     bs.Aborted,
+		Compute:     bs.Gauges().String(),
 		Analyzer:    s.svc.AnalyzerStats().Gauges().String(),
 		Planner:     s.svc.PlannerStats().Gauges().String(),
 		Reliability: s.svc.ReliabilityStats().Gauges().String(),

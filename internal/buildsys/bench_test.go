@@ -39,3 +39,32 @@ func BenchmarkControllerCacheHit(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkComputeAccounting measures a build whose every step-unit executes
+// and is timed — the worst case for the fleet-compute accounting (per-unit
+// clock reads, per-kind rollup, per-task unit log). Compare against
+// BenchmarkControllerCacheHit to see the accounting overhead in isolation.
+func BenchmarkComputeAccounting(b *testing.B) {
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		return nil
+	})
+	c := NewController(8, runner)
+	steps := []change.BuildStep{
+		{Name: "compile", Kind: change.StepCompile},
+		{Name: "unit", Kind: change.StepUnitTest},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		names := make(map[string]string, 64)
+		for j := 0; j < 64; j++ {
+			// Unique hashes per iteration: every unit misses the cache and runs.
+			names[fmt.Sprintf("//pkg%03d:t", j)] = fmt.Sprintf("h-%d-%d", i, j)
+		}
+		if res := c.Run(context.Background(), Request{
+			Key: fmt.Sprintf("b%d", i), Steps: steps, Targets: names,
+		}); !res.OK {
+			b.Fatalf("build: %+v", res)
+		}
+	}
+}

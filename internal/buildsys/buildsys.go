@@ -20,8 +20,11 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mastergreen/internal/change"
+	"mastergreen/internal/metrics"
 	"mastergreen/internal/repo"
 )
 
@@ -78,6 +81,21 @@ type Result struct {
 	FailedStep   string // name of the step that failed, when !OK
 	FailedTarget string // target whose step-unit failed, when attributable
 	Err          error  // failure cause; ErrAborted for cancelled builds
+	// Executed is the total step-unit wall time the runner spent on this
+	// build — summed across concurrent units, so it measures compute, not
+	// elapsed time. Aborted builds report the work executed before the
+	// cancel: exactly the fleet compute the abort threw away.
+	Executed time.Duration
+}
+
+// UnitTime is the executed wall time of one (step, target) unit, the finest
+// grain of the fleet-compute accounting: every executed unit of a build is
+// attributable to (build key, target, step kind).
+type UnitTime struct {
+	Step     string
+	Kind     change.StepKind
+	Target   string
+	Duration time.Duration
 }
 
 // Stats counts controller work. Step-units are (step, target) executions;
@@ -91,6 +109,46 @@ type Stats struct {
 	SkippedPrior int // step-units skipped via PriorTargets (minimal steps)
 	SkippedCache int // step-units skipped via artifact-cache hits
 	CacheMisses  int // cacheable step-units that found no artifact
+
+	// Fleet-compute accounting (DESIGN.md §4j): ExecTime is the total
+	// executed step-unit wall time across all builds; ExecTimeByKind breaks
+	// it down per step kind. UsefulTime and WastedTime split the time of
+	// *ended* builds by disposition — completed builds' compute was (at
+	// least potentially) useful, aborted builds' compute is pure waste.
+	// ExecTime − UsefulTime − WastedTime is the compute of still-running
+	// builds, not yet attributable.
+	ExecTime       time.Duration
+	ExecTimeByKind map[change.StepKind]time.Duration
+	UsefulTime     time.Duration
+	WastedTime     time.Duration
+}
+
+// WasteRate is the fraction of attributed compute spent on builds that were
+// later aborted.
+func (s Stats) WasteRate() float64 {
+	total := s.UsefulTime + s.WastedTime
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.WastedTime) / float64(total)
+}
+
+// Gauges renders the compute-accounting counters as ordered name/value pairs
+// for the status endpoint, the dashboard, and experiment reports. Durations
+// are reported in seconds.
+func (s Stats) Gauges() metrics.Gauges {
+	return metrics.Gauges{
+		{Name: "builds", Value: float64(s.Builds)},
+		{Name: "completed", Value: float64(s.Completed)},
+		{Name: "aborted", Value: float64(s.Aborted)},
+		{Name: "executed_units", Value: float64(s.Executed)},
+		{Name: "skipped_prior", Value: float64(s.SkippedPrior)},
+		{Name: "skipped_cache", Value: float64(s.SkippedCache)},
+		{Name: "exec_sec", Value: s.ExecTime.Seconds()},
+		{Name: "useful_sec", Value: s.UsefulTime.Seconds()},
+		{Name: "wasted_sec", Value: s.WastedTime.Seconds()},
+		{Name: "waste_rate", Value: s.WasteRate()},
+	}
 }
 
 // artifact is one cache slot. Claimants execute the step-unit and publish ok
@@ -106,6 +164,9 @@ type artifact struct {
 type Controller struct {
 	runner StepRunner
 	sem    chan struct{} // bounds concurrently executing step-units
+	// now supplies the clock for step-unit timing; injectable so the
+	// compute accounting replays deterministically under test.
+	now func() time.Time
 
 	mu    sync.Mutex
 	stats Stats
@@ -121,15 +182,26 @@ func NewController(workers int, runner StepRunner) *Controller {
 	return &Controller{
 		runner: runner,
 		sem:    make(chan struct{}, workers),
+		now:    time.Now,
 		cache:  map[string]*artifact{},
 	}
 }
+
+// SetClock injects the clock used for step-unit timing (tests).
+func (c *Controller) SetClock(now func() time.Time) { c.now = now }
 
 // Stats returns a snapshot of the work counters.
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	if c.stats.ExecTimeByKind != nil {
+		s.ExecTimeByKind = make(map[change.StepKind]time.Duration, len(c.stats.ExecTimeByKind))
+		for k, v := range c.stats.ExecTimeByKind {
+			s.ExecTimeByKind[k] = v
+		}
+	}
+	return s
 }
 
 // Task is a build in flight.
@@ -138,6 +210,13 @@ type Task struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 	result Result // immutable once done is closed
+
+	// execNs accumulates executed step-unit wall time (atomically: units
+	// run concurrently); readable mid-flight via Executed so abort events
+	// can report the compute wasted so far.
+	execNs int64
+	unitMu sync.Mutex
+	units  []UnitTime
 }
 
 // Done is closed when the build finishes (normally or by abort).
@@ -152,6 +231,38 @@ func (t *Task) Result() Result {
 // Cancel aborts the build; its result will carry ErrAborted. Idempotent.
 func (t *Task) Cancel() { t.cancel() }
 
+// Executed returns the step-unit wall time executed so far. Safe to call
+// while the build runs; after Done it equals Result().Executed.
+func (t *Task) Executed() time.Duration {
+	return time.Duration(atomic.LoadInt64(&t.execNs))
+}
+
+// UnitTimes returns the per-(step, target) executed durations recorded so
+// far, the finest grain of the compute accounting.
+func (t *Task) UnitTimes() []UnitTime {
+	t.unitMu.Lock()
+	defer t.unitMu.Unlock()
+	return append([]UnitTime(nil), t.units...)
+}
+
+// recordUnit attributes one executed step-unit's wall time to the build and
+// the controller-wide per-kind rollup.
+func (c *Controller) recordUnit(t *Task, step change.BuildStep, target string, d time.Duration) {
+	if t != nil {
+		atomic.AddInt64(&t.execNs, int64(d))
+		t.unitMu.Lock()
+		t.units = append(t.units, UnitTime{Step: step.Name, Kind: step.Kind, Target: target, Duration: d})
+		t.unitMu.Unlock()
+	}
+	c.mu.Lock()
+	c.stats.ExecTime += d
+	if c.stats.ExecTimeByKind == nil {
+		c.stats.ExecTimeByKind = map[change.StepKind]time.Duration{}
+	}
+	c.stats.ExecTimeByKind[step.Kind] += d
+	c.mu.Unlock()
+}
+
 // Start launches the build asynchronously.
 func (c *Controller) Start(ctx context.Context, req Request) *Task {
 	ctx, cancel := context.WithCancel(ctx)
@@ -161,12 +272,15 @@ func (c *Controller) Start(ctx context.Context, req Request) *Task {
 	c.mu.Unlock()
 	go func() {
 		defer cancel()
-		t.result = c.execute(ctx, req)
+		t.result = c.execute(ctx, req, t)
+		t.result.Executed = t.Executed()
 		c.mu.Lock()
 		if errors.Is(t.result.Err, ErrAborted) {
 			c.stats.Aborted++
+			c.stats.WastedTime += t.result.Executed
 		} else {
 			c.stats.Completed++
+			c.stats.UsefulTime += t.result.Executed
 		}
 		c.mu.Unlock()
 		close(t.done)
@@ -180,8 +294,8 @@ func (c *Controller) Run(ctx context.Context, req Request) Result {
 }
 
 // execute runs the build's steps in order, fanning each step's targets out
-// over the worker pool.
-func (c *Controller) execute(ctx context.Context, req Request) Result {
+// over the worker pool. Executed step-unit wall time is attributed to t.
+func (c *Controller) execute(ctx context.Context, req Request, t *Task) Result {
 	all := make([]string, 0, len(req.Targets))
 	for name := range req.Targets {
 		all = append(all, name)
@@ -197,7 +311,7 @@ func (c *Controller) execute(ctx context.Context, req Request) Result {
 			// (uncacheable — there is no target hash to address it by).
 			names = []string{""}
 		}
-		if target, err := c.runStep(ctx, req, step, names); err != nil {
+		if target, err := c.runStep(ctx, req, step, names, t); err != nil {
 			if ctx.Err() != nil || errors.Is(err, ErrAborted) {
 				return Result{Key: req.Key, OK: false, FailedStep: step.Name, FailedTarget: target, Err: ErrAborted}
 			}
@@ -210,7 +324,7 @@ func (c *Controller) execute(ctx context.Context, req Request) Result {
 // runStep executes one step over the given target names in parallel and
 // returns the failing target and failure of the lowest-indexed failing
 // target (deterministic).
-func (c *Controller) runStep(ctx context.Context, req Request, step change.BuildStep, names []string) (string, error) {
+func (c *Controller) runStep(ctx context.Context, req Request, step change.BuildStep, names []string, t *Task) (string, error) {
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
@@ -221,7 +335,7 @@ func (c *Controller) runStep(ctx context.Context, req Request, step change.Build
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			errs[i] = c.runUnit(ctx, req, step, name)
+			errs[i] = c.runUnit(ctx, req, step, name, t)
 		}(i, name)
 	}
 	wg.Wait()
@@ -235,10 +349,10 @@ func (c *Controller) runStep(ctx context.Context, req Request, step change.Build
 
 // runUnit executes one (step, target) unit, consulting the artifact cache
 // when the target has a hash to address it by.
-func (c *Controller) runUnit(ctx context.Context, req Request, step change.BuildStep, name string) error {
+func (c *Controller) runUnit(ctx context.Context, req Request, step change.BuildStep, name string, t *Task) error {
 	hash := req.Targets[name]
 	if name == "" || hash == "" {
-		return c.invoke(ctx, step, name, "", req.Snapshot)
+		return c.invoke(ctx, step, name, "", req.Snapshot, t)
 	}
 	key := name + "\x00" + hash + "\x00" + step.Kind.String()
 	for {
@@ -264,7 +378,7 @@ func (c *Controller) runUnit(ctx context.Context, req Request, step change.Build
 			continue
 		}
 		c.count(func(s *Stats) { s.CacheMisses++ })
-		err := c.invoke(ctx, step, name, hash, req.Snapshot)
+		err := c.invoke(ctx, step, name, hash, req.Snapshot, t)
 		c.mu.Lock()
 		if err == nil {
 			a.ok = true
@@ -278,8 +392,10 @@ func (c *Controller) runUnit(ctx context.Context, req Request, step change.Build
 }
 
 // invoke runs the step through the worker pool, handing hash-aware runners
-// the target's content address.
-func (c *Controller) invoke(ctx context.Context, step change.BuildStep, name, hash string, snap repo.Snapshot) error {
+// the target's content address. Executed wall time — including the time a
+// unit ran before a cancel interrupted it — is attributed to the task and
+// the per-kind rollup.
+func (c *Controller) invoke(ctx context.Context, step change.BuildStep, name, hash string, snap repo.Snapshot, t *Task) error {
 	select {
 	case c.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -291,12 +407,18 @@ func (c *Controller) invoke(ctx context.Context, step change.BuildStep, name, ha
 	}
 	c.count(func(s *Stats) { s.Executed++ })
 	if c.runner == nil {
+		c.recordUnit(t, step, name, 0)
 		return nil
 	}
+	start := c.now()
+	var err error
 	if hr, ok := c.runner.(StepHashRunner); ok {
-		return hr.RunStepHash(ctx, step, name, hash, snap)
+		err = hr.RunStepHash(ctx, step, name, hash, snap)
+	} else {
+		err = c.runner.RunStep(ctx, step, name, snap)
 	}
-	return c.runner.RunStep(ctx, step, name, snap)
+	c.recordUnit(t, step, name, c.now().Sub(start))
+	return err
 }
 
 func (c *Controller) count(f func(*Stats)) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -313,5 +314,164 @@ func TestWorkerPoolBound(t *testing.T) {
 	}
 	if got := max.Load(); got > workers {
 		t.Errorf("max concurrency = %d, want <= %d", got, workers)
+	}
+}
+
+// fakeClock returns a clock function that advances by step on every call, so
+// each timed step-unit reports exactly one step of executed wall time.
+func fakeClock(step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(step)
+		return now
+	}
+}
+
+// TestComputeAccounting: executed step-unit wall time is attributed per
+// (build, target, step kind) and rolled up into the controller stats, with a
+// completed build's compute counted as useful.
+func TestComputeAccounting(t *testing.T) {
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		return nil
+	})
+	c := NewController(1, runner) // one worker: the fake clock ticks serially
+	c.SetClock(fakeClock(500 * time.Millisecond))
+	task := c.Start(context.Background(), Request{
+		Key: "b1",
+		Steps: []change.BuildStep{
+			{Name: "compile", Kind: change.StepCompile},
+			{Name: "unit", Kind: change.StepUnitTest},
+		},
+		Targets: targets("//a:a", "//b:b"),
+	})
+	res := task.Result()
+	if !res.OK {
+		t.Fatalf("Run = %+v, want OK", res)
+	}
+	// 4 step-units, each spanning one clock tick.
+	if res.Executed != 2*time.Second {
+		t.Errorf("Result.Executed = %v, want 2s", res.Executed)
+	}
+	units := task.UnitTimes()
+	if len(units) != 4 {
+		t.Fatalf("UnitTimes = %d entries, want 4", len(units))
+	}
+	for _, u := range units {
+		if u.Duration != 500*time.Millisecond {
+			t.Errorf("unit %+v duration = %v, want 500ms", u, u.Duration)
+		}
+		if u.Target != "//a:a" && u.Target != "//b:b" {
+			t.Errorf("unit %+v has unexpected target", u)
+		}
+		if u.Kind != change.StepCompile && u.Kind != change.StepUnitTest {
+			t.Errorf("unit %+v has unexpected kind", u)
+		}
+	}
+	st := c.Stats()
+	if st.ExecTime != 2*time.Second || st.UsefulTime != 2*time.Second || st.WastedTime != 0 {
+		t.Errorf("Stats exec/useful/wasted = %v/%v/%v, want 2s/2s/0", st.ExecTime, st.UsefulTime, st.WastedTime)
+	}
+	if st.ExecTimeByKind[change.StepCompile] != time.Second || st.ExecTimeByKind[change.StepUnitTest] != time.Second {
+		t.Errorf("ExecTimeByKind = %v, want 1s compile + 1s unit", st.ExecTimeByKind)
+	}
+	if rate := st.WasteRate(); rate != 0 {
+		t.Errorf("WasteRate = %v, want 0", rate)
+	}
+}
+
+// TestAbortedComputeIsWasted: a cancelled build's executed-so-far time lands
+// in WastedTime, and the abort-time Result carries it — the fleet compute the
+// abort threw away.
+func TestAbortedComputeIsWasted(t *testing.T) {
+	started := make(chan struct{})
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	c := NewController(1, runner)
+	c.SetClock(fakeClock(time.Minute))
+	task := c.Start(context.Background(), Request{
+		Key:     "b1",
+		Steps:   []change.BuildStep{compileStep},
+		Targets: targets("//a:a"),
+	})
+	<-started
+	task.Cancel()
+	res := task.Result()
+	if !errors.Is(res.Err, ErrAborted) {
+		t.Fatalf("Err = %v, want ErrAborted", res.Err)
+	}
+	if res.Executed != time.Minute {
+		t.Errorf("Result.Executed = %v, want 1m (one interrupted unit)", res.Executed)
+	}
+	st := c.Stats()
+	if st.WastedTime != time.Minute || st.UsefulTime != 0 {
+		t.Errorf("Stats wasted/useful = %v/%v, want 1m/0", st.WastedTime, st.UsefulTime)
+	}
+	if rate := st.WasteRate(); rate != 1 {
+		t.Errorf("WasteRate = %v, want 1", rate)
+	}
+}
+
+// TestExecutedReadableMidFlight: Task.Executed reports accumulated compute
+// while the build is still running — the planner reads it when publishing an
+// abort event for an in-flight build.
+func TestExecutedReadableMidFlight(t *testing.T) {
+	firstDone := make(chan struct{})
+	block := make(chan struct{})
+	var calls atomic.Int32
+	runner := RunnerFunc(func(ctx context.Context, step change.BuildStep, target string, snap repo.Snapshot) error {
+		if calls.Add(1) == 2 {
+			close(firstDone)
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+		}
+		return nil
+	})
+	c := NewController(1, runner)
+	c.SetClock(fakeClock(time.Second))
+	task := c.Start(context.Background(), Request{
+		Key:     "b1",
+		Steps:   []change.BuildStep{compileStep},
+		Targets: targets("//a:a", "//b:b"),
+	})
+	<-firstDone // first unit recorded, second in flight
+	if got := task.Executed(); got != time.Second {
+		t.Errorf("mid-flight Executed = %v, want 1s (one finished unit)", got)
+	}
+	close(block)
+	if res := task.Result(); res.Executed != 2*time.Second {
+		t.Errorf("final Executed = %v, want 2s", res.Executed)
+	}
+}
+
+// TestStatsGauges: the compute gauges render the accounting counters.
+func TestStatsGauges(t *testing.T) {
+	s := Stats{
+		Builds: 3, Completed: 2, Aborted: 1,
+		ExecTime:   10 * time.Second,
+		UsefulTime: 6 * time.Second,
+		WastedTime: 4 * time.Second,
+	}
+	g := s.Gauges()
+	want := map[string]float64{
+		"builds": 3, "completed": 2, "aborted": 1,
+		"exec_sec": 10, "useful_sec": 6, "wasted_sec": 4,
+		"waste_rate": 0.4,
+	}
+	got := map[string]float64{}
+	for _, kv := range g {
+		got[kv.Name] = kv.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("gauge %s = %v, want %v", name, got[name], v)
+		}
 	}
 }

@@ -55,6 +55,12 @@ type Config struct {
 	// this many reverse-dependency hops of directly modified targets (§9
 	// test selection; compilation still covers every affected target).
 	TestSelectionRadius int
+	// SkipThreshold, if > 0, enables predictor-gated build skipping
+	// (DESIGN.md §4j): speculation branch points whose in-context commit
+	// probability is at least this value do not plan the reject-branch hedge.
+	// The always-run decisive build preserves greenness; a wrong skip costs a
+	// restart, never a red mainline.
+	SkipThreshold float64
 	// Now is the clock; injectable for tests.
 	Now func() time.Time
 	// Events, when non-nil, receives lifecycle events for observability
@@ -156,6 +162,7 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		Now:                 cfg.Now,
 		Events:              cfg.Events,
 		TestSelectionRadius: cfg.TestSelectionRadius,
+		SkipThreshold:       cfg.SkipThreshold,
 		LegacyPreparation:   cfg.LegacyPlanner,
 		LegacyReplan:        cfg.LegacyPlanner,
 		Reliability:         rel,

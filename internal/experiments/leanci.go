@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mastergreen/internal/metrics"
+	"mastergreen/internal/sim"
+	"mastergreen/internal/strategies"
+	"mastergreen/internal/workload"
+)
+
+// AblationLeanCI measures the lean-CI compute layer (DESIGN.md §4j): the
+// SubmitQueue strategy on the PR 6 baseline configuration versus the same
+// strategy with obsolete-build pruning, and with pruning plus predictor-gated
+// build skipping. The headline is fleet worker-minutes per committed change —
+// the lean cell must cut it by at least 30% while holding P50 turnaround
+// within 1.05x and committing the exact same change set with zero green
+// violations. Skipping is sound by construction (the commit-gating decisive
+// build always runs), so a wrong skip costs a restart, never a red mainline.
+func AblationLeanCI(o Options) *Report {
+	r := newReport("ablation-leanci", "Lean CI — obsolete-build pruning + predictor-gated skipping (§4j)")
+	w := workload.Generate(workload.Config{
+		Seed: o.seed(), Count: o.count(300, 600), RatePerHour: 250,
+	})
+	// The production configuration: a logistic model trained on a separate
+	// historical workload (§7.2). An imperfect predictor is what makes the
+	// baseline hedge — the oracle never plans a zero-value reject branch, so
+	// it has no waste for skipping to remove.
+	pred, _, err := TrainPredictor(o.seed(), o.count(2000, 6000))
+	if err != nil {
+		r.Text = err.Error()
+		return r
+	}
+
+	// The fleet is provisioned for peak speculation (§4.2 plans one build
+	// per worker): that is the regime the lean layer targets, because the
+	// baseline fills every idle worker with deep low-probability tree nodes
+	// whose results are overwhelmingly falsified before use.
+	workers := o.count(250, 400)
+	cell := func(prune bool, skip float64) (*sim.Result, *strategies.Speculative) {
+		s := strategies.NewSubmitQueue(w, pred)
+		s.Engine.SkipThreshold = skip
+		res := sim.Run(w, s, sim.Config{
+			Workers: workers, UseAnalyzer: true, PruneObsolete: prune,
+		})
+		return res, s
+	}
+	base, _ := cell(false, 0)
+	prune, _ := cell(true, 0)
+	// τ = 0.80: hedges for predecessors ≥80% likely to commit are skipped,
+	// and non-modal tree nodes whose P_needed decays to ≤20% are never
+	// built. The decisive build still gates every commit, so the only cost
+	// of a wrong skip is a restart — measured by the P50 ratio below.
+	lean, leanStrat := cell(true, 0.80)
+
+	sameSet := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		as := append([]int(nil), a...)
+		bs := append([]int(nil), b...)
+		sort.Ints(as)
+		sort.Ints(bs)
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	p50Base := metrics.Percentile(base.TurnaroundCommittedMin, 50)
+	p50Lean := metrics.Percentile(lean.TurnaroundCommittedMin, 50)
+	reduction := 1 - ratio(lean.WorkerMinutesPerCommit, base.WorkerMinutesPerCommit)
+	wasteRate := func(res *sim.Result) float64 {
+		return ratio(res.WorkerBusyWasted.Minutes(), res.WorkerBusy.Minutes())
+	}
+
+	r.Metrics["worker_min_per_commit_base"] = base.WorkerMinutesPerCommit
+	r.Metrics["worker_min_per_commit_prune"] = prune.WorkerMinutesPerCommit
+	r.Metrics["worker_min_per_commit_lean"] = lean.WorkerMinutesPerCommit
+	r.Metrics["reduction_frac"] = reduction
+	r.Metrics["waste_rate_base"] = wasteRate(base)
+	r.Metrics["waste_rate_lean"] = wasteRate(lean)
+	r.Metrics["builds_pruned"] = float64(prune.BuildsPruned + lean.BuildsPruned)
+	r.Metrics["branches_skipped"] = float64(leanStrat.SkippedBranches)
+	r.Metrics["builds_skipped"] = float64(leanStrat.SkippedBuilds)
+	r.Metrics["p50_base"] = p50Base
+	r.Metrics["p50_lean"] = p50Lean
+	r.Metrics["p50_ratio"] = ratio(p50Lean, p50Base)
+	r.Metrics["green_violations"] = float64(base.GreenViolations +
+		prune.GreenViolations + lean.GreenViolations)
+	r.Metrics["identical_committed_sets_prune"] = boolF(sameSet(base.CommittedChanges, prune.CommittedChanges))
+	r.Metrics["identical_committed_sets_lean"] = boolF(sameSet(base.CommittedChanges, lean.CommittedChanges))
+	r.Metrics["committed"] = float64(lean.Committed)
+
+	r.Text = fmt.Sprintf(
+		"%d changes, 250/h, %d workers, SubmitQueue with the trained predictor:\n"+
+			"  worker-min/commit:  base %.1f → prune %.1f → prune+skip %.1f  (%.0f%% less)\n"+
+			"  waste rate:         base %.0f%% → prune+skip %.0f%%\n"+
+			"  builds pruned:      %.0f; branch points skipped: %d; low-value nodes skipped: %d\n"+
+			"  P50 turnaround:     base %.0f min → prune+skip %.0f min (%.2fx)\n"+
+			"  green violations across all cells: %d (must be 0); committed sets identical: %v\n",
+		len(w.Changes), workers,
+		base.WorkerMinutesPerCommit, prune.WorkerMinutesPerCommit,
+		lean.WorkerMinutesPerCommit, reduction*100,
+		wasteRate(base)*100, wasteRate(lean)*100,
+		r.Metrics["builds_pruned"], leanStrat.SkippedBranches, leanStrat.SkippedBuilds,
+		p50Base, p50Lean, r.Metrics["p50_ratio"],
+		base.GreenViolations+prune.GreenViolations+lean.GreenViolations,
+		sameSet(base.CommittedChanges, lean.CommittedChanges))
+	return r
+}

@@ -196,3 +196,38 @@ func BenchmarkIdleTickMemoized(b *testing.B) { benchIdleTicks(b, false) }
 
 // BenchmarkIdleTickLegacyReplan: full replanning every epoch.
 func BenchmarkIdleTickLegacyReplan(b *testing.B) { benchIdleTicks(b, true) }
+
+// BenchmarkObsoletePrune measures the §4j obsolescence predicate over a full
+// chain epoch's running set — the work resolve adds to every resolution. No
+// build here is obsolete, so the bench isolates pure predicate cost (the
+// stale checks plus the dominated-key scan) without cancel traffic.
+func BenchmarkObsoletePrune(b *testing.B) {
+	const n = 12
+	r, changes := benchChainRepo(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, q := newBenchPlanner(r, holdOpenRunner(), Config{Budget: n, MaxSpecDepth: n})
+	for _, c := range changes {
+		if err := q.Enqueue(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := p.Tick(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if p.RunningCount() != n {
+		b.Fatalf("running = %d, want %d", p.RunningCount(), n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.mu.Lock()
+		for _, rb := range p.running {
+			if p.obsoleteLocked(rb, nil) {
+				p.mu.Unlock()
+				b.Fatal("live build judged obsolete")
+			}
+		}
+		p.mu.Unlock()
+	}
+}

@@ -102,6 +102,13 @@ type Config struct {
 	Budget int
 	// MaxSpecDepth caps per-subject speculation branching.
 	MaxSpecDepth int
+	// SkipThreshold, when in (0, 1], enables predictor-gated build skipping
+	// (DESIGN.md §4j): speculation branch points whose predecessor is
+	// predicted to commit with probability >= the threshold are not hedged —
+	// only the assume-commit subtree is planned. The decisive build still
+	// gates every commit, so a wrong skip costs a restart, never a red
+	// master. Zero disables skipping.
+	SkipThreshold float64
 	// PreemptionGrace, if > 0, prevents aborting a build that has been
 	// running longer than this (§10 "Build Preemption" future work).
 	PreemptionGrace time.Duration
@@ -226,6 +233,9 @@ func New(r *repo.Repo, q *queue.Queue, an ConflictSource, spec *speculation.Engi
 	}
 	if cfg.MaxSpecDepth > 0 {
 		spec.MaxSpecDepth = cfg.MaxSpecDepth
+	}
+	if cfg.SkipThreshold > 0 {
+		spec.SkipThreshold = cfg.SkipThreshold
 	}
 	return &Planner{
 		repo:         r,
@@ -391,6 +401,11 @@ func (p *Planner) pruneFinishedLocked() {
 	p.finished = kept
 }
 
+// staleFinishedLocked reports whether a build's result can never again be
+// used: the subject is resolved or withdrawn, an assumed-committed change was
+// rejected, or an assumed-rejected change committed. It applies equally to
+// running builds — the same contradictions make an in-flight build's outcome
+// unusable. Callers hold p.mu.
 func (p *Planner) staleFinishedLocked(fb *trackedBuild) bool {
 	subject := fb.build.Subject
 	if p.committedSet[subject] {
@@ -413,6 +428,67 @@ func (p *Planner) staleFinishedLocked(fb *trackedBuild) bool {
 		}
 	}
 	return false
+}
+
+// obsoleteLocked is the §4j obsolescence predicate for a running build: its
+// success can no longer affect any commit decision. Either a resolution
+// contradicted its assumptions (staleFinishedLocked), or it is dominated — a
+// finished build with the same dynamic key already holds the result it is
+// still computing. finishedKeys, when non-nil, is the caller's precomputed
+// finished-key set; otherwise the finished list is scanned. Callers hold p.mu.
+func (p *Planner) obsoleteLocked(rb *trackedBuild, finishedKeys map[string]bool) bool {
+	if p.staleFinishedLocked(rb) {
+		return true
+	}
+	key := p.buildKeyLocked(rb)
+	if finishedKeys != nil {
+		return finishedKeys[key]
+	}
+	for _, fb := range p.finished {
+		if p.buildKeyLocked(fb) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// cancelRunningLocked cancels a build the planner is dropping and publishes
+// the abort together with the compute it throws away (the task's executed
+// step-unit wall time so far). Callers hold p.mu and remove the build from
+// p.running themselves.
+func (p *Planner) cancelRunningLocked(rb *trackedBuild, why string) {
+	wasted := rb.task.Executed()
+	rb.task.Cancel()
+	if p.cfg.Events != nil {
+		p.cfg.Events.Publish(events.Event{
+			Type: events.TypeBuildAborted, Change: rb.build.Subject, Build: rb.build.Key(),
+			Detail: fmt.Sprintf("%s; %v executed wasted", why, wasted),
+		})
+	}
+}
+
+// pruneRunningLocked eagerly aborts running builds the obsolescence predicate
+// condemns. It runs on every resolution, so a contradicted speculation build
+// stops burning workers the moment the contradiction lands instead of running
+// until the next reconcile drops it (or, under PreemptionGrace, to
+// completion). Obsolescence deliberately ignores the grace window: grace
+// exists to damp re-planning churn, and a build whose assumptions are
+// contradicted can never be useful no matter how nearly done it is. Callers
+// hold p.mu.
+func (p *Planner) pruneRunningLocked() {
+	kept := p.running[:0]
+	for _, rb := range p.running {
+		if !p.obsoleteLocked(rb, nil) {
+			kept = append(kept, rb)
+			continue
+		}
+		p.stats.ObsoleteAborted++
+		p.cancelRunningLocked(rb, "obsolete after resolution")
+	}
+	for i := len(kept); i < len(p.running); i++ {
+		p.running[i] = nil
+	}
+	p.running = kept
 }
 
 // Tick runs one epoch: reap finished builds, decide commits/rejections,
@@ -476,6 +552,7 @@ func (p *Planner) reap() bool {
 				if p.cfg.Events != nil {
 					p.cfg.Events.Publish(events.Event{
 						Type: events.TypeBuildAborted, Change: rb.build.Subject, Build: rb.build.Key(),
+						Detail: fmt.Sprintf("%v executed wasted", res.Executed),
 					})
 				}
 				continue // dropped entirely
@@ -693,6 +770,7 @@ func (p *Planner) resolve(c *change.Change, st change.State, reason string, comm
 	}
 	p.keyEpoch++ // every resolution can change dynamic keys
 	p.pruneFinishedLocked()
+	p.pruneRunningLocked()
 	p.outcomes = append(p.outcomes, Outcome{ID: id, State: st, Reason: reason, Commit: commit, At: p.cfg.Now()})
 	if p.cfg.Events != nil {
 		typ := events.TypeCommitted
@@ -777,7 +855,11 @@ func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, erro
 		}
 		desired[key] = b
 	}
-	// Abort running builds not desired (honoring the preemption grace).
+	p.stats.SpecBranchesSkipped += plan.BranchesSkipped
+	p.stats.SpecBuildsSkipped += plan.BuildsSkipped
+	// Abort running builds not desired (honoring the preemption grace —
+	// except for obsolete builds, whose contradicted assumptions make them
+	// worthless no matter how nearly done they are).
 	now := p.cfg.Now()
 	var keep []*trackedBuild
 	for _, rb := range p.running { // slice order, not map order: keep is the new p.running
@@ -786,11 +868,17 @@ func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, erro
 			keep = append(keep, rb)
 			continue
 		}
-		if p.cfg.PreemptionGrace > 0 && now.Sub(rb.startedAt) >= p.cfg.PreemptionGrace {
+		obsolete := p.obsoleteLocked(rb, doneKeys)
+		if !obsolete && p.cfg.PreemptionGrace > 0 && now.Sub(rb.startedAt) >= p.cfg.PreemptionGrace {
 			keep = append(keep, rb) // nearly done; let it finish (§10)
 			continue
 		}
-		rb.task.Cancel()
+		if obsolete {
+			p.stats.ObsoleteAborted++
+			p.cancelRunningLocked(rb, "obsolete")
+			continue
+		}
+		p.cancelRunningLocked(rb, "dropped from plan")
 	}
 	p.running = keep
 	// Builds to start, in plan priority order.
@@ -951,12 +1039,14 @@ func (p *Planner) recordImmediateFailure(b speculation.Build, head *repo.Commit,
 	})
 }
 
-// abortAll cancels every running build (used when the queue is empty).
+// abortAll cancels every running build (used when the queue is empty). With
+// no pending changes every build is obsolete by definition, so no grace
+// window applies.
 func (p *Planner) abortAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, rb := range p.running {
-		rb.task.Cancel()
+		p.cancelRunningLocked(rb, "queue drained")
 	}
 	p.running = nil
 }

@@ -37,6 +37,17 @@ type Stats struct {
 	// (a conflicting foreign commit landed after the build's base) and the
 	// planner rebuilt against the new head.
 	CrossShardRebuilds int
+
+	// Lean-CI counters (DESIGN.md §4j). ObsoleteAborted counts running
+	// builds eagerly aborted because a resolution contradicted their
+	// assumptions or a finished build already held their result;
+	// SpecBranchesSkipped counts speculation branch points collapsed by the
+	// predictor-gated skip threshold; SpecBuildsSkipped counts tree nodes
+	// dropped because the predictor was confident their result would never
+	// be used (P_needed ≤ 1−τ).
+	ObsoleteAborted     int
+	SpecBranchesSkipped int
+	SpecBuildsSkipped   int
 }
 
 // PrepOps is the total preparation work startBuild performed: analyze calls
@@ -61,5 +72,8 @@ func (s Stats) Gauges() metrics.Gauges {
 		{Name: "keys_cached", Value: float64(s.KeysCached)},
 		{Name: "finished_pruned", Value: float64(s.FinishedPruned)},
 		{Name: "cross_shard_rebuilds", Value: float64(s.CrossShardRebuilds)},
+		{Name: "obsolete_aborted", Value: float64(s.ObsoleteAborted)},
+		{Name: "spec_branches_skipped", Value: float64(s.SpecBranchesSkipped)},
+		{Name: "spec_builds_skipped", Value: float64(s.SpecBuildsSkipped)},
 	}
 }

@@ -54,6 +54,9 @@ func (rt *Runtime) PlannerStats() planner.Stats {
 		sum.KeysCached += s.KeysCached
 		sum.FinishedPruned += s.FinishedPruned
 		sum.CrossShardRebuilds += s.CrossShardRebuilds
+		sum.ObsoleteAborted += s.ObsoleteAborted
+		sum.SpecBranchesSkipped += s.SpecBranchesSkipped
+		sum.SpecBuildsSkipped += s.SpecBuildsSkipped
 	}
 	return sum
 }

@@ -77,6 +77,11 @@ type FinishedBuild struct {
 	BaseCommits int
 	OK          bool
 	FinishedAt  time.Duration
+	// Cost is the worker time the build consumed (start to finish).
+	Cost time.Duration
+	// used marks results that decided a change (commit or reject); the
+	// useful/wasted compute split reads it at the end of the run.
+	used bool
 }
 
 // State is the view a strategy plans from. Strategies must treat it as
@@ -197,6 +202,13 @@ type Config struct {
 	// a failed decisive build rejects its change. The baseline for the
 	// ablation-reliability experiment.
 	LegacyNoRetry bool
+
+	// PruneObsolete enables the §4j obsolete-build pruning the planner
+	// applies on every resolution: running builds whose subject is already
+	// resolved, whose assumptions were falsified, or whose identity a
+	// finished valid build already holds are aborted eagerly after each
+	// decision instead of running to completion.
+	PruneObsolete bool
 }
 
 // Result aggregates a run's measurements.
@@ -220,6 +232,22 @@ type Result struct {
 	// builds that were later aborted); divided by Workers × Makespan it
 	// yields utilization.
 	WorkerBusy time.Duration
+	// WorkerBusyUseful is the worker time of finished builds whose results
+	// decided a change; WorkerBusyWasted is everything else worker time paid
+	// for — aborted builds, finished-but-unused speculation, and dropped
+	// verification failures. Useful + Wasted = WorkerBusy (§4j fleet-compute
+	// accounting).
+	WorkerBusyUseful time.Duration
+	WorkerBusyWasted time.Duration
+	// WorkerMinutesPerCommit is WorkerBusy in minutes divided by Committed —
+	// the fleet compute each landed change cost, the lean-CI headline.
+	WorkerMinutesPerCommit float64
+	// BuildsPruned counts builds aborted by Config.PruneObsolete (a subset
+	// of BuildsAborted).
+	BuildsPruned int
+	// CommittedChanges lists committed change indices in commit order, so
+	// experiments can assert that an optimization changed no decisions.
+	CommittedChanges []int
 	// GreenViolations counts commits that would have broken the mainline
 	// (must be zero for every strategy under these semantics).
 	GreenViolations int
@@ -411,6 +439,9 @@ func Run(w *workload.Workload, s Strategy, cfg Config) *Result {
 			e.handle(heap.Pop(&e.events).(event))
 		}
 		e.decide()
+		if cfg.PruneObsolete {
+			e.pruneObsolete()
+		}
 		if !e.havePlan || e.dirty || e.now-e.lastPlan >= e.cfg.PlanEvery {
 			e.reconcile(s)
 			e.havePlan = true
@@ -441,7 +472,8 @@ func (e *engine) handle(ev event) {
 			return
 		}
 		delete(e.slots, ev.idx)
-		e.res.WorkerBusy += e.now - slot.start
+		cost := e.now - slot.start
+		e.res.WorkerBusy += cost
 		okRes := e.groundTruthOK(slot)
 		if e.cfg.FlakePerStepRate > 0 {
 			flaked := false
@@ -459,6 +491,7 @@ func (e *engine) handle(ev event) {
 			BaseCommits: slot.base,
 			OK:          okRes,
 			FinishedAt:  e.now,
+			Cost:        cost,
 		}
 		e.finishedBySubject[fb.Spec.Subject] = append(e.finishedBySubject[fb.Spec.Subject], len(e.st.Finished))
 		e.st.Finished = append(e.st.Finished, fb)
@@ -582,6 +615,9 @@ func (e *engine) flakeDraw(key string, exec, step, attempt int) bool {
 // verification re-run) and rebuilds the subject index, so reconcile no
 // longer sees a finished result for the identity and reschedules the build.
 func (e *engine) dropFinished(k int) {
+	// The dropped result is discarded, so its compute was wasted; the splice
+	// hides it from the end-of-run useful/wasted scan.
+	e.res.WorkerBusyWasted += e.st.Finished[k].Cost
 	e.st.Finished = append(e.st.Finished[:k], e.st.Finished[k+1:]...)
 	e.finishedIdent = append(e.finishedIdent[:k], e.finishedIdent[k+1:]...)
 	e.finishedBySubject = make(map[int][]int, len(e.finishedBySubject))
@@ -696,11 +732,13 @@ func (e *engine) decide() {
 		}
 		if len(fb.Spec.Batch) > 0 {
 			if fb.OK {
+				e.st.Finished[fbIdx].used = true
 				for _, m := range fb.Spec.Batch {
 					e.commit(m)
 				}
 			} else if len(fb.Spec.Batch) == 1 {
 				if !e.retryDecisive(fb.Spec.Batch[0], fbIdx) {
+					e.st.Finished[fbIdx].used = true
 					e.reject(fb.Spec.Batch[0])
 				}
 			}
@@ -709,8 +747,10 @@ func (e *engine) decide() {
 			continue
 		}
 		if fb.OK {
+			e.st.Finished[fbIdx].used = true
 			e.commit(i)
 		} else if !e.retryDecisive(i, fbIdx) {
+			e.st.Finished[fbIdx].used = true
 			e.reject(i)
 		}
 	}
@@ -973,10 +1013,7 @@ func (e *engine) reconcile(s Strategy) {
 	for slotID, slot := range e.slots {
 		id, valid := e.slotIdentity(slot)
 		if !valid {
-			slot.aborted = true
-			delete(e.slots, slotID)
-			e.res.WorkerBusy += e.now - slot.start
-			e.res.BuildsAborted++
+			e.abortSlot(slotID)
 			continue
 		}
 		if _, wanted := want[id]; wanted && !runningBy[id] {
@@ -1021,10 +1058,7 @@ func (e *engine) reconcile(s Strategy) {
 			if want[id].Priority <= slot.spec.Priority+margin {
 				continue // not clearly better; let the running build finish
 			}
-			slot.aborted = true
-			delete(e.slots, unwanted[k])
-			e.res.WorkerBusy += e.now - slot.start
-			e.res.BuildsAborted++
+			e.abortSlot(unwanted[k])
 			free++
 			k++
 		}
@@ -1053,6 +1087,49 @@ func (e *engine) reconcile(s Strategy) {
 		e.res.BuildsStarted++
 		free--
 	}
+}
+
+// abortSlot cancels a running build, accounting the worker time it consumed
+// so far as busy and wasted.
+func (e *engine) abortSlot(slotID int) {
+	slot := e.slots[slotID]
+	slot.aborted = true
+	delete(e.slots, slotID)
+	cost := e.now - slot.start
+	e.res.WorkerBusy += cost
+	e.res.WorkerBusyWasted += cost
+	e.res.BuildsAborted++
+}
+
+// pruneObsolete eagerly aborts running builds whose results can no longer
+// affect any decision — the simulator's mirror of the planner's per-
+// resolution pruning (§4j). Without it, a build whose subject was resolved by
+// a sibling speculation runs to completion: normalize treats the subject's
+// own commit as an independent commit (a change never potentially conflicts
+// with itself), so the slot stays "valid" and burns a worker for nothing.
+func (e *engine) pruneObsolete() {
+	for slotID, slot := range e.slots {
+		if e.slotObsolete(slot) {
+			e.abortSlot(slotID)
+			e.res.BuildsPruned++
+			e.dirty = true
+		}
+	}
+}
+
+// slotObsolete is the obsolescence predicate for a running slot: the subject
+// is already resolved (plain builds; batch members are covered by normalize),
+// the assumptions were falsified, or a finished valid build already holds the
+// slot's identity (dominated).
+func (e *engine) slotObsolete(slot *runningSlot) bool {
+	if len(slot.spec.Batch) == 0 && !e.st.pending[slot.spec.Subject] {
+		return true
+	}
+	id, valid := e.slotIdentity(slot)
+	if !valid {
+		return true
+	}
+	return e.haveFinished(slot.spec.Subject, id)
 }
 
 // haveFinished reports whether a finished, still-valid build with the given
@@ -1100,4 +1177,18 @@ func (e *engine) finishMetrics(w *workload.Workload) {
 	if e.res.Makespan > 0 {
 		e.res.ThroughputPerHour = float64(e.res.Committed) / e.res.Makespan.Hours()
 	}
+	// Useful/wasted split: finished builds that decided a change were useful;
+	// every other finished build was speculation that never paid off. Abort
+	// and drop sites accumulated their waste as it happened.
+	for k := range e.st.Finished {
+		if e.st.Finished[k].used {
+			e.res.WorkerBusyUseful += e.st.Finished[k].Cost
+		} else {
+			e.res.WorkerBusyWasted += e.st.Finished[k].Cost
+		}
+	}
+	if e.res.Committed > 0 {
+		e.res.WorkerMinutesPerCommit = e.res.WorkerBusy.Minutes() / float64(e.res.Committed)
+	}
+	e.res.CommittedChanges = append([]int(nil), e.st.Committed...)
 }

@@ -304,6 +304,118 @@ func TestEmptyWorkload(t *testing.T) {
 	}
 }
 
+// hedgeStrategy over-plans on purpose: besides the chain build, every change
+// without pending conflicting predecessors also gets an AllowReorder variant.
+// Once the chain build decides the subject, the variant is a dangling sibling
+// — still "valid" to normalize (a change never potentially conflicts with
+// itself) but unable to affect any decision. Exactly the waste §4j prunes.
+type hedgeStrategy struct{}
+
+func (hedgeStrategy) Name() string { return "hedge-test" }
+func (hedgeStrategy) Plan(st *State) []BuildSpec {
+	var out []BuildSpec
+	for _, i := range st.Pending {
+		preds := st.PendingConflictingPredecessors(i)
+		out = append(out, BuildSpec{Subject: i, Assumed: preds, Priority: 1})
+		if i > 0 && len(preds) == 0 {
+			out = append(out, BuildSpec{Subject: i, AllowReorder: true})
+		}
+	}
+	return out
+}
+
+// hedgedPair is a two-change workload where hedgeStrategy leaves a dangling
+// sibling build: c0 (10 min) commits, c1's chain build (30 min) decides c1 at
+// t=30, and c1's reorder variant started at t=10 would burn a worker until
+// t=40 unless pruned.
+func hedgedPair() *workload.Workload {
+	return &workload.Workload{
+		Cfg: workload.Config{Count: 2},
+		Changes: []*workload.Change{
+			{
+				Index: 0, ID: "c000000", SubmitAt: 0,
+				Duration: 10 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{1: true},
+				RealConflicts:      map[int]bool{},
+			},
+			{
+				Index: 1, ID: "c000001", SubmitAt: 0,
+				Duration: 30 * time.Minute, Succeeds: true,
+				PotentialConflicts: map[int]bool{0: true},
+				RealConflicts:      map[int]bool{},
+			},
+		},
+	}
+}
+
+func TestPruneObsoleteAbortsDanglingSibling(t *testing.T) {
+	base := Run(hedgedPair(), hedgeStrategy{}, Config{Workers: 2, UseAnalyzer: true})
+	pruned := Run(hedgedPair(), hedgeStrategy{}, Config{Workers: 2, UseAnalyzer: true, PruneObsolete: true})
+	for _, r := range []*Result{base, pruned} {
+		if r.Committed != 2 || r.Rejected != 0 || r.GreenViolations != 0 {
+			t.Fatalf("outcomes: %+v", r)
+		}
+	}
+	if base.BuildsPruned != 0 {
+		t.Fatalf("baseline pruned %d builds with pruning disabled", base.BuildsPruned)
+	}
+	if pruned.BuildsPruned == 0 {
+		t.Fatal("dangling sibling never pruned")
+	}
+	// The sibling ran 10→40 min unpruned but only 10→30 min pruned, so the
+	// pruned run pays strictly less worker time for identical decisions.
+	if pruned.WorkerBusy >= base.WorkerBusy {
+		t.Fatalf("pruning did not cut worker time: pruned=%v base=%v",
+			pruned.WorkerBusy, base.WorkerBusy)
+	}
+	if pruned.WorkerBusyUseful != base.WorkerBusyUseful {
+		t.Fatalf("useful compute changed: pruned=%v base=%v",
+			pruned.WorkerBusyUseful, base.WorkerBusyUseful)
+	}
+	if pruned.WorkerMinutesPerCommit >= base.WorkerMinutesPerCommit {
+		t.Fatalf("worker-minutes/commit did not improve: pruned=%v base=%v",
+			pruned.WorkerMinutesPerCommit, base.WorkerMinutesPerCommit)
+	}
+}
+
+func TestComputeSplitInvariant(t *testing.T) {
+	// Useful + Wasted must equal WorkerBusy exactly: every slot's cost is
+	// classified once, at abort, drop, or end-of-run.
+	w := smallWorkload(7, 120)
+	for _, prune := range []bool{false, true} {
+		res := Run(w, chainStrategy{}, Config{Workers: 8, UseAnalyzer: true, PruneObsolete: prune})
+		if got := res.WorkerBusyUseful + res.WorkerBusyWasted; got != res.WorkerBusy {
+			t.Fatalf("prune=%v: useful %v + wasted %v = %v != busy %v",
+				prune, res.WorkerBusyUseful, res.WorkerBusyWasted, got, res.WorkerBusy)
+		}
+		if res.WorkerBusyUseful == 0 {
+			t.Fatalf("prune=%v: no useful compute recorded", prune)
+		}
+		want := res.WorkerBusy.Minutes() / float64(res.Committed)
+		if diff := res.WorkerMinutesPerCommit - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("prune=%v: worker-minutes/commit %v, want %v", prune, res.WorkerMinutesPerCommit, want)
+		}
+	}
+}
+
+func TestPruneObsoletePreservesOutcomes(t *testing.T) {
+	// Pruning only removes builds that cannot affect decisions, so the
+	// committed/rejected tallies must be identical with it on or off.
+	w := smallWorkload(8, 150)
+	base := Run(w, chainStrategy{}, Config{Workers: 16, UseAnalyzer: true})
+	pruned := Run(w, chainStrategy{}, Config{Workers: 16, UseAnalyzer: true, PruneObsolete: true})
+	if base.Committed != pruned.Committed || base.Rejected != pruned.Rejected {
+		t.Fatalf("decisions changed: base %d/%d, pruned %d/%d",
+			base.Committed, base.Rejected, pruned.Committed, pruned.Rejected)
+	}
+	if pruned.GreenViolations != 0 {
+		t.Fatalf("green violations: %d", pruned.GreenViolations)
+	}
+	if pruned.WorkerBusy > base.WorkerBusy {
+		t.Fatalf("pruning increased worker time: %v > %v", pruned.WorkerBusy, base.WorkerBusy)
+	}
+}
+
 func TestUtilizationAccounting(t *testing.T) {
 	w := smallWorkload(6, 60)
 	res := Run(w, serialStrategy{}, Config{Workers: 1, UseAnalyzer: false})

@@ -48,6 +48,14 @@ const maxBranchBits = 30
 // caller sets no budget.
 const defaultMaxExpansions = 4096
 
+// minSkipAssumptions protects decision-imminent builds from SkipThreshold:
+// a node is only skippable once it carries at least this many assumptions.
+// One-step hedges (B_2 in §4.2 — the build that becomes decisive the moment
+// its single predecessor fails) always stay warm, so a wrong skip's restart
+// never lands on the next decision's critical path; the waste skipping
+// targets sits in deep speculation chains anyway.
+const minSkipAssumptions = 2
+
 // Build is one node of the speculation graph: build steps for
 // H ⊕ (Assumed…) ⊕ Subject, whose success or failure decides Subject's fate
 // under the assumption that every change in Assumed commits and every change
@@ -106,6 +114,24 @@ type Engine struct {
 	Predictor predict.Predictor
 	// MaxSpecDepth caps branching per subject (DefaultMaxSpecDepth if 0).
 	MaxSpecDepth int
+	// SkipThreshold, when in (0, 1], gates the speculation tree by the
+	// predictor, in two symmetric ways sharing the one threshold τ
+	// (DESIGN.md §4j):
+	//
+	//  1. A predecessor whose in-context commit probability q ≥ τ is not
+	//     branched on — only the assume-commit child is explored (at its
+	//     honest probability q), and the reject-branch hedge builds are
+	//     never planned.
+	//  2. A node whose P_needed has decayed to ≤ 1−τ is not built and not
+	//     expanded: the predictor is at least τ-confident the result would
+	//     never be used. P_needed is monotone non-increasing along the
+	//     expansion, so dropping the node drops no viable descendant.
+	//
+	// Both trade fleet compute for a restart in the unlikely case: a wrong
+	// skip leaves no hedge build warm, but the always-run decisive build
+	// (P_needed = 1, never skipped) still gates every commit, so greenness
+	// is unaffected. Zero disables skipping.
+	SkipThreshold float64
 }
 
 // New creates an Engine with the given predictor.
@@ -137,6 +163,14 @@ type Plan struct {
 	PCommit map[change.ID]float64
 	// PCommitIdx is PCommit indexed by position in Request.Pending.
 	PCommitIdx []float64
+	// BranchesSkipped counts predecessor branch points collapsed by
+	// Engine.SkipThreshold: reject-subtrees that were never explored because
+	// the predictor was confident enough the predecessor commits.
+	BranchesSkipped int
+	// BuildsSkipped counts nodes dropped by Engine.SkipThreshold because
+	// their P_needed decayed to ≤ 1−τ: builds the predictor was confident
+	// enough would never be used, so they were not planned at all.
+	BuildsSkipped int
 }
 
 // planner is the per-Plan working state.
@@ -262,12 +296,32 @@ func (e *Engine) Plan(req Request) Plan {
 		branch[i] = b
 	}
 
-	// Best-first enumeration over bitmask nodes.
+	// Best-first enumeration over bitmask nodes. A root's probability is
+	// discounted by its fixed (beyond-depth) predecessors up front: each is
+	// pinned to its argmax outcome, which the build's result needs to come
+	// true, so P_needed starts at the product of those outcome probabilities
+	// rather than a flat 1 (§4.2 applies to every assumption, branched or
+	// fixed).
 	h := &nodeHeap{}
 	for i := range req.Pending {
-		h.push(node{subject: i, prob: 1, value: p.benefit[i]})
+		prob := 1.0
+		for _, f := range fixed[i] {
+			if p.pCommit[f] >= 0.5 {
+				prob *= p.pCommit[f]
+			} else {
+				prob *= 1 - p.pCommit[f]
+			}
+		}
+		h.push(node{subject: i, modal: true, prob: prob, value: prob * p.benefit[i]})
 	}
 	heap.Init(h)
+
+	// With skipping enabled, nodes whose P_needed decays to ≤ 1−τ are
+	// dropped: the predictor is ≥τ confident their result would be wasted.
+	floor := 0.0
+	if e.SkipThreshold > 0 {
+		floor = 1 - e.SkipThreshold
+	}
 
 	pops := 0
 	for h.Len() > 0 && len(plan.Builds) < budget && pops < maxPops {
@@ -277,6 +331,19 @@ func (e *Engine) Plan(req Request) Plan {
 			// Max-heap: every remaining node is zero-value too. A build whose
 			// result can never be needed is pure waste (§4.2.1).
 			break
+		}
+		if floor > 0 && nd.prob <= floor && !nd.modal &&
+			int(nd.depth) >= minSkipAssumptions {
+			// P_needed is monotone non-increasing along expansion, so no
+			// descendant of this node is viable either. Two exemptions keep
+			// wrong skips off the decision critical path: shallow nodes
+			// (minSkipAssumptions — the head-of-queue decisive build and
+			// one-step hedges are always planned) and the modal path (a
+			// deep conflict cluster keeps one warm build per member in the
+			// most likely world, preserving the pipelining that lets the
+			// cluster commit back-to-back).
+			plan.BuildsSkipped++
+			continue
 		}
 		br := branch[nd.subject]
 		if int(nd.depth) == len(br) {
@@ -294,13 +361,27 @@ func (e *Engine) Plan(req Request) Plan {
 			subject: nd.subject,
 			depth:   nd.depth + 1,
 			mask:    nd.mask | (1 << uint(nd.depth)),
+			modal:   nd.modal && q >= 0.5,
 			prob:    nd.prob * q,
 			value:   nd.prob * q * b,
+		}
+		if e.SkipThreshold > 0 && q >= e.SkipThreshold &&
+			int(nd.depth)+1 >= minSkipAssumptions {
+			// Predictor-gated skip: the predecessor is near-certain to
+			// commit, so the reject-subtree's hedge builds are not worth
+			// their compute. The commit child keeps its honest probability
+			// q — the plan does not pretend the skip is free. The depth
+			// guard keeps the first-level reject hedge (B_2): only deeper
+			// reject-subtrees are collapsed.
+			heap.Push(h, commitChild)
+			plan.BranchesSkipped++
+			continue
 		}
 		rejectChild := node{
 			subject: nd.subject,
 			depth:   nd.depth + 1,
 			mask:    nd.mask,
+			modal:   nd.modal && q < 0.5,
 			prob:    nd.prob * (1 - q),
 			value:   nd.prob * (1 - q) * b,
 		}
@@ -382,11 +463,15 @@ func (p *planner) finishBuild(nd node, br, fx []int) Build {
 
 // node is a partial assignment in the best-first search: the first `depth`
 // branching predecessors of `subject` are decided by `mask` bits. value is
-// prob weighted by the subject's benefit and drives the heap order.
+// prob weighted by the subject's benefit and drives the heap order. modal
+// marks the path that takes every predecessor's argmax outcome — the
+// subject's single most likely decisive context, which SkipThreshold never
+// drops no matter how small its absolute probability gets.
 type node struct {
 	subject int
 	depth   uint8
 	mask    uint32
+	modal   bool
 	prob    float64
 	value   float64
 }

@@ -403,3 +403,113 @@ func TestDefaultBenefitKeepsProbabilityOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestSkipThresholdPrunesRejectBranch: with a confident predictor and a
+// threshold at or below its confidence, deep reject-branch hedge builds are
+// never planned — but the one-step hedge (B_2 in §4.2) is protected, so a
+// single surprise rejection still finds a warm build.
+func TestSkipThresholdPrunesRejectBranch(t *testing.T) {
+	e := New(predict.Static{Success: 0.95, Conflict: 0.2})
+	e.SkipThreshold = 0.9
+	p := e.Plan(Request{Pending: mkChanges(3)})
+	if _, ok := findBuild(p, "c1"); !ok {
+		t.Fatalf("plan lost the root build: %+v", p.Builds)
+	}
+	b, ok := findBuild(p, "c1+c2")
+	if !ok {
+		t.Fatalf("plan lost the commit-branch build: %+v", p.Builds)
+	}
+	// q = P_succ(c1) = 0.95.
+	if math.Abs(b.PNeeded-0.95) > 1e-12 {
+		t.Errorf("commit-branch PNeeded = %v, want 0.95 (honest q)", b.PNeeded)
+	}
+	// The one-step hedge survives: skipping never drops a build with fewer
+	// than two assumptions.
+	if _, ok := findBuild(p, "c2!c1"); !ok {
+		t.Errorf("one-step hedge build missing despite protection: %+v", p.Builds)
+	}
+	// c3's reject-of-c1 subtree: c2's in-context commit probability there is
+	// a confident 0.95 ≥ τ (no conflict mass from a change that never
+	// lands), so the branch skip collapses the reject-reject corner
+	// "c3!c1,c2"; the surviving commit child "c2+c3!c1" then carries
+	// P_needed 0.05·0.95 ≤ 1−τ and the floor drops it too. The whole
+	// low-probability subtree costs zero builds.
+	if _, ok := findBuild(p, "c2+c3!c1"); ok {
+		t.Errorf("low-P_needed build planned despite floor: %+v", p.Builds)
+	}
+	if _, ok := findBuild(p, "c3!c1,c2"); ok {
+		t.Errorf("deep reject-branch hedge build was planned despite skip: %+v", p.Builds)
+	}
+	if p.BranchesSkipped != 1 {
+		t.Errorf("BranchesSkipped = %d, want 1", p.BranchesSkipped)
+	}
+	if p.BuildsSkipped != 1 {
+		t.Errorf("BuildsSkipped = %d, want 1", p.BuildsSkipped)
+	}
+}
+
+// TestSkipThresholdNotMet: a threshold above the predictor's in-context
+// confidence leaves the plan untouched.
+func TestSkipThresholdNotMet(t *testing.T) {
+	e := New(predict.Static{Success: 0.95, Conflict: 0.2})
+	e.SkipThreshold = 0.96
+	p := e.Plan(Request{Pending: mkChanges(2)})
+	if _, ok := findBuild(p, "c2!c1"); !ok {
+		t.Errorf("reject-branch build missing below threshold: %+v", p.Builds)
+	}
+	if p.BranchesSkipped != 0 {
+		t.Errorf("BranchesSkipped = %d, want 0", p.BranchesSkipped)
+	}
+}
+
+// TestSkipDisabledByDefault: a zero threshold disables skipping entirely —
+// the plan is identical to the unconfigured engine's.
+func TestSkipDisabledByDefault(t *testing.T) {
+	base := New(predict.Static{Success: 0.99, Conflict: 0.1}).Plan(Request{Pending: mkChanges(3)})
+	e := New(predict.Static{Success: 0.99, Conflict: 0.1})
+	e.SkipThreshold = 0
+	p := e.Plan(Request{Pending: mkChanges(3)})
+	if len(p.Builds) != len(base.Builds) || p.BranchesSkipped != 0 {
+		t.Fatalf("zero threshold changed the plan: %d builds (want %d), skipped %d",
+			len(p.Builds), len(base.Builds), p.BranchesSkipped)
+	}
+	for i := range base.Builds {
+		if p.Builds[i].Key() != base.Builds[i].Key() {
+			t.Errorf("build %d: key %q, want %q", i, p.Builds[i].Key(), base.Builds[i].Key())
+		}
+	}
+}
+
+// TestSkipShrinksDeepPlan: on a conflict chain whose predictor stays
+// confident at every depth, skipping collapses the exponential hedge
+// frontier to the chain-prefix path plus the single protected one-step
+// hedge — no build carries two or more rejected assumptions.
+func TestSkipShrinksDeepPlan(t *testing.T) {
+	pending := mkChanges(6)
+	base := New(predict.Static{Success: 0.97, Conflict: 0.005}).Plan(Request{Pending: pending, Budget: 64})
+	e := New(predict.Static{Success: 0.97, Conflict: 0.005})
+	e.SkipThreshold = 0.9
+	p := e.Plan(Request{Pending: pending, Budget: 64})
+	// One chain-prefix build per subject plus c2's protected one-step hedge;
+	// every deeper hedge is collapsed by the branch skip or dropped by the
+	// P_needed floor.
+	if len(p.Builds) != len(pending)+1 {
+		t.Errorf("skip plan has %d builds, want %d (chain prefixes + one protected hedge)",
+			len(p.Builds), len(pending)+1)
+	}
+	if len(p.Builds) >= len(base.Builds) {
+		t.Errorf("skip plan has %d builds, base %d — want strictly fewer", len(p.Builds), len(base.Builds))
+	}
+	if p.BranchesSkipped == 0 {
+		t.Error("BranchesSkipped = 0, want > 0")
+	}
+	if p.BuildsSkipped == 0 {
+		t.Error("BuildsSkipped = 0, want > 0 (floor drops the deviation subtrees)")
+	}
+	for _, b := range p.Builds {
+		if len(b.AssumedRejected) > 1 {
+			t.Errorf("build %q carries %d rejected assumptions despite confident skip",
+				b.Key(), len(b.AssumedRejected))
+		}
+	}
+}

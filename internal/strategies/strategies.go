@@ -169,6 +169,14 @@ type Speculative struct {
 	ReorderSmall bool
 	// ReorderRatio is the size threshold (default 0.5 when ReorderSmall).
 	ReorderRatio float64
+
+	// SkippedBranches accumulates the speculation branch points collapsed by
+	// Engine.SkipThreshold across the run (DESIGN.md §4j); experiments read it
+	// after sim.Run to report how much of the tree was never built.
+	// SkippedBuilds accumulates nodes dropped outright because the predictor
+	// was confident their result would never be used (P_needed ≤ 1−τ).
+	SkippedBranches int
+	SkippedBuilds   int
 }
 
 // feedback accumulates per-change speculation evidence.
@@ -340,6 +348,8 @@ func (s *Speculative) Plan(st *sim.State) []sim.BuildSpec {
 		Preds:   preds,
 		Budget:  st.Workers,
 	})
+	s.SkippedBranches += plan.BranchesSkipped
+	s.SkippedBuilds += plan.BuildsSkipped
 	out := make([]sim.BuildSpec, 0, len(plan.Builds))
 	for _, b := range plan.Builds {
 		spec := sim.BuildSpec{
