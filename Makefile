@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-race build vet lint test race bench bench-smoke
+.PHONY: check check-race build vet lint test race bench bench-smoke bench-serving
 
 # check is the CI entry point: everything must pass before merge.
 check: build vet lint race
@@ -32,7 +32,15 @@ check-race:
 
 # bench runs the subsystem micro-benchmarks (see the BENCH_*.json files).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/ ./internal/planner/ ./internal/shard/ ./internal/arbiter/
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/ ./internal/planner/ ./internal/shard/ ./internal/arbiter/ ./internal/repo/ ./internal/store/ ./internal/api/
+
+# bench-serving measures the production serving path (BENCH_serving.json):
+# handler alloc counts, journal group-commit and replay, the layered-snapshot
+# commit cost, then the full two-phase load test over localhost HTTP
+# (sustained ≥20k submissions/min with P99 targets, plus overload shedding).
+bench-serving:
+	$(GO) test -run '^$$' -bench . -benchtime 2s -benchmem ./internal/api/ ./internal/store/ ./internal/repo/
+	$(GO) run ./cmd/sqsim -exp loadtest -full -metrics
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once so
 # benchmarks cannot bitrot; CI runs it on every push. The root-level paper

@@ -7,10 +7,17 @@
 // Usage:
 //
 //	sqd [-addr :8080] [-workers 8] [-epoch 250ms] [-data DIR]
+//	    [-snapshot-interval 5m] [-admission-cap 1000] [-status-refresh 250ms]
 //
 // With -data, the service journals every submission and outcome to
 // DIR/journal.jsonl and snapshots the repo to DIR/repo.json on shutdown;
 // restarting with the same directory recovers pending changes.
+// -snapshot-interval additionally folds the journal into a snapshot
+// periodically so restart replay stays proportional to live state.
+// -admission-cap turns on backpressure (429 + Retry-After once the pending
+// queue fills, 503 dashboard sheds near capacity); -status-refresh serves
+// dashboard reads from a background-rebuilt snapshot instead of rebuilding
+// per request.
 //
 // Submit changes with:
 //
@@ -55,6 +62,9 @@ func main() {
 	epoch := flag.Duration("epoch", 250*time.Millisecond, "planner epoch")
 	dataDir := flag.String("data", "", "directory for durable state (empty = in-memory only)")
 	shards := flag.Int("shards", 0, "planner shards (>= 1 enables the sharded scale-out; 0 = classic single planner)")
+	snapshotEvery := flag.Duration("snapshot-interval", 0, "with -data: fold the journal into a snapshot this often (0 = only at shutdown)")
+	admissionCap := flag.Int("admission-cap", 0, "bound the pending queue; excess submits get 429 + Retry-After (0 = unbounded)")
+	statusRefresh := flag.Duration("status-refresh", 250*time.Millisecond, "background status snapshot rebuild interval (0 = rebuild per request)")
 	flag.Parse()
 
 	bus := events.NewBus(1024)
@@ -91,6 +101,33 @@ func main() {
 	svc.Start()
 	srv := api.NewServer(svc)
 	srv.SetEvents(bus)
+	if *admissionCap > 0 {
+		srv.EnableAdmission(*admissionCap)
+	}
+	if *statusRefresh > 0 {
+		stop := srv.StartStatusRefresher(*statusRefresh)
+		defer stop()
+	}
+
+	// Periodic journal snapshots keep restart replay proportional to live
+	// state instead of total history (only meaningful with -data).
+	snapDone := make(chan struct{})
+	if *snapshotEvery > 0 && *dataDir != "" {
+		go func() {
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-t.C:
+					if err := svc.SnapshotJournal(1000); err != nil {
+						log.Printf("sqd: journal snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	go func() {
@@ -104,6 +141,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("sqd: shutting down")
+	close(snapDone)
 	_ = httpSrv.Close()
 	svc.Stop()
 	log.Printf("sqd: analyzer %s", svc.AnalyzerStats().Gauges())

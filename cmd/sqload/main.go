@@ -1,131 +1,90 @@
-// Command sqload drives a running sqd instance over HTTP: it submits a
-// stream of synthetic changes (some conflicting, some broken), polls their
-// states, and reports turnaround statistics — an end-to-end smoke of the
-// whole service stack (API → queue → analyzer → speculation → planner →
-// build controller → monorepo).
+// Command sqload drives a running sqd instance with the open-loop load
+// harness (internal/loadgen): submissions are paced at a fixed target rate
+// regardless of server speed, mixed with state polls and status reads, and
+// the run reports per-endpoint latency percentiles up to P99.9 plus the
+// admission/backpressure counters — an end-to-end exercise of the whole
+// serving stack (API → queue → analyzer → speculation → planner → build
+// controller → monorepo).
 //
 // Usage (against a default sqd):
 //
 //	sqd &
-//	sqload -url http://localhost:8080 -n 20 -concurrency 4
+//	sqload -url http://localhost:8080 -rate 50 -duration 10s -warmup 2s
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"sync"
 	"time"
 
-	"mastergreen/internal/api"
-	"mastergreen/internal/metrics"
+	"mastergreen/internal/loadgen"
 )
 
 func main() {
 	base := flag.String("url", "http://localhost:8080", "sqd base URL")
-	n := flag.Int("n", 20, "changes to submit")
-	conc := flag.Int("concurrency", 4, "concurrent submitters")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-change decision timeout")
+	rate := flag.Float64("rate", 20, "target submissions per second (open loop)")
+	duration := flag.Duration("duration", 10*time.Second, "measured window")
+	warmup := flag.Duration("warmup", time.Second, "warmup at -rate before measuring")
+	pollRate := flag.Float64("poll-rate", 0, "state polls per second over accepted ids (0 = rate/2)")
+	statusRate := flag.Float64("status-rate", 2, "status reads per second")
+	inFlight := flag.Int("in-flight", 512, "max concurrent HTTP requests")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "after the run, wait up to this long for accepted changes to decide (0 = skip)")
 	flag.Parse()
 
-	client := &http.Client{Timeout: 10 * time.Second}
+	if *pollRate == 0 {
+		*pollRate = *rate / 2
+	}
+	// Salt ids with the start time so repeated runs against one long-lived
+	// sqd never collide.
+	prefix := fmt.Sprintf("load-%d", time.Now().UnixNano())
+	client := loadgen.SharedClient(*inFlight)
 
-	// Verify the service is up.
-	if resp, err := client.Get(*base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
-		log.Fatalf("sqload: service not healthy at %s: %v", *base, err)
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:     *base,
+		Rate:        *rate,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		MaxInFlight: *inFlight,
+		Client:      client,
+		Request:     loadgen.DefaultRequest(prefix),
+		PollRate:    *pollRate,
+		StatusRate:  *statusRate,
+	})
+	if err != nil {
+		log.Fatalf("sqload: %v", err)
 	}
 
-	type result struct {
-		id       string
-		state    string
-		turnMs   float64
-		rejected bool
+	fmt.Printf("sqload: offered %d (%.0f/s), accepted %d (%.0f/min sustained), throttled %d, errors %d\n",
+		res.Offered, res.OfferedPerSec, res.Accepted, res.Sustained(), res.Throttled, res.Errors)
+	if res.Throttled > 0 {
+		fmt.Printf("backpressure: mean Retry-After %.1fs\n", res.RetryAfterMean)
 	}
-	results := make(chan result, *n)
-	sem := make(chan struct{}, *conc)
-	var wg sync.WaitGroup
-
-	for i := 0; i < *n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
-			id := fmt.Sprintf("load-%d-%d", time.Now().UnixNano(), i)
-			// Every submission creates a fresh file, so changes are mutually
-			// independent at the file level; target-level conflicts arise
-			// from the shared BUILD-less root. A few are deliberately broken.
-			content := fmt.Sprintf("content %d", i)
-			sub := api.SubmitRequest{
-				ID:     id,
-				Author: fmt.Sprintf("loadgen-%d", i%5),
-				Team:   "load",
-				Files: []api.FileChange{{
-					Path: fmt.Sprintf("load/file-%s.txt", id), Op: "create", Content: content,
-				}},
-				TestPlan: true,
-			}
-			body, _ := json.Marshal(sub)
-			start := time.Now()
-			resp, err := client.Post(*base+"/api/v1/changes", "application/json", bytes.NewReader(body))
-			if err != nil {
-				log.Printf("sqload: submit %s: %v", id, err)
-				return
-			}
-			_ = resp.Body.Close()
-			if resp.StatusCode != http.StatusAccepted {
-				log.Printf("sqload: submit %s: status %d", id, resp.StatusCode)
-				return
-			}
-			deadline := time.Now().Add(*timeout)
-			for time.Now().Before(deadline) {
-				resp, err := client.Get(*base + "/api/v1/changes/" + id)
-				if err != nil {
-					log.Printf("sqload: poll %s: %v", id, err)
-					return
-				}
-				var st struct {
-					State  string `json:"state"`
-					Reason string `json:"reason"`
-				}
-				_ = json.NewDecoder(resp.Body).Decode(&st)
-				_ = resp.Body.Close()
-				if st.State == "committed" || st.State == "rejected" {
-					results <- result{
-						id: id, state: st.State,
-						turnMs:   float64(time.Since(start).Milliseconds()),
-						rejected: st.State == "rejected",
-					}
-					return
-				}
-				time.Sleep(100 * time.Millisecond)
-			}
-			log.Printf("sqload: %s undecided after %v", id, *timeout)
-		}(i)
+	fmt.Printf("submit  %s\n", res.Submit)
+	if res.StatePoll.Count > 0 {
+		fmt.Printf("state   %s\n", res.StatePoll)
 	}
-	wg.Wait()
-	close(results)
+	if res.StatusRead.Count > 0 || res.StatusShed > 0 {
+		fmt.Printf("status  %s  (shed %d)\n", res.StatusRead, res.StatusShed)
+	}
 
-	var turns []float64
-	committed, rejected := 0, 0
-	for r := range results {
-		turns = append(turns, r.turnMs)
-		if r.rejected {
-			rejected++
-		} else {
-			committed++
+	if *drainTimeout > 0 && len(res.AcceptedIDs) > 0 {
+		deadline := time.Now().Add(*drainTimeout)
+		d := loadgen.Classify(client, *base, res.AcceptedIDs, *inFlight)
+		for d.Undecided > 0 && time.Now().Before(deadline) {
+			time.Sleep(500 * time.Millisecond)
+			d = loadgen.Classify(client, *base, res.AcceptedIDs, *inFlight)
+		}
+		fmt.Printf("decisions: %d committed, %d rejected, %d undecided, %d errors (of %d accepted)\n",
+			d.Committed, d.Rejected, d.Undecided, d.Errors, len(res.AcceptedIDs))
+		if d.Undecided > 0 {
+			fmt.Printf("sqload: %d accepted changes still undecided after %v\n", d.Undecided, *drainTimeout)
+			os.Exit(1)
 		}
 	}
-	if len(turns) == 0 {
-		fmt.Println("sqload: no decisions observed")
+	if res.Accepted == 0 {
+		fmt.Println("sqload: no submissions accepted")
 		os.Exit(1)
 	}
-	s := metrics.Summarize(turns)
-	fmt.Printf("sqload: %d committed, %d rejected of %d submitted\n", committed, rejected, *n)
-	fmt.Printf("turnaround ms: p50=%.0f p95=%.0f max=%.0f\n", s.P50, s.P95, s.Max)
 }

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +31,11 @@ type SubmitRequest struct {
 	Team        string       `json:"team"`
 	Description string       `json:"description"`
 	Files       []FileChange `json:"files"`
+	// patch and nFiles are filled by the server-side parser (codec.go),
+	// which converts file edits straight into repo form instead of
+	// materializing Files; Files stays for clients that marshal requests.
+	patch  repo.Patch
+	nFiles int
 	// TestPlan/RevertPlan feed the revision-level model features.
 	TestPlan   bool `json:"test_plan"`
 	RevertPlan bool `json:"revert_plan"`
@@ -122,6 +128,23 @@ type StatusResponse struct {
 	ArbiterCrossShardRejects int         `json:"arbiter_cross_shard_rejects"`
 	ArbiterMaxQueueDepth     int         `json:"arbiter_max_queue_depth"`
 	ArbiterCommitsByShard    map[int]int `json:"arbiter_commits_by_shard,omitempty"`
+
+	// Serving-path health (DESIGN.md §4k): event-bus fan-out shedding and
+	// submit admission. Zero when events/admission are not enabled.
+	EventsPublished       int64 `json:"events_published"`
+	EventsDropped         int64 `json:"events_dropped"`
+	EventsSubscribers     int   `json:"events_subscribers"`
+	EventsSlowSubscribers int   `json:"events_slow_subscribers"`
+
+	AdmissionCapacity    int     `json:"admission_capacity"`
+	AdmissionQueued      int     `json:"admission_queued"`
+	AdmissionRejected    int64   `json:"admission_rejected"`
+	AdmissionShedReads   int64   `json:"admission_shed_reads"`
+	AdmissionDrainPerSec float64 `json:"admission_drain_per_sec"`
+
+	// StatusRefreshes counts rebuilds of this very response: requests
+	// between rebuilds were served from the pre-marshaled snapshot.
+	StatusRefreshes int64 `json:"status_refreshes"`
 }
 
 // Server adapts a core.Service to HTTP.
@@ -129,14 +152,21 @@ type Server struct {
 	svc    *core.Service
 	mux    *http.ServeMux
 	events *events.Bus
-	// now supplies the clock for generated change IDs; injectable so API
-	// behavior replays deterministically under test.
+	// now supplies the clock for generated change IDs, the status cache
+	// TTL, and admission drain-rate sampling; injectable so API behavior
+	// replays deterministically under test.
 	now func() time.Time
+	// adm bounds submissions and sheds dashboard reads under overload
+	// (nil: unbounded, never sheds). See EnableAdmission.
+	adm *admission
+	// status serves GET /api/v1/status from a pre-marshaled snapshot.
+	status *statusCache
 }
 
 // NewServer wraps the service.
 func NewServer(svc *core.Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), now: time.Now}
+	s.status = newStatusCache(0, func() time.Time { return s.now() }, s.buildStatusBody)
 	s.mux.HandleFunc("/api/v1/changes", s.handleChanges)
 	s.mux.HandleFunc("/api/v1/changes/", s.handleChangeState)
 	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
@@ -150,11 +180,27 @@ func NewServer(svc *core.Service) *Server {
 	return s
 }
 
-// SetClock injects the clock used for generated change IDs (tests).
+// SetClock injects the clock used for generated change IDs, the status
+// cache, and admission sampling (tests).
 func (s *Server) SetClock(now func() time.Time) { s.now = now }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. The hot endpoints (submit, state poll,
+// status) are routed with a direct string switch: ServeMux's pattern matcher
+// allocates per request, and those three paths are the entire serving load.
+// Everything else falls through to the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/api/v1/changes":
+		s.handleChanges(w, r)
+	case strings.HasPrefix(path, "/api/v1/changes/"):
+		s.handleChangeState(w, r)
+	case path == "/api/v1/status":
+		s.handleStatus(w, r)
+	default:
+		s.mux.ServeHTTP(w, r)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -166,73 +212,124 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-// toPatch converts request file edits into a repo.Patch.
-func toPatch(files []FileChange) (repo.Patch, error) {
-	var p repo.Patch
-	for _, f := range files {
-		if f.Path == "" {
-			return repo.Patch{}, fmt.Errorf("file change without path")
-		}
-		fc := repo.FileChange{Path: f.Path, NewContent: f.Content}
-		switch f.Op {
-		case "create":
-			fc.Op = repo.OpCreate
-		case "modify":
-			fc.Op = repo.OpModify
-			fc.BaseHash = repo.HashContent(f.BaseContent)
-		case "delete":
-			fc.Op = repo.OpDelete
-			fc.BaseHash = repo.HashContent(f.BaseContent)
-		case "edit-lines":
-			fc.Op = repo.OpEditLines
-			fc.StartLine = f.StartLine
-			fc.OldLines = f.OldLines
-			fc.NewLines = f.NewLines
-		default:
-			return repo.Patch{}, fmt.Errorf("unknown op %q for %s", f.Op, f.Path)
-		}
-		p.Changes = append(p.Changes, fc)
+// shedRead refuses a dashboard-class read with 503 + Retry-After when the
+// admission queue is near capacity, reporting whether the request was
+// handled. State polls and health checks never pass through here: under
+// overload the cheap per-change reads and liveness stay up while the
+// expensive aggregate reads make room for submissions.
+func (s *Server) shedRead(w http.ResponseWriter) bool {
+	if s.adm == nil || !s.adm.overloaded() {
+		return false
 	}
-	return p, nil
+	s.adm.countShed()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "overloaded: dashboard reads shed")
+	return true
 }
+
+// convertFile converts one request file edit into repo form.
+func convertFile(f *FileChange) (repo.FileChange, error) {
+	if f.Path == "" {
+		return repo.FileChange{}, fmt.Errorf("file change without path")
+	}
+	fc := repo.FileChange{Path: f.Path, NewContent: f.Content}
+	switch f.Op {
+	case "create":
+		fc.Op = repo.OpCreate
+	case "modify":
+		fc.Op = repo.OpModify
+		fc.BaseHash = repo.HashContent(f.BaseContent)
+	case "delete":
+		fc.Op = repo.OpDelete
+		fc.BaseHash = repo.HashContent(f.BaseContent)
+	case "edit-lines":
+		fc.Op = repo.OpEditLines
+		fc.StartLine = f.StartLine
+		fc.OldLines = f.OldLines
+		fc.NewLines = f.NewLines
+	default:
+		return repo.FileChange{}, fmt.Errorf("unknown op %q for %s", f.Op, f.Path)
+	}
+	return fc, nil
+}
+
+
+// changeWithRevision allocates a change and its revision together: one heap
+// object instead of two on the submit hot path.
+type changeWithRevision struct {
+	c   change.Change
+	rev change.Revision
+}
+
+// defaultBuildSteps is shared across all submitted changes: nothing mutates
+// a change's BuildSteps in place (the planner's test selection copies before
+// narrowing, the journal encodes element by element), so one slice serves
+// every request.
+var defaultBuildSteps = change.DefaultBuildSteps()
 
 func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.adm != nil {
+		if retry, ok := s.adm.admitSubmit(); !ok {
+			w.Header().Set("Retry-After", itoaSmall(retry))
+			writeError(w, http.StatusTooManyRequests, "queue full; retry later")
+			return
+		}
+	}
+	bufp := getBuf()
+	data, err := readAll(r.Body, *bufp)
+	*bufp = data[:0]
+	if err != nil {
+		putBuf(bufp)
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	// One copy: the parser returns substrings of this string, which the
+	// enqueued change retains; the read buffer itself goes back to the pool.
+	body := string(data)
+	putBuf(bufp)
 	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := parseSubmitRequest(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if req.ID == "" {
-		req.ID = fmt.Sprintf("c-%d", s.now().UnixNano())
+		req.ID = "c-" + strconv.FormatInt(s.now().UnixNano(), 10)
 	}
-	patch, err := toPatch(req.Files)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	c := &change.Change{
+	cr := &changeWithRevision{}
+	c := &cr.c
+	*c = change.Change{
 		ID:          change.ID(req.ID),
 		Author:      change.Developer{Name: req.Author, Team: req.Team, Level: 3},
 		Description: req.Description,
-		Patch:       patch,
-		BuildSteps:  change.DefaultBuildSteps(),
-		Revision: &change.Revision{
-			ID:         change.RevisionID("r-" + req.ID),
-			TestPlan:   req.TestPlan,
-			RevertPlan: req.RevertPlan,
-		},
-		Stats:   change.Stats{FilesChanged: len(req.Files)},
-		Benefit: req.Benefit,
+		Patch:       req.patch,
+		BuildSteps:  defaultBuildSteps,
+		Revision:    &cr.rev,
+		Stats:       change.Stats{FilesChanged: req.nFiles},
+		Benefit:     req.Benefit,
+	}
+	cr.rev = change.Revision{
+		ID:         change.RevisionID("r-" + req.ID),
+		TestPlan:   req.TestPlan,
+		RevertPlan: req.RevertPlan,
 	}
 	if err := s.svc.Submit(c); err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: req.ID, State: change.StatePending.String()})
+	out := getBuf()
+	b := append(*out, `{"id":`...)
+	b = appendJSONString(b, req.ID)
+	b = append(b, `,"state":"pending"}`...)
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusAccepted)
+	_, _ = w.Write(b)
+	*out = b[:0]
+	putBuf(out)
 }
 
 func (s *Server) handleChangeState(w http.ResponseWriter, r *http.Request) {
@@ -250,12 +347,26 @@ func (s *Server) handleChangeState(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, StateResponse{
-		ID:     string(st.ID),
-		State:  st.State.String(),
-		Reason: st.Reason,
-		Commit: string(st.Commit),
-	})
+	out := getBuf()
+	b := append(*out, `{"id":`...)
+	b = appendJSONString(b, string(st.ID))
+	b = append(b, `,"state":`...)
+	b = appendJSONString(b, st.State.String())
+	if st.Reason != "" {
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, st.Reason)
+	}
+	if st.Commit != "" {
+		b = append(b, `,"commit":`...)
+		b = appendJSONString(b, string(st.Commit))
+	}
+	b = append(b, '}')
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	*out = b[:0]
+	putBuf(out)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -263,6 +374,27 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	if s.shedRead(w) {
+		return
+	}
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.status.get())
+}
+
+// buildStatusBody renders the full status snapshot to JSON (status cache
+// rebuild; runs once per TTL or refresher tick, not per request).
+func (s *Server) buildStatusBody() []byte {
+	st := s.buildStatusResponse()
+	b, err := json.Marshal(&st)
+	if err != nil {
+		return []byte(`{"error":"status marshal failed"}`)
+	}
+	return b
+}
+
+func (s *Server) buildStatusResponse() StatusResponse {
 	bs := s.svc.BuildStats()
 	as := s.svc.AnalyzerStats()
 	ps := s.svc.PlannerStats()
@@ -278,7 +410,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if total := ps.PrefixHits + ps.PrefixMisses; total > 0 {
 		prefixRate = float64(ps.PrefixHits) / float64(total)
 	}
-	writeJSON(w, http.StatusOK, StatusResponse{
+	resp := StatusResponse{
 		Pending:       s.svc.PendingCount(),
 		MainlineLen:   s.svc.Repo().Len(),
 		MainlineHead:  string(head.ID),
@@ -322,5 +454,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		ArbiterCrossShardRejects: abs.CrossShardRejects,
 		ArbiterMaxQueueDepth:     abs.MaxQueueDepth,
 		ArbiterCommitsByShard:    abs.CommitsByShard,
-	})
+
+		StatusRefreshes: s.status.Refreshes(),
+	}
+	if s.events != nil {
+		es := s.events.Stats()
+		resp.EventsPublished = es.Published
+		resp.EventsDropped = es.Dropped
+		resp.EventsSubscribers = es.Subscribers
+		resp.EventsSlowSubscribers = es.SlowSubscribers
+	}
+	if s.adm != nil {
+		resp.AdmissionCapacity = s.adm.capacity
+		resp.AdmissionQueued = s.adm.pending()
+		resp.AdmissionRejected = s.adm.Rejected()
+		resp.AdmissionShedReads = s.adm.Shed()
+		resp.AdmissionDrainPerSec = s.adm.Rate()
+	}
+	return resp
 }

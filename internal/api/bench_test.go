@@ -1,0 +1,93 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mastergreen/internal/core"
+	"mastergreen/internal/repo"
+)
+
+// nullResponseWriter discards the response so handler benchmarks measure the
+// handler's own allocations, not the recorder's.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+func benchService(b testing.TB) (*Server, *core.Service) {
+	b.Helper()
+	r := repo.New(map[string]string{
+		"lib/BUILD":  "target lib srcs=lib.go",
+		"lib/lib.go": "lib v1",
+	})
+	// No background loop: the benchmarks exercise only the HTTP layer.
+	svc := core.NewService(r, core.Config{Workers: 2})
+	return NewServer(svc), svc
+}
+
+// submitBody returns one pre-rendered submit request body.
+func submitBody(i int) string {
+	return fmt.Sprintf(`{"id":"bench-%d","author":"bench","team":"load",`+
+		`"files":[{"path":"load/f-%d.txt","op":"create","content":"content"}],"test_plan":true}`, i, i)
+}
+
+// BenchmarkSubmitHandler measures POST /api/v1/changes end to end through
+// ServeHTTP (decode, validate, enqueue, encode). Alloc budget pinned by
+// TestSubmitHandlerAllocBudget.
+func BenchmarkSubmitHandler(b *testing.B) {
+	srv, _ := benchService(b)
+	bodies := make([]string, b.N)
+	reqs := make([]*http.Request, b.N)
+	for i := 0; i < b.N; i++ {
+		bodies[i] = submitBody(i)
+		reqs[i] = httptest.NewRequest(http.MethodPost, "/api/v1/changes", strings.NewReader(bodies[i]))
+	}
+	w := &nullResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.ServeHTTP(w, reqs[i])
+	}
+}
+
+// BenchmarkStateHandler measures GET /api/v1/changes/{id}. Alloc budget
+// pinned by TestStateHandlerAllocBudget.
+func BenchmarkStateHandler(b *testing.B) {
+	srv, _ := benchService(b)
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/changes", strings.NewReader(submitBody(0)))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		b.Fatalf("seed submit = %d: %s", rec.Code, rec.Body)
+	}
+	get := httptest.NewRequest(http.MethodGet, "/api/v1/changes/bench-0", nil)
+	w := &nullResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.ServeHTTP(w, get)
+	}
+}
+
+// BenchmarkStatusHandler measures GET /api/v1/status (the dashboard poll).
+func BenchmarkStatusHandler(b *testing.B) {
+	srv, svc := benchService(b)
+	_ = svc
+	get := httptest.NewRequest(http.MethodGet, "/api/v1/status", nil)
+	w := &nullResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.ServeHTTP(w, get)
+	}
+}

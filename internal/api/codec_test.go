@@ -1,0 +1,136 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mastergreen/internal/repo"
+)
+
+// TestParseSubmitRequestMatchesStdlib: the hand-rolled parser must agree
+// with encoding/json on well-formed bodies, including escapes, unicode,
+// unknown fields, and all file-op shapes.
+func TestParseSubmitRequestMatchesStdlib(t *testing.T) {
+	bodies := []string{
+		`{}`,
+		`{"id":"c1","author":"ana","team":"infra","description":"plain"}`,
+		`{"id":"c2","files":[{"path":"a/b.go","op":"create","content":"x"}],"test_plan":true}`,
+		`{"id":"c3","benefit":2.5,"revert_plan":true,"files":[]}`,
+		`{"id":"esc-\"quoted\"","description":"line1\nline2\ttab \\ slash \/"}`,
+		`{"id":"uni-\u00e9\u6f22","description":"surrogate \ud83d\ude00 pair"}`,
+		`{"unknown_scalar":42,"unknown_obj":{"a":[1,{"b":"}"}]},"unknown_arr":["]","x"],"id":"c4"}`,
+		`{"id":"c5","files":[{"path":"f.txt","op":"edit-lines","start_line":3,` +
+			`"old_lines":["a","b"],"new_lines":["c"]}]}`,
+		`{"id":"c6","files":[{"path":"m.go","op":"modify","base_content":"old","content":"new"},` +
+			`{"path":"d.go","op":"delete","base_content":"bye"}]}`,
+		"\n\t {\"id\" : \"ws\" , \"benefit\" : -1.5e2 } ",
+	}
+	for _, body := range bodies {
+		var want SubmitRequest
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatalf("stdlib rejects test body %q: %v", body, err)
+		}
+		var got SubmitRequest
+		if err := parseSubmitRequest(body, &got); err != nil {
+			t.Fatalf("parse %q: %v", body, err)
+		}
+		if got.ID != want.ID || got.Author != want.Author || got.Team != want.Team ||
+			got.Description != want.Description || got.TestPlan != want.TestPlan ||
+			got.RevertPlan != want.RevertPlan || got.Benefit != want.Benefit {
+			t.Fatalf("parse %q:\ngot  %+v\nwant %+v", body, got, want)
+		}
+		// The hand-rolled parser converts files straight to repo form;
+		// compare against converting the stdlib result the same way.
+		wantFiles := make([]repo.FileChange, 0, len(want.Files))
+		for i := range want.Files {
+			fc, cerr := convertFile(&want.Files[i])
+			if cerr != nil {
+				t.Fatalf("convert stdlib files for %q: %v", body, cerr)
+			}
+			wantFiles = append(wantFiles, fc)
+		}
+		if len(got.patch.Changes) != len(wantFiles) {
+			t.Fatalf("parse %q: %d files, want %d", body, len(got.patch.Changes), len(wantFiles))
+		}
+		for i := range wantFiles {
+			if !reflect.DeepEqual(got.patch.Changes[i], wantFiles[i]) {
+				t.Fatalf("parse %q file %d:\ngot  %+v\nwant %+v",
+					body, i, got.patch.Changes[i], wantFiles[i])
+			}
+		}
+		if got.nFiles != len(want.Files) {
+			t.Fatalf("parse %q: nFiles = %d, want %d", body, got.nFiles, len(want.Files))
+		}
+	}
+}
+
+// TestParseSubmitRequestRejectsMalformed: malformed bodies error instead of
+// parsing partially.
+func TestParseSubmitRequestRejectsMalformed(t *testing.T) {
+	bad := []string{
+		``,
+		`not json`,
+		`{`,
+		`{"id"}`,
+		`{"id":}`,
+		`{"id":"x"`,
+		`{"id":"unterminated}`,
+		`{"files":[{"path":"p","op":"create"}`,
+		`{"files":{"path":"p"}}`,
+		`{"benefit":"not a number"}`,
+		`{"test_plan":"yes"}`,
+		`{"id":"x","desc\u0000ription":"bad escape \q"}`,
+		`[1,2,3]`,
+	}
+	for _, body := range bad {
+		var req SubmitRequest
+		if err := parseSubmitRequest(body, &req); err == nil {
+			t.Fatalf("parse %q: expected error", body)
+		}
+	}
+}
+
+// TestAppendJSONStringEscapes: the response encoder produces valid JSON for
+// every byte class that needs escaping.
+func TestAppendJSONStringEscapes(t *testing.T) {
+	cases := []string{
+		"plain",
+		`with "quotes" and \backslash\`,
+		"newline\nreturn\rtab\t",
+		"control\x01bytes\x1f",
+		"unicode é漢 😀",
+		"",
+	}
+	for _, in := range cases {
+		b := appendJSONString(nil, in)
+		var out string
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("appendJSONString(%q) produced invalid JSON %s: %v", in, b, err)
+		}
+		if out != in {
+			t.Fatalf("appendJSONString(%q) round-tripped to %q", in, out)
+		}
+	}
+}
+
+// TestUnescapeJSON: decoder edge cases, including surrogate pairs and
+// unpaired surrogates.
+func TestUnescapeJSON(t *testing.T) {
+	got, err := unescapeJSON(`a\u00e9b\ud83d\ude00c`)
+	if err != nil || got != "aéb😀c" {
+		t.Fatalf("unescape = %q, %v", got, err)
+	}
+	// An unpaired high surrogate decodes to the replacement character, as
+	// encoding/json does.
+	if got, err := unescapeJSON(`x\ud83dy`); err != nil || !strings.Contains(got, "\uFFFD") {
+		t.Fatalf("unpaired surrogate = %q, %v", got, err)
+	}
+	if _, err := unescapeJSON(`\u12`); err == nil {
+		t.Fatal("truncated \\u escape accepted")
+	}
+	if _, err := unescapeJSON(`\q`); err == nil {
+		t.Fatal("unknown escape accepted")
+	}
+}

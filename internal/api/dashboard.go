@@ -29,6 +29,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "events not enabled")
 		return
 	}
+	if s.shedRead(w) {
+		return
+	}
 	since := int64(0)
 	if v := r.URL.Query().Get("since"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
@@ -57,6 +60,9 @@ func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	if s.shedRead(w) {
+		return
+	}
 	var out []OutcomeItem
 	for _, o := range s.svc.Outcomes() {
 		out = append(out, OutcomeItem{
@@ -81,6 +87,8 @@ builds: {{.Builds}} run / {{.Aborted}} aborted</p>
 <p>analyzer: {{.Analyzer}}</p>
 <p>planner: {{.Planner}}</p>
 <p>reliability: {{.Reliability}}</p>
+{{if .Bus}}<p>bus: {{.Bus}}</p>{{end}}
+{{if .Admission}}<p>admission: {{.Admission}}</p>{{end}}
 {{if .Sharded}}<p>shards: {{.Shards}}</p>
 <p>arbiter: {{.Arbiter}}</p>{{end}}
 <h2>recent outcomes</h2>
@@ -103,6 +111,8 @@ type dashboardData struct {
 	Analyzer    string // conflict-analyzer cache gauges, "name=value …"
 	Planner     string // planner incremental-epoch gauges, "name=value …"
 	Reliability string // flaky-failure layer gauges, "name=value …"
+	Bus         string // event-bus fan-out gauges, "name=value …"
+	Admission   string // submit-admission gauges, "name=value …"
 	Sharded     bool
 	Shards      string // shard-coordinator gauges, "name=value …"
 	Arbiter     string // commit-arbiter gauges, "name=value …"
@@ -121,6 +131,9 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	if s.shedRead(w) {
+		return
+	}
 	bs := s.svc.BuildStats()
 	d := dashboardData{
 		MainlineLen: s.svc.Repo().Len(),
@@ -135,6 +148,12 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Sharded:     s.svc.Sharded(),
 		Shards:      s.svc.ShardStats().Gauges().String(),
 		Arbiter:     s.svc.ArbiterStats().Gauges().String(),
+	}
+	if s.events != nil {
+		d.Bus = s.events.Gauges().String()
+	}
+	if s.adm != nil {
+		d.Admission = s.adm.Gauges().String()
 	}
 	outs := s.svc.Outcomes()
 	start := 0

@@ -112,9 +112,13 @@ type Service struct {
 	cfg      Config
 
 	mu       sync.Mutex
-	statuses map[change.ID]*Status
+	statuses map[change.ID]Status
 	cancel   context.CancelFunc
 	loopDone chan struct{}
+	// outCursor is how many planner outcomes have been folded into statuses;
+	// syncOutcomes reads only the delta past it, so a State() poll with no new
+	// decisions costs a counter compare instead of a full outcome-slice copy.
+	outCursor int
 
 	// Durability (optional): journal records submissions and outcomes;
 	// recorded tracks which outcomes have already been appended.
@@ -174,7 +178,7 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		ctrl:     ctrl,
 		rel:      rel,
 		cfg:      cfg,
-		statuses: map[change.ID]*Status{},
+		statuses: map[change.ID]Status{},
 		recorded: map[change.ID]bool{},
 	}
 	if cfg.Shards >= 1 && !cfg.SingleShard {
@@ -216,7 +220,7 @@ func (s *Service) submitLocked(c *change.Change, journalIt bool) error {
 		return err
 	}
 	s.mu.Lock()
-	s.statuses[c.ID] = &Status{ID: c.ID, State: change.StatePending}
+	s.statuses[c.ID] = Status{ID: c.ID, State: change.StatePending}
 	j := s.journal
 	s.mu.Unlock()
 	if s.cfg.Events != nil {
@@ -241,22 +245,35 @@ func (s *Service) State(id change.ID) (Status, error) {
 	if !ok {
 		return Status{}, fmt.Errorf("core: unknown change %s", id)
 	}
-	return *st, nil
+	return st, nil
 }
 
 // syncOutcomes folds planner outcomes into the status map and journals
 // newly-final dispositions. The first decision for a change wins: in sharded
 // mode a change moved between engines mid-decision can surface a bounced
-// duplicate, and a final status must never flip.
+// duplicate, and a final status must never flip. A cursor tracks how far the
+// outcome log has been folded: the steady-state call (a status poll with no
+// new decisions) is a counter compare with zero allocations, and concurrent
+// callers at worst re-fold a delta — harmless, since folding is idempotent
+// and journaling is deduplicated by s.recorded.
 func (s *Service) syncOutcomes() {
-	outs := s.plannerOutcomes()
+	n := s.plannerOutcomeCount()
+	s.mu.Lock()
+	cur := s.outCursor
+	s.mu.Unlock()
+	if n <= cur {
+		return
+	}
+	outs := s.plannerOutcomesSince(cur)
 	var toJournal []store.OutcomeRecord
 	s.mu.Lock()
+	if end := cur + len(outs); end > s.outCursor {
+		s.outCursor = end
+	}
 	for _, o := range outs {
 		st, ok := s.statuses[o.ID]
 		if !ok {
-			st = &Status{ID: o.ID}
-			s.statuses[o.ID] = st
+			st = Status{ID: o.ID}
 		}
 		if st.State == change.StateCommitted || st.State == change.StateRejected {
 			continue // already final; first decision wins
@@ -264,6 +281,7 @@ func (s *Service) syncOutcomes() {
 		st.State = o.State
 		st.Reason = o.Reason
 		st.Commit = o.Commit
+		s.statuses[o.ID] = st
 		if s.journal != nil && !s.recorded[o.ID] {
 			s.recorded[o.ID] = true
 			toJournal = append(toJournal, store.OutcomeRecord{
@@ -285,6 +303,23 @@ func (s *Service) plannerOutcomes() []planner.Outcome {
 		return s.runtime.Outcomes()
 	}
 	return s.planner.Outcomes()
+}
+
+// plannerOutcomeCount returns the outcome count from whichever engine layer
+// runs, without copying the log.
+func (s *Service) plannerOutcomeCount() int {
+	if s.runtime != nil {
+		return s.runtime.OutcomeCount()
+	}
+	return s.planner.OutcomeCount()
+}
+
+// plannerOutcomesSince returns the dispositions recorded after the first n.
+func (s *Service) plannerOutcomesSince(n int) []planner.Outcome {
+	if s.runtime != nil {
+		return s.runtime.OutcomesSince(n)
+	}
+	return s.planner.OutcomesSince(n)
 }
 
 // Tick runs one planner epoch (for callers managing their own loop).
@@ -314,6 +349,10 @@ func (s *Service) ProcessAll(ctx context.Context) error {
 
 // Outcomes returns all final dispositions so far, in decision order.
 func (s *Service) Outcomes() []planner.Outcome { return s.plannerOutcomes() }
+
+// OutcomeCount returns the number of final dispositions so far, without
+// copying the outcome log (admission drain-rate sampling polls this).
+func (s *Service) OutcomeCount() int { return s.plannerOutcomeCount() }
 
 // PendingCount returns the number of changes still undecided.
 func (s *Service) PendingCount() int {

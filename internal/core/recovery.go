@@ -25,7 +25,7 @@ func (s *Service) Recover(records []store.Record) (int, error) {
 	pending, outcomes := store.PendingFromRecords(records)
 	s.mu.Lock()
 	for _, o := range outcomes {
-		st := &Status{ID: o.ID, Reason: o.Reason, Commit: o.Commit}
+		st := Status{ID: o.ID, Reason: o.Reason, Commit: o.Commit}
 		if o.State == change.StateCommitted.String() {
 			st.State = change.StateCommitted
 		} else {
@@ -59,11 +59,26 @@ func (s *Service) CloseJournal() error {
 	return j.Close()
 }
 
+// SnapshotJournal folds the journal's history into a snapshot (pending set
+// plus a bounded outcome tail) and truncates the live journal, keeping
+// restart replay time flat as history grows. No-op without a journal.
+func (s *Service) SnapshotJournal(keepOutcomes int) error {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Snapshot(s.repo.Head().ID, keepOutcomes, s.cfg.Now())
+}
+
 // OpenRecovered builds a durable service from a saved repository and a
 // journal path: the repo is loaded, undecided submissions re-enqueued, and
-// the journal attached for future writes.
+// the journal attached for future writes. LoadState folds the snapshot chain
+// (if SnapshotJournal has run) with the live tail, so boot cost is
+// proportional to live state, not total history.
 func OpenRecovered(repoSnapshot *repo.Repo, journalPath string, cfg Config) (*Service, error) {
-	recs, err := store.Replay(journalPath)
+	recs, err := store.LoadState(journalPath)
 	if err != nil {
 		return nil, err
 	}

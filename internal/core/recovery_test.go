@@ -160,3 +160,70 @@ func TestRepoSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotJournalRestart: a service that snapshots its journal restarts
+// from snapshot + tail with the same state a full-history replay would give —
+// decided changes stay decided, pending ones are re-enqueued and complete.
+func TestSnapshotJournalRestart(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+
+	r := newRepo()
+	j, err := store.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(r, Config{Workers: 4})
+	svc.AttachJournal(j)
+
+	if err := svc.Submit(mkChange(r, "s1", "lib/lib.go", "lib v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(mkChange(r, "s2", "doc/readme.md", "doc v2")); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot mid-stream: s1's decision and s2's pending submit fold into
+	// the snapshot; the live journal is truncated.
+	if err := svc.SnapshotJournal(8); err != nil {
+		t.Fatal(err)
+	}
+	// A post-snapshot submit lands in the tail.
+	if err := svc.Submit(mkChange(r, "s3", "app/main.go", "app v2")); err != nil {
+		t.Fatal(err)
+	}
+	var repoBuf bytes.Buffer
+	if err := r.Save(&repoBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := repo.Load(&repoBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := OpenRecovered(r2, journalPath, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc2.State("s1")
+	if err != nil || st.State != change.StateCommitted {
+		t.Fatalf("s1 after snapshotted restart = %+v, %v", st, err)
+	}
+	if svc2.PendingCount() != 2 {
+		t.Fatalf("pending after snapshotted recovery = %d, want 2", svc2.PendingCount())
+	}
+	if err := svc2.ProcessAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []change.ID{"s2", "s3"} {
+		st, err := svc2.State(id)
+		if err != nil || st.State != change.StateCommitted {
+			t.Fatalf("%s after snapshotted recovery = %+v, %v", id, st, err)
+		}
+	}
+}

@@ -7,9 +7,11 @@ package events
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mastergreen/internal/change"
+	"mastergreen/internal/metrics"
 )
 
 // Type classifies an event.
@@ -64,9 +66,35 @@ type Bus struct {
 	start   int // index of oldest
 	count   int
 	nextSeq int64
-	subs    map[int]chan Event
+	subs    map[int]*subscriber
 	nextSub int
 	now     func() time.Time
+
+	// dropped counts fan-out sends discarded because a subscriber's buffer
+	// was full. Atomic: incremented outside mu on the publish fast path.
+	dropped int64
+}
+
+// subscriber is one live subscription plus its drop count.
+type subscriber struct {
+	ch      chan Event
+	dropped int64 // atomic
+}
+
+// Stats is a point-in-time summary of bus health: how much was published,
+// how much fan-out was shed, and how many subscribers are falling behind.
+type Stats struct {
+	// Published is the total number of events published on this bus.
+	Published int64
+	// Dropped is the total number of per-subscriber sends discarded because
+	// the subscriber's buffer was full. One published event fanned out to k
+	// stalled subscribers counts k drops.
+	Dropped int64
+	// Subscribers is the current number of live subscriptions.
+	Subscribers int
+	// SlowSubscribers is how many current subscribers have dropped at least
+	// one event — the ones a dashboard should call out.
+	SlowSubscribers int
 }
 
 // NewBus creates a bus retaining the most recent capacity events (min 16).
@@ -76,7 +104,7 @@ func NewBus(capacity int) *Bus {
 	}
 	return &Bus{
 		ring: make([]Event, capacity),
-		subs: map[int]chan Event{},
+		subs: map[int]*subscriber{},
 		now:  time.Now,
 	}
 }
@@ -104,18 +132,51 @@ func (b *Bus) Publish(ev Event) Event {
 		b.count++
 	}
 	b.ring[idx] = ev
-	subs := make([]chan Event, 0, len(b.subs))
-	for _, ch := range b.subs {
-		subs = append(subs, ch)
+	subs := make([]*subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
 	}
 	b.mu.Unlock()
-	for _, ch := range subs {
+	for _, s := range subs {
 		select {
-		case ch <- ev:
-		default: // drop for slow consumers
+		case s.ch <- ev:
+		default:
+			// Drop rather than block: a stalled consumer must never stall
+			// the planner. The shed send is counted so /status can surface
+			// the slow subscriber instead of hiding the loss.
+			atomic.AddInt64(&s.dropped, 1)
+			atomic.AddInt64(&b.dropped, 1)
 		}
 	}
 	return ev
+}
+
+// Stats returns current bus health counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := Stats{
+		Published:   b.nextSeq,
+		Dropped:     atomic.LoadInt64(&b.dropped),
+		Subscribers: len(b.subs),
+	}
+	for _, s := range b.subs {
+		if atomic.LoadInt64(&s.dropped) > 0 {
+			st.SlowSubscribers++
+		}
+	}
+	return st
+}
+
+// Gauges renders the bus health counters in the repo's uniform gauge form.
+func (b *Bus) Gauges() metrics.Gauges {
+	st := b.Stats()
+	return metrics.Gauges{
+		{Name: "events_published", Value: float64(st.Published)},
+		{Name: "events_dropped", Value: float64(st.Dropped)},
+		{Name: "events_subscribers", Value: float64(st.Subscribers)},
+		{Name: "events_slow_subscribers", Value: float64(st.SlowSubscribers)},
+	}
 }
 
 // Since returns retained events with Seq > seq, oldest first.
@@ -145,21 +206,21 @@ func (b *Bus) Subscribe(buffer int) (<-chan Event, func()) {
 	if buffer < 1 {
 		buffer = 1
 	}
-	ch := make(chan Event, buffer)
+	s := &subscriber{ch: make(chan Event, buffer)}
 	b.mu.Lock()
 	id := b.nextSub
 	b.nextSub++
-	b.subs[id] = ch
+	b.subs[id] = s
 	b.mu.Unlock()
 	cancel := func() {
 		b.mu.Lock()
 		if _, ok := b.subs[id]; ok {
 			delete(b.subs, id)
-			close(ch)
+			close(s.ch)
 		}
 		b.mu.Unlock()
 	}
-	return ch, cancel
+	return s.ch, cancel
 }
 
 // Counts aggregates retained events by type (for status pages).

@@ -113,3 +113,54 @@ func TestSetClock(t *testing.T) {
 		t.Fatalf("At = %v", ev.At)
 	}
 }
+
+// TestStalledSubscriberNeverBlocksPublish: a subscriber that never drains
+// must not stall Publish. Every overflowed send is shed, counted against the
+// subscriber, and surfaced through Stats and Gauges.
+func TestStalledSubscriberNeverBlocksPublish(t *testing.T) {
+	b := NewBus(16)
+	stalled, cancelStalled := b.Subscribe(2) // fills after 2 events, never drained
+	defer cancelStalled()
+	healthy, cancelHealthy := b.Subscribe(64)
+	defer cancelHealthy()
+
+	const n = 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			b.Publish(Event{Type: TypeSubmitted})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a stalled subscriber")
+	}
+
+	if got := len(healthy); got != n {
+		t.Fatalf("healthy subscriber saw %d events, want %d", got, n)
+	}
+	st := b.Stats()
+	if st.Published != n {
+		t.Fatalf("Published = %d, want %d", st.Published, n)
+	}
+	if want := int64(n - 2); st.Dropped != want {
+		t.Fatalf("Dropped = %d, want %d (stalled buffer holds 2)", st.Dropped, want)
+	}
+	if st.Subscribers != 2 || st.SlowSubscribers != 1 {
+		t.Fatalf("Subscribers = %d SlowSubscribers = %d, want 2 and 1", st.Subscribers, st.SlowSubscribers)
+	}
+	// The stalled subscriber still holds the first events it had room for.
+	if ev := <-stalled; ev.Seq != 1 {
+		t.Fatalf("stalled subscriber's first buffered event Seq = %d", ev.Seq)
+	}
+
+	g := b.Gauges()
+	if v, ok := g.Get("events_dropped"); !ok || v != float64(n-2) {
+		t.Fatalf("gauges = %v", g)
+	}
+	if v, ok := g.Get("events_slow_subscribers"); !ok || v != 1 {
+		t.Fatalf("gauges = %v", g)
+	}
+}

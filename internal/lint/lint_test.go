@@ -238,3 +238,22 @@ func TestDefaultPolicyCoversShardScaleOut(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultPolicyExemptsLoadgen pins internal/loadgen's deliberate scope:
+// it is a real-time measurement instrument (open-loop pacing, wall-clock
+// latency percentiles), so the determinism analyzers must NOT govern it —
+// adding it to wallclock/tainttime would force lint:ignore noise on every
+// line of the harness. The repo-wide safety analyzers still apply: a
+// deadlock or leaked goroutine in the load harness corrupts measurements.
+func TestDefaultPolicyExemptsLoadgen(t *testing.T) {
+	for _, an := range []string{"wallclock", "tainttime", "maporder"} {
+		if lint.DefaultPolicy.Applies(an, "internal/loadgen") {
+			t.Errorf("DefaultPolicy applies %s to internal/loadgen; the load harness measures real time by design", an)
+		}
+	}
+	for _, an := range []string{"locksend", "lockorder", "goleak", "errdrop", "atomicmix"} {
+		if !lint.DefaultPolicy.Applies(an, "internal/loadgen") {
+			t.Errorf("DefaultPolicy does not apply %s to internal/loadgen", an)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package loadgen is the open-loop load harness for the sqd serving path:
+// it paces submissions at a fixed target rate regardless of how fast the
+// server responds (so a slow server shows up as latency and backlog, not as
+// a silently reduced offered rate), mixes in state polls and status reads,
+// and reports per-endpoint latency percentiles up to P99.9.
+//
+// The package deliberately sits OUTSIDE mglint's wallclock policy
+// (internal/lint/policy.go): its entire job is measuring real elapsed time
+// against a live HTTP server, so injected clocks would defeat the point.
+package loadgen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mastergreen/internal/metrics"
+)
+
+// RequestFunc builds the i-th submission body. The returned id must match
+// the "id" field inside body so accepted changes can be polled later.
+type RequestFunc func(i int) (id string, body []byte)
+
+// DefaultRequest returns a RequestFunc where every submission creates a
+// distinct file under load/, so changes are independent at the file level.
+// IDs embed prefix, which callers should salt (e.g. with a start timestamp)
+// when driving a long-lived server to keep runs disjoint.
+func DefaultRequest(prefix string) RequestFunc {
+	return func(i int) (string, []byte) {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		body := fmt.Sprintf(`{"id":%q,"author":"loadgen-%d","team":"load",`+
+			`"files":[{"path":"load/f-%s.txt","op":"create","content":"content %d"}],"test_plan":true}`,
+			id, i%8, id, i)
+		return id, []byte(body)
+	}
+}
+
+// SharedClient returns an http.Client tuned for sustained load against one
+// host: keep-alives with an idle pool sized to the in-flight bound, so every
+// sender reuses a warm connection instead of re-dialing per request.
+func SharedClient(maxInFlight int) *http.Client {
+	if maxInFlight <= 0 {
+		maxInFlight = 64
+	}
+	return &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxInFlight,
+			MaxIdleConnsPerHost: maxInFlight,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// Config describes one load run.
+type Config struct {
+	BaseURL  string        // sqd base URL, e.g. http://127.0.0.1:8080
+	Rate     float64       // target submissions per second (open loop)
+	Duration time.Duration // measured window
+	Warmup   time.Duration // paced at Rate before measuring; excluded from stats
+
+	// MaxInFlight bounds concurrent HTTP requests (default 512). The pacer
+	// never blocks on it — excess submissions queue in goroutines, keeping
+	// the offered rate honest while capping socket usage.
+	MaxInFlight int
+	Client      *http.Client // default SharedClient(MaxInFlight)
+	Request     RequestFunc  // default DefaultRequest("load")
+
+	PollRate   float64 // state polls per second over accepted ids (0 = none)
+	StatusRate float64 // GET /api/v1/status per second (0 = none)
+}
+
+// Latency summarizes one endpoint's observed latencies in milliseconds.
+type Latency struct {
+	Count  int
+	MeanMs float64
+	P50Ms  float64
+	P95Ms  float64
+	P99Ms  float64
+	P999Ms float64
+	MaxMs  float64
+}
+
+// String renders the summary as one terminal-friendly line.
+func (l Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2f p95=%.2f p99=%.2f p99.9=%.2f max=%.2f",
+		l.Count, l.MeanMs, l.P50Ms, l.P95Ms, l.P99Ms, l.P999Ms, l.MaxMs)
+}
+
+func summarize(ms []float64) Latency {
+	if len(ms) == 0 {
+		return Latency{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Latency{
+		Count:  len(sorted),
+		MeanMs: sum / float64(len(sorted)),
+		P50Ms:  metrics.Percentile(sorted, 50),
+		P95Ms:  metrics.Percentile(sorted, 95),
+		P99Ms:  metrics.Percentile(sorted, 99),
+		P999Ms: metrics.Percentile(sorted, 99.9),
+		MaxMs:  sorted[len(sorted)-1],
+	}
+}
+
+// Result is one completed load run. AcceptedIDs covers warmup and measured
+// phases (every 202 is a durability promise the caller may audit with
+// Classify); all other fields cover only the measured window.
+type Result struct {
+	Offered   int // submissions paced into the measured window
+	Accepted  int // 202
+	Throttled int // 429 (admission backpressure)
+	Errors    int // transport errors or unexpected statuses
+
+	RetryAfterMean float64 // mean Retry-After seconds across 429s
+
+	StatusReads int // 200 status reads
+	StatusShed  int // 503 status reads (overload degradation)
+	StatePolls  int // 200 state polls
+
+	Submit     Latency
+	StatePoll  Latency
+	StatusRead Latency
+
+	ElapsedSec     float64
+	OfferedPerSec  float64
+	AcceptedPerSec float64
+
+	AcceptedIDs []string
+}
+
+// Sustained reports accepted submissions per minute — the headline
+// throughput number.
+func (r *Result) Sustained() float64 { return r.AcceptedPerSec * 60 }
+
+type runState struct {
+	cfg    Config
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	warmup atomic.Bool
+
+	accepted  atomic.Int64
+	throttled atomic.Int64
+	errs      atomic.Int64
+	retrySum  atomic.Int64 // Retry-After seconds summed across 429s
+
+	statusOK   atomic.Int64
+	statusShed atomic.Int64
+	stateOK    atomic.Int64
+
+	mu       sync.Mutex
+	submitMs []float64
+	stateMs  []float64
+	statusMs []float64
+	idsByNum []string // accepted ids, warmup included
+}
+
+// Run executes one load run. It returns an error only when the run cannot
+// start (bad config, unhealthy server); per-request failures are counted in
+// the Result instead.
+func Run(cfg Config) (*Result, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL required")
+	}
+	if cfg.Rate <= 0 {
+		return nil, errors.New("loadgen: Rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("loadgen: Duration must be positive")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 512
+	}
+	if cfg.Client == nil {
+		cfg.Client = SharedClient(cfg.MaxInFlight)
+	}
+	if cfg.Request == nil {
+		cfg.Request = DefaultRequest("load")
+	}
+
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: service not reachable at %s: %w", cfg.BaseURL, err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: service not healthy at %s: status %d", cfg.BaseURL, resp.StatusCode)
+	}
+
+	g := &runState{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+
+	seq := 0
+	if cfg.Warmup > 0 {
+		g.warmup.Store(true)
+		seq = g.pace(seq, cfg.Warmup)
+		g.wg.Wait()
+		g.warmup.Store(false)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	if cfg.PollRate > 0 {
+		readers.Add(1)
+		go g.pollLoop(stop, &readers)
+	}
+	if cfg.StatusRate > 0 {
+		readers.Add(1)
+		go g.statusLoop(stop, &readers)
+	}
+
+	start := time.Now()
+	end := g.pace(seq, cfg.Duration)
+	g.wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	readers.Wait()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	res := &Result{
+		Offered:     end - seq,
+		Accepted:    int(g.accepted.Load()),
+		Throttled:   int(g.throttled.Load()),
+		Errors:      int(g.errs.Load()),
+		StatusReads: int(g.statusOK.Load()),
+		StatusShed:  int(g.statusShed.Load()),
+		StatePolls:  int(g.stateOK.Load()),
+		Submit:      summarize(g.submitMs),
+		StatePoll:   summarize(g.stateMs),
+		StatusRead:  summarize(g.statusMs),
+		ElapsedSec:  elapsed.Seconds(),
+		AcceptedIDs: append([]string(nil), g.idsByNum...),
+	}
+	if res.Throttled > 0 {
+		res.RetryAfterMean = float64(g.retrySum.Load()) / float64(res.Throttled)
+	}
+	if res.ElapsedSec > 0 {
+		res.OfferedPerSec = float64(res.Offered) / res.ElapsedSec
+		res.AcceptedPerSec = float64(res.Accepted) / res.ElapsedSec
+	}
+	return res, nil
+}
+
+// pace schedules submissions seq, seq+1, ... at cfg.Rate for d, spawning one
+// goroutine per submission so a slow server never slows the offered rate.
+// Returns the next unused sequence number.
+func (g *runState) pace(seq int, d time.Duration) int {
+	interval := time.Duration(float64(time.Second) / g.cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	start := time.Now()
+	deadline := start.Add(d)
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		i := seq
+		seq++
+		g.wg.Add(1)
+		go g.submit(i)
+	}
+	return seq
+}
+
+func (g *runState) submit(i int) {
+	defer g.wg.Done()
+	g.sem <- struct{}{}
+	defer func() { <-g.sem }()
+
+	warm := g.warmup.Load()
+	id, body := g.cfg.Request(i)
+	start := time.Now()
+	resp, err := g.cfg.Client.Post(g.cfg.BaseURL+"/api/v1/changes", "application/json", bytes.NewReader(body))
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		if !warm {
+			g.errs.Add(1)
+		}
+		return
+	}
+	retryAfter := 0
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retryAfter, _ = parseSeconds(resp.Header.Get("Retry-After"))
+	}
+	drain(resp)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		g.mu.Lock()
+		g.idsByNum = append(g.idsByNum, id)
+		if !warm {
+			g.submitMs = append(g.submitMs, ms)
+		}
+		g.mu.Unlock()
+		if !warm {
+			g.accepted.Add(1)
+		}
+	case http.StatusTooManyRequests:
+		if !warm {
+			g.throttled.Add(1)
+			g.retrySum.Add(int64(retryAfter))
+			g.mu.Lock()
+			g.submitMs = append(g.submitMs, ms)
+			g.mu.Unlock()
+		}
+	default:
+		if !warm {
+			g.errs.Add(1)
+		}
+	}
+}
+
+// pollLoop issues state reads over accepted ids round-robin at PollRate.
+func (g *runState) pollLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	tick := time.NewTicker(time.Duration(float64(time.Second) / g.cfg.PollRate))
+	defer tick.Stop()
+	i := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		g.mu.Lock()
+		var id string
+		if n := len(g.idsByNum); n > 0 {
+			id = g.idsByNum[i%n]
+			i++
+		}
+		g.mu.Unlock()
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		resp, err := g.cfg.Client.Get(g.cfg.BaseURL + "/api/v1/changes/" + id)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			g.errs.Add(1)
+			continue
+		}
+		drain(resp)
+		if resp.StatusCode == http.StatusOK {
+			g.stateOK.Add(1)
+			g.mu.Lock()
+			g.stateMs = append(g.stateMs, ms)
+			g.mu.Unlock()
+		} else {
+			g.errs.Add(1)
+		}
+	}
+}
+
+// statusLoop issues dashboard-style status reads at StatusRate, counting
+// 503 sheds separately: under overload those are expected degradation, not
+// errors.
+func (g *runState) statusLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	tick := time.NewTicker(time.Duration(float64(time.Second) / g.cfg.StatusRate))
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		start := time.Now()
+		resp, err := g.cfg.Client.Get(g.cfg.BaseURL + "/api/v1/status")
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			g.errs.Add(1)
+			continue
+		}
+		drain(resp)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			g.statusOK.Add(1)
+			g.mu.Lock()
+			g.statusMs = append(g.statusMs, ms)
+			g.mu.Unlock()
+		case http.StatusServiceUnavailable:
+			g.statusShed.Add(1)
+		default:
+			g.errs.Add(1)
+		}
+	}
+}
+
+// Decisions tallies the final states of a set of accepted changes.
+type Decisions struct {
+	Committed int
+	Rejected  int
+	Undecided int
+	Errors    int
+}
+
+// Classify polls every id once and tallies its current state. Run it after
+// the service has drained to audit the 202 durability promise: accepted
+// changes must all reach committed or rejected — never vanish.
+func Classify(client *http.Client, baseURL string, ids []string, maxInFlight int) Decisions {
+	if client == nil {
+		client = SharedClient(maxInFlight)
+	}
+	if maxInFlight <= 0 {
+		maxInFlight = 64
+	}
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	var committed, rejected, undecided, errs atomic.Int64
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			resp, err := client.Get(baseURL + "/api/v1/changes/" + id)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			_ = resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				errs.Add(1)
+				return
+			}
+			switch {
+			case bytes.Contains(body, []byte(`"state":"committed"`)):
+				committed.Add(1)
+			case bytes.Contains(body, []byte(`"state":"rejected"`)):
+				rejected.Add(1)
+			default:
+				undecided.Add(1)
+			}
+		}(id)
+	}
+	wg.Wait()
+	return Decisions{
+		Committed: int(committed.Load()),
+		Rejected:  int(rejected.Load()),
+		Undecided: int(undecided.Load()),
+		Errors:    int(errs.Load()),
+	}
+}
+
+// drain empties and closes a response body so the keep-alive connection goes
+// back to the pool.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+// parseSeconds parses a small non-negative decimal like a Retry-After value.
+func parseSeconds(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(s[i]-'0')
+		if n > 1<<20 {
+			return 0, false
+		}
+	}
+	return n, true
+}

@@ -283,6 +283,22 @@ func (p *Planner) OutcomeCount() int {
 	return len(p.outcomes)
 }
 
+// OutcomesSince returns a copy of the dispositions recorded after the first
+// n, in decision order. Callers that track a cursor (core's journal sync, the
+// shard coordinator) use it to read only the delta instead of copying the
+// full history on every poll.
+func (p *Planner) OutcomesSince(n int) []Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(p.outcomes) {
+		return nil
+	}
+	return append([]Outcome(nil), p.outcomes[n:]...)
+}
+
 // dynamicKey identifies a build by its absolute apply list (committed prefix
 // up to the build's base, then the build's changes) plus rejection
 // assumptions about changes that are still unresolved. Callers hold p.mu.

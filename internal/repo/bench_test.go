@@ -1,0 +1,61 @@
+package repo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// largeTree builds a t-file snapshot the way the serving path sees one: a
+// flattened base a long commit chain has grown onto.
+func largeTree(t int) Snapshot {
+	files := make(map[string]string, t)
+	for i := 0; i < t; i++ {
+		files[fmt.Sprintf("sub%03d/f%d.go", i%32, i/32)] = fmt.Sprintf("content %d", i)
+	}
+	return NewSnapshot(files)
+}
+
+// BenchmarkSnapshotApplyLargeTree is the serving path's per-commit cost: one
+// single-file patch applied to a 4096-file tree. The layered representation
+// copies only the delta since the last flatten (amortized O(√tree)); the old
+// full-map copy made this O(tree) and dominated the sustained-load CPU
+// profile, pushing submit P99 from ~3ms to ~300ms at 350 commits/s on one
+// core.
+func BenchmarkSnapshotApplyLargeTree(b *testing.B) {
+	snap := largeTree(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := snap.Apply(Patch{Changes: []FileChange{{
+			Path: fmt.Sprintf("new/b%d.go", i), Op: OpCreate, NewContent: "x",
+		}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap = next
+	}
+}
+
+// BenchmarkChangedPathsNearbyHeads diffs two heads a few commits apart — the
+// conflict analyzer's selective-invalidation query on every head move. With a
+// shared base layer this compares only the deltas, not the whole tree.
+func BenchmarkChangedPathsNearbyHeads(b *testing.B) {
+	old := largeTree(4096)
+	cur := old
+	for i := 0; i < 3; i++ {
+		next, err := cur.Apply(Patch{Changes: []FileChange{{
+			Path: fmt.Sprintf("new/h%d.go", i), Op: OpCreate, NewContent: "y",
+		}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur = next
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := cur.ChangedPaths(old); len(got) != 3 {
+			b.Fatalf("changed paths = %d, want 3", len(got))
+		}
+	}
+}

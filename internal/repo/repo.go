@@ -114,9 +114,31 @@ func (p Patch) Paths() []string {
 
 // Snapshot is an immutable view of the repository tree: path -> content.
 // Snapshots share storage; callers must not mutate the returned maps.
+//
+// Representation: a shared flattened base layer plus a small delta of edits
+// since that base. Apply copies only the delta (O(edits since flatten), not
+// O(tree)), and flattens into a fresh base once the delta outgrows √tree —
+// without this, every commit on a t-file tree costs a t-entry map copy, and
+// a serving path absorbing hundreds of commits per second spends most of a
+// core (and its GC budget) duplicating an essentially unchanged tree.
 type Snapshot struct {
-	files map[string]string
+	base  *baseLayer // shared, never mutated after creation; nil only for the zero Snapshot
+	delta map[string]deltaEntry
+	n     int // live file count
 	fp    snapFP
+}
+
+// baseLayer is a flattened tree shared by every snapshot derived from it. It
+// is a pointer so ChangedPaths can recognize two snapshots with a common base
+// by identity and diff just their deltas.
+type baseLayer struct {
+	files map[string]string
+}
+
+// deltaEntry is one edit relative to the base layer.
+type deltaEntry struct {
+	content string
+	deleted bool
 }
 
 // snapFP is an order-independent fingerprint of the full tree: the sum of
@@ -150,7 +172,7 @@ func NewSnapshot(files map[string]string) Snapshot {
 		m[k] = v
 		fp = fp.add(fileFP(k, v))
 	}
-	return Snapshot{files: m, fp: fp}
+	return Snapshot{base: &baseLayer{files: m}, n: len(m), fp: fp}
 }
 
 // ContentID returns a fingerprint of the snapshot's full tree: two snapshots
@@ -159,14 +181,25 @@ func NewSnapshot(files map[string]string) Snapshot {
 // is O(1); consumers (e.g. the build-graph analyze cache) use it as a
 // content-addressed cache key.
 func (s Snapshot) ContentID() string {
-	return fmt.Sprintf("%016x%016x-%d", s.fp.a, s.fp.b, len(s.files))
+	return fmt.Sprintf("%016x%016x-%d", s.fp.a, s.fp.b, s.n)
 }
 
 // Range calls f for every (path, content) pair in unspecified order,
 // stopping early if f returns false. It avoids the sort and slice allocation
 // of Paths for callers that only need to visit the tree.
 func (s Snapshot) Range(f func(path, content string) bool) {
-	for p, c := range s.files {
+	for p, e := range s.delta {
+		if !e.deleted && !f(p, e.content) {
+			return
+		}
+	}
+	if s.base == nil {
+		return
+	}
+	for p, c := range s.base.files {
+		if _, shadowed := s.delta[p]; shadowed {
+			continue
+		}
 		if !f(p, c) {
 			return
 		}
@@ -175,19 +208,29 @@ func (s Snapshot) Range(f func(path, content string) bool) {
 
 // Read returns the content of path and whether it exists.
 func (s Snapshot) Read(path string) (string, bool) {
-	c, ok := s.files[path]
+	if e, ok := s.delta[path]; ok {
+		if e.deleted {
+			return "", false
+		}
+		return e.content, true
+	}
+	if s.base == nil {
+		return "", false
+	}
+	c, ok := s.base.files[path]
 	return c, ok
 }
 
 // Len returns the number of files in the snapshot.
-func (s Snapshot) Len() int { return len(s.files) }
+func (s Snapshot) Len() int { return s.n }
 
 // Paths returns all file paths in sorted order.
 func (s Snapshot) Paths() []string {
-	out := make([]string, 0, len(s.files))
-	for p := range s.files {
+	out := make([]string, 0, s.n)
+	s.Range(func(p, _ string) bool {
 		out = append(out, p)
-	}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -196,32 +239,48 @@ func (s Snapshot) Paths() []string {
 // (e.g. "app/rider/"). An empty prefix returns all paths.
 func (s Snapshot) PathsUnder(prefix string) []string {
 	var out []string
-	for p := range s.files {
+	s.Range(func(p, _ string) bool {
 		if strings.HasPrefix(p, prefix) {
 			out = append(out, p)
 		}
-	}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
 
+// flatten folds the delta into a fresh base layer. The fingerprint and count
+// are already maintained incrementally, so this is a single O(tree) walk.
+func (s Snapshot) flatten() Snapshot {
+	files := make(map[string]string, s.n)
+	s.Range(func(p, c string) bool {
+		files[p] = c
+		return true
+	})
+	return Snapshot{base: &baseLayer{files: files}, n: s.n, fp: s.fp}
+}
+
 // Apply produces a new snapshot with the patch applied, or an error
 // describing the first conflict encountered. The receiver is unchanged.
+// Cost is O(delta + patch): the shared base layer is never copied, only the
+// delta map. Once the delta outgrows √tree the result is flattened, so the
+// amortized per-commit cost stays O(√tree) instead of O(tree).
 func (s Snapshot) Apply(p Patch) (Snapshot, error) {
-	next := make(map[string]string, len(s.files)+len(p.Changes))
-	for k, v := range s.files {
-		next[k] = v
+	delta := make(map[string]deltaEntry, len(s.delta)+len(p.Changes))
+	for k, v := range s.delta {
+		delta[k] = v
 	}
-	fp := s.fp
+	next := Snapshot{base: s.base, delta: delta, n: s.n, fp: s.fp}
 	for _, fc := range p.Changes {
-		cur, exists := next[fc.Path]
+		cur, exists := next.Read(fc.Path)
 		switch fc.Op {
 		case OpCreate:
 			if exists {
 				return Snapshot{}, fmt.Errorf("%w: create %s", ErrFileExists, fc.Path)
 			}
-			next[fc.Path] = fc.NewContent
-			fp = fp.add(fileFP(fc.Path, fc.NewContent))
+			delta[fc.Path] = deltaEntry{content: fc.NewContent}
+			next.n++
+			next.fp = next.fp.add(fileFP(fc.Path, fc.NewContent))
 		case OpModify:
 			if !exists {
 				return Snapshot{}, fmt.Errorf("%w: modify %s", ErrNoSuchFile, fc.Path)
@@ -229,8 +288,8 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 			if HashContent(cur) != fc.BaseHash {
 				return Snapshot{}, fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
 			}
-			next[fc.Path] = fc.NewContent
-			fp = fp.remove(fileFP(fc.Path, cur)).add(fileFP(fc.Path, fc.NewContent))
+			delta[fc.Path] = deltaEntry{content: fc.NewContent}
+			next.fp = next.fp.remove(fileFP(fc.Path, cur)).add(fileFP(fc.Path, fc.NewContent))
 		case OpDelete:
 			if !exists {
 				return Snapshot{}, fmt.Errorf("%w: delete %s", ErrNoSuchFile, fc.Path)
@@ -238,8 +297,9 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 			if HashContent(cur) != fc.BaseHash {
 				return Snapshot{}, fmt.Errorf("%w: %s changed since patch base", ErrMergeConflict, fc.Path)
 			}
-			delete(next, fc.Path)
-			fp = fp.remove(fileFP(fc.Path, cur))
+			delta[fc.Path] = deltaEntry{deleted: true}
+			next.n--
+			next.fp = next.fp.remove(fileFP(fc.Path, cur))
 		case OpEditLines:
 			if !exists {
 				return Snapshot{}, fmt.Errorf("%w: edit %s", ErrNoSuchFile, fc.Path)
@@ -248,13 +308,16 @@ func (s Snapshot) Apply(p Patch) (Snapshot, error) {
 			if err != nil {
 				return Snapshot{}, err
 			}
-			next[fc.Path] = edited
-			fp = fp.remove(fileFP(fc.Path, cur)).add(fileFP(fc.Path, edited))
+			delta[fc.Path] = deltaEntry{content: edited}
+			next.fp = next.fp.remove(fileFP(fc.Path, cur)).add(fileFP(fc.Path, edited))
 		default:
 			return Snapshot{}, fmt.Errorf("repo: unknown op %v for %s", fc.Op, fc.Path)
 		}
 	}
-	return Snapshot{files: next, fp: fp}, nil
+	if d := len(delta); d >= 16 && d*d >= next.n {
+		return next.flatten(), nil
+	}
+	return next, nil
 }
 
 // Check reports whether the patches would apply cleanly to the snapshot in
@@ -276,7 +339,7 @@ func (s Snapshot) Check(patches ...Patch) error {
 			if st, ok := overlay[fc.Path]; ok {
 				cur, exists = st.content, !st.deleted
 			} else {
-				cur, exists = s.files[fc.Path]
+				cur, exists = s.Read(fc.Path)
 			}
 			var next overlayState
 			var err error
@@ -336,18 +399,48 @@ func (s Snapshot) Check(patches ...Patch) error {
 // the two snapshots (added, removed, or modified in either direction). The
 // conflict analyzer's selective invalidation uses it to decide whether a head
 // movement can affect a cached patch's applicability.
+//
+// When the snapshots share a base layer — the common case for two nearby
+// heads — only the two deltas are compared, so the cost is O(edits between
+// them) rather than O(tree). Identical fingerprints short-circuit to nil.
 func (s Snapshot) ChangedPaths(other Snapshot) []string {
+	if s.fp == other.fp && s.n == other.n {
+		return nil
+	}
 	var out []string
-	for path, c := range s.files {
-		if oc, ok := other.files[path]; !ok || oc != c {
+	if s.base != nil && s.base == other.base {
+		for path := range s.delta {
+			sc, sok := s.Read(path)
+			oc, ook := other.Read(path)
+			if sok != ook || sc != oc {
+				out = append(out, path)
+			}
+		}
+		for path := range other.delta {
+			if _, dup := s.delta[path]; dup {
+				continue
+			}
+			sc, sok := s.Read(path)
+			oc, ook := other.Read(path)
+			if sok != ook || sc != oc {
+				out = append(out, path)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	s.Range(func(path, c string) bool {
+		if oc, ok := other.Read(path); !ok || oc != c {
 			out = append(out, path)
 		}
-	}
-	for path := range other.files {
-		if _, ok := s.files[path]; !ok {
+		return true
+	})
+	other.Range(func(path, _ string) bool {
+		if _, ok := s.Read(path); !ok {
 			out = append(out, path)
 		}
-	}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -356,20 +449,22 @@ func (s Snapshot) ChangedPaths(other Snapshot) []string {
 // and for synthesizing changes from edited working copies.
 func (s Snapshot) DiffPatch(other Snapshot) Patch {
 	var p Patch
-	for path, newC := range other.files {
-		oldC, ok := s.files[path]
+	other.Range(func(path, newC string) bool {
+		oldC, ok := s.Read(path)
 		switch {
 		case !ok:
 			p.Changes = append(p.Changes, FileChange{Path: path, Op: OpCreate, NewContent: newC})
 		case oldC != newC:
 			p.Changes = append(p.Changes, FileChange{Path: path, Op: OpModify, BaseHash: HashContent(oldC), NewContent: newC})
 		}
-	}
-	for path, oldC := range s.files {
-		if _, ok := other.files[path]; !ok {
+		return true
+	})
+	s.Range(func(path, oldC string) bool {
+		if _, ok := other.Read(path); !ok {
 			p.Changes = append(p.Changes, FileChange{Path: path, Op: OpDelete, BaseHash: HashContent(oldC)})
 		}
-	}
+		return true
+	})
 	sort.Slice(p.Changes, func(i, j int) bool { return p.Changes[i].Path < p.Changes[j].Path })
 	return p
 }

@@ -476,3 +476,123 @@ func TestChangedPaths(t *testing.T) {
 		t.Fatalf("self diff = %v", d)
 	}
 }
+
+// TestLayeredSnapshotAgainstModel drives a long commit chain — crossing
+// several delta flattens — and checks every snapshot accessor against a
+// plain-map model at each step, plus immutability of earlier snapshots.
+func TestLayeredSnapshotAgainstModel(t *testing.T) {
+	model := map[string]string{}
+	for i := 0; i < 40; i++ {
+		model[fmt.Sprintf("seed/f%d", i)] = fmt.Sprintf("v%d", i)
+	}
+	snap := NewSnapshot(model)
+	model = func() map[string]string { // detach the model from the snapshot
+		m := make(map[string]string, len(model))
+		for k, v := range model {
+			m[k] = v
+		}
+		return m
+	}()
+
+	check := func(step int, s Snapshot, m map[string]string) {
+		t.Helper()
+		if s.Len() != len(m) {
+			t.Fatalf("step %d: Len = %d, want %d", step, s.Len(), len(m))
+		}
+		seen := 0
+		s.Range(func(p, c string) bool {
+			if m[p] != c {
+				t.Fatalf("step %d: Range %s = %q, want %q", step, p, c, m[p])
+			}
+			seen++
+			return true
+		})
+		if seen != len(m) {
+			t.Fatalf("step %d: Range visited %d, want %d", step, seen, len(m))
+		}
+		for p, want := range m {
+			if got, ok := s.Read(p); !ok || got != want {
+				t.Fatalf("step %d: Read(%s) = %q,%v, want %q", step, p, got, ok, want)
+			}
+		}
+		if _, ok := s.Read("never/created"); ok {
+			t.Fatalf("step %d: phantom file", step)
+		}
+		// Equal content must mean equal ContentID regardless of derivation.
+		if rebuilt := NewSnapshot(m); rebuilt.ContentID() != s.ContentID() {
+			t.Fatalf("step %d: ContentID %s != rebuilt %s", step, s.ContentID(), rebuilt.ContentID())
+		}
+	}
+
+	snaps := []Snapshot{snap}
+	models := []map[string]string{model}
+	for step := 0; step < 200; step++ {
+		var fc FileChange
+		switch {
+		case step%7 == 3: // modify an existing seed file
+			p := fmt.Sprintf("seed/f%d", step%40)
+			if cur, ok := snap.Read(p); ok {
+				fc = FileChange{Path: p, Op: OpModify, BaseHash: HashContent(cur), NewContent: fmt.Sprintf("mod%d", step)}
+			} else {
+				fc = FileChange{Path: p, Op: OpCreate, NewContent: fmt.Sprintf("re%d", step)}
+			}
+		case step%11 == 5: // delete, exercising tombstones across flattens
+			p := fmt.Sprintf("seed/f%d", step%40)
+			if cur, ok := snap.Read(p); ok {
+				fc = FileChange{Path: p, Op: OpDelete, BaseHash: HashContent(cur)}
+			} else {
+				fc = FileChange{Path: p, Op: OpCreate, NewContent: fmt.Sprintf("re%d", step)}
+			}
+		default:
+			fc = FileChange{Path: fmt.Sprintf("grow/f%d", step), Op: OpCreate, NewContent: fmt.Sprintf("g%d", step)}
+		}
+		next, err := snap.Apply(Patch{Changes: []FileChange{fc}})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		m := make(map[string]string, len(models[len(models)-1])+1)
+		for k, v := range models[len(models)-1] {
+			m[k] = v
+		}
+		switch fc.Op {
+		case OpDelete:
+			delete(m, fc.Path)
+		default:
+			m[fc.Path] = fc.NewContent
+		}
+		check(step, next, m)
+
+		// ChangedPaths against an ancestor a few flattens back must match the
+		// model diff exactly.
+		if step%17 == 0 {
+			old, oldM := snaps[len(snaps)/2], models[len(models)/2]
+			want := map[string]bool{}
+			for p, c := range m {
+				if oc, ok := oldM[p]; !ok || oc != c {
+					want[p] = true
+				}
+			}
+			for p := range oldM {
+				if _, ok := m[p]; !ok {
+					want[p] = true
+				}
+			}
+			got := next.ChangedPaths(old)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: ChangedPaths = %d paths, want %d", step, len(got), len(want))
+			}
+			for _, p := range got {
+				if !want[p] {
+					t.Fatalf("step %d: ChangedPaths reported unchanged %s", step, p)
+				}
+			}
+		}
+		snap = next
+		snaps = append(snaps, next)
+		models = append(models, m)
+	}
+	// Every historical snapshot must be untouched by later Applies.
+	for i := 0; i < len(snaps); i += 23 {
+		check(-i, snaps[i], models[i])
+	}
+}

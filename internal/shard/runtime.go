@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mastergreen/internal/arbiter"
@@ -87,6 +88,15 @@ type Runtime struct {
 	first       bool
 	lastRejects int // arbiter CrossShardRejects at the last heavy partition
 	stats       Stats
+
+	// membersN/outcomesN mirror len(members) and len(outcomes) so the
+	// serving path (admission checks, status polls) reads them without
+	// queueing behind rt.mu — Partition holds that mutex across the global
+	// conflict-graph rebuild, and a submit must never wait on planning.
+	// Both are refreshed under rt.mu, so reads lag at most one partition
+	// epoch.
+	membersN  atomic.Int64
+	outcomesN atomic.Int64
 }
 
 // New creates a runtime with cfg.Shards planner engines over the repository.
@@ -143,11 +153,12 @@ func (rt *Runtime) Shards() int { return len(rt.engines) }
 func (rt *Runtime) Coordinator() *queue.Coordinator { return rt.coord }
 
 // PendingCount returns the changes not yet decided: still in intake plus
-// adopted members.
+// adopted members. Lock-free on the coordinator mutex — the admission layer
+// calls this on every submission, and blocking those behind a heavy
+// partition pass would put planning latency on the serving path. The member
+// count lags mutations by at most one partition epoch.
 func (rt *Runtime) PendingCount() int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.intake.Len() + len(rt.members)
+	return rt.intake.Len() + int(rt.membersN.Load())
 }
 
 // Outcomes returns all merged final dispositions so far.
@@ -156,6 +167,32 @@ func (rt *Runtime) Outcomes() []planner.Outcome {
 	defer rt.mu.Unlock()
 	rt.collectOutcomesLocked()
 	return append([]planner.Outcome(nil), rt.outcomes...)
+}
+
+// OutcomeCount returns the number of merged dispositions so far. Cursor-based
+// readers (core's journal sync, admission drain-rate sampling) poll it and
+// fetch deltas with OutcomesSince only when it advanced, keeping the
+// steady-state read path allocation-free. Lock-free on the coordinator
+// mutex: it reports outcomes merged by the last partition pass rather than
+// forcing a merge, so the count lags fresh engine decisions by at most one
+// epoch — readers see them on the next poll.
+func (rt *Runtime) OutcomeCount() int {
+	return int(rt.outcomesN.Load())
+}
+
+// OutcomesSince returns a copy of the merged dispositions recorded after the
+// first n, in decision order.
+func (rt *Runtime) OutcomesSince(n int) []planner.Outcome {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.collectOutcomesLocked()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(rt.outcomes) {
+		return nil
+	}
+	return append([]planner.Outcome(nil), rt.outcomes[n:]...)
 }
 
 // collectOutcomesLocked merges newly-decided outcomes from every engine,
@@ -175,8 +212,7 @@ func (rt *Runtime) collectOutcomesLocked() {
 		if n == rt.seen[i] {
 			continue
 		}
-		outs := e.planner.Outcomes()
-		for _, o := range outs[rt.seen[i]:] {
+		for _, o := range e.planner.OutcomesSince(rt.seen[i]) {
 			if o.State != change.StateCommitted && rt.arb.Committed(o.ID) {
 				continue
 			}
@@ -197,6 +233,10 @@ func (rt *Runtime) collectOutcomesLocked() {
 		}
 		rt.seen[i] = n
 	}
+	// Refresh the lock-free mirrors together: outcomes before members, so a
+	// racing reader sees decisions no later than the pending-count drop.
+	rt.outcomesN.Store(int64(len(rt.outcomes)))
+	rt.membersN.Store(int64(len(rt.members)))
 }
 
 // Partition runs one coordinator epoch: adopt intake arrivals, retire decided
@@ -212,8 +252,12 @@ func (rt *Runtime) Partition() {
 		if err != nil {
 			continue // raced a concurrent removal
 		}
-		_ = rt.intake.Remove(c.ID)
+		// Count the member before removing it from intake so a concurrent
+		// lock-free PendingCount can only over-count mid-adoption, never
+		// report a spurious zero while work is still in flight.
 		rt.members[c.ID] = &member{c: c, seq: seq, shard: -1}
+		rt.membersN.Add(1)
+		_ = rt.intake.Remove(c.ID)
 		newArrivals = true
 	}
 	rt.collectOutcomesLocked()

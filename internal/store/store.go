@@ -24,6 +24,8 @@ import (
 const (
 	KindSubmit  = "submit"
 	KindOutcome = "outcome"
+	// KindSnapHead is the header record of a snapshot file (see snapshot.go).
+	KindSnapHead = "snap-head"
 )
 
 // ErrClosed is returned by Append after Close.
@@ -83,6 +85,7 @@ type Record struct {
 	Kind    string           `json:"kind"`
 	Submit  *SubmittedChange `json:"submit,omitempty"`
 	Outcome *OutcomeRecord   `json:"outcome,omitempty"`
+	Snap    *SnapHead        `json:"snap,omitempty"`
 }
 
 // EncodeChange converts a change into its durable form.
@@ -144,16 +147,39 @@ func DecodeChange(sc *SubmittedChange) *change.Change {
 }
 
 // Journal is an append-only JSON-lines log. Safe for concurrent use.
+//
+// Durability is group-committed: every Append returns only after its record
+// is fsynced (durable-before-ack), but concurrent Appends coalesce into one
+// Sync — while a leader fsyncs, later appenders buffer their records and
+// wait, and the next leader's single fsync covers all of them. Under a
+// serial writer this degenerates to one fsync per append, exactly the old
+// behavior; under concurrency the fsync count drops by the batch factor.
 type Journal struct {
 	mu     sync.Mutex
 	path   string
 	f      *os.File
 	w      *bufio.Writer
 	closed bool
-	// SyncEvery controls fsync frequency: every Nth append forces the OS
-	// buffers to disk (1 = always; 0 defaults to 1).
+	// SyncEvery > 1 switches to the legacy batched mode used by bulk
+	// rewrites: only every Nth append fsyncs and Append never waits for
+	// durability (Close still flushes and syncs). 0 or 1 is the durable
+	// group-commit mode.
 	SyncEvery int
 	appends   int
+
+	// Group-commit state. writeSeq numbers buffered records; syncSeq is the
+	// highest record covered by a completed fsync. A single leader holds
+	// syncing while it flushes+fsyncs outside the lock; followers wait on
+	// syncDone. A failed fsync poisons records up to errSeq with errVal.
+	syncDone *sync.Cond
+	writeSeq int64
+	syncSeq  int64
+	syncing  bool
+	errSeq   int64
+	errVal   error
+	syncs    int64
+	// snapshots counts Snapshot calls on this handle (see snapshot.go).
+	snapshots int64
 }
 
 // Open creates or appends to a journal file.
@@ -162,38 +188,93 @@ func Open(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)
 	}
-	return &Journal{path: path, f: f, w: bufio.NewWriter(f), SyncEvery: 1}, nil
+	j := &Journal{path: path, f: f, w: bufio.NewWriter(f), SyncEvery: 1}
+	j.syncDone = sync.NewCond(&j.mu)
+	return j, nil
 }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// Append writes a record durably.
+// Syncs returns the number of fsyncs issued so far (observability: under
+// concurrent load this stays far below the append count).
+func (j *Journal) Syncs() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncs
+}
+
+// Appends returns the number of records appended since open (or since the
+// last snapshot truncation).
+func (j *Journal) Appends() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// Append writes a record durably: it returns after the record is on disk.
 func (j *Journal) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
 	}
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("store: marshal: %w", err)
-	}
 	if _, err := j.w.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("store: write: %w", err)
 	}
-	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("store: flush: %w", err)
-	}
 	j.appends++
-	every := j.SyncEvery
-	if every <= 0 {
-		every = 1
-	}
-	if j.appends%every == 0 {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("store: sync: %w", err)
+	if j.SyncEvery > 1 {
+		// Legacy batched mode: periodic fsync, no durability wait.
+		if err := j.w.Flush(); err != nil {
+			return fmt.Errorf("store: flush: %w", err)
 		}
+		if j.appends%j.SyncEvery == 0 {
+			j.syncs++
+			if err := j.f.Sync(); err != nil {
+				return fmt.Errorf("store: sync: %w", err)
+			}
+		}
+		return nil
+	}
+	j.writeSeq++
+	//lint:ignore lockorder waitDurableLocked releases j.mu around the fsync before re-acquiring it
+	return j.waitDurableLocked(j.writeSeq)
+}
+
+// waitDurableLocked blocks until the record numbered seq is covered by a
+// completed fsync, electing this goroutine as the sync leader when no fsync
+// is in flight. Callers hold j.mu.
+func (j *Journal) waitDurableLocked(seq int64) error {
+	for j.syncSeq < seq {
+		if j.syncing {
+			j.syncDone.Wait()
+			continue
+		}
+		// Become the leader: everything buffered so far rides this fsync.
+		j.syncing = true
+		target := j.writeSeq
+		ferr := j.w.Flush()
+		j.mu.Unlock()
+		serr := ferr
+		if serr == nil {
+			serr = j.f.Sync()
+		}
+		j.mu.Lock()
+		j.syncs++
+		j.syncSeq = target
+		if serr != nil {
+			j.errSeq = target
+			j.errVal = serr
+		}
+		j.syncing = false
+		j.syncDone.Broadcast()
+	}
+	if seq <= j.errSeq && j.errVal != nil {
+		return fmt.Errorf("store: sync: %w", j.errVal)
 	}
 	return nil
 }
@@ -208,12 +289,16 @@ func (j *Journal) AppendOutcome(o OutcomeRecord) error {
 	return j.Append(Record{Kind: KindOutcome, Outcome: &o})
 }
 
-// Close flushes and closes the journal.
+// Close flushes and closes the journal. In-flight group commits complete
+// first; their waiters are released with their records durable.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return nil
+	}
+	for j.syncing {
+		j.syncDone.Wait()
 	}
 	j.closed = true
 	if err := j.w.Flush(); err != nil {
@@ -222,6 +307,9 @@ func (j *Journal) Close() error {
 	if err := j.f.Sync(); err != nil {
 		return err
 	}
+	j.syncs++
+	j.syncSeq = j.writeSeq
+	j.syncDone.Broadcast()
 	return j.f.Close()
 }
 
@@ -239,7 +327,13 @@ func Replay(path string) ([]Record, error) {
 	defer f.Close()
 	var lines [][]byte
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	// Size the scan buffer to the file: a freshly-snapshotted journal is a
+	// few KB and replaying it should not cost a megabyte of buffer.
+	bufCap := 1 << 20
+	if st, err := f.Stat(); err == nil && st.Size()+4096 < int64(bufCap) {
+		bufCap = int(st.Size()) + 4096
+	}
+	sc.Buffer(make([]byte, 0, bufCap), 64<<20)
 	for sc.Scan() {
 		if len(sc.Bytes()) == 0 {
 			continue
@@ -265,35 +359,62 @@ func Replay(path string) ([]Record, error) {
 
 // PendingFromRecords folds a replayed journal into the set of changes that
 // were still undecided, in submission order, plus all recorded outcomes.
+// Duplicate records for one change ID — which arise when a snapshot and the
+// journal tail briefly overlap after a crash mid-rotation — fold to the
+// first occurrence: the snapshot replays before the tail, so the earliest
+// record wins and a final disposition never flips.
 func PendingFromRecords(recs []Record) (pending []*change.Change, outcomes []OutcomeRecord) {
 	decided := map[change.ID]bool{}
 	for _, r := range recs {
 		if r.Kind == KindOutcome && r.Outcome != nil {
+			if decided[r.Outcome.ID] {
+				continue // duplicate disposition: first decision wins
+			}
 			decided[r.Outcome.ID] = true
 			outcomes = append(outcomes, *r.Outcome)
 		}
 	}
+	seen := map[change.ID]bool{}
 	for _, r := range recs {
-		if r.Kind == KindSubmit && r.Submit != nil && !decided[r.Submit.ID] {
+		if r.Kind == KindSubmit && r.Submit != nil && !decided[r.Submit.ID] && !seen[r.Submit.ID] {
+			seen[r.Submit.ID] = true
 			pending = append(pending, DecodeChange(r.Submit))
 		}
 	}
 	return pending, outcomes
 }
 
-// Compact rewrites the journal keeping only undecided submissions and the
-// most recent keepOutcomes outcome records, bounding journal growth.
-func Compact(path string, keepOutcomes int) error {
-	recs, err := Replay(path)
-	if err != nil {
-		return err
+// foldForRewrite reduces a record chain to the live state a rewrite must
+// preserve: the pending set, plus the most recent keepOutcomes outcomes,
+// plus a tombstone outcome for every decided change whose submit record
+// still exists in a file that survives the rewrite (tombstoneFrom). Without
+// the tombstones, a crash between the rewrite's rename and the removal or
+// truncation of the surviving file could resurrect a decided change: its
+// submit would replay from the survivor with no outcome left to decide it.
+func foldForRewrite(recs []Record, keepOutcomes int, tombstoneFrom []Record) (pending []*change.Change, outcomes []OutcomeRecord) {
+	pending, all := PendingFromRecords(recs)
+	survivors := map[change.ID]bool{}
+	for _, r := range tombstoneFrom {
+		if r.Kind == KindSubmit && r.Submit != nil {
+			survivors[r.Submit.ID] = true
+		}
 	}
-	pending, outcomes := PendingFromRecords(recs)
-	if keepOutcomes >= 0 && len(outcomes) > keepOutcomes {
-		outcomes = outcomes[len(outcomes)-keepOutcomes:]
+	cut := 0
+	if keepOutcomes >= 0 && len(all) > keepOutcomes {
+		cut = len(all) - keepOutcomes
 	}
-	tmp := path + ".compact"
-	j, err := Open(tmp)
+	for i, o := range all {
+		if i >= cut || survivors[o.ID] {
+			outcomes = append(outcomes, o)
+		}
+	}
+	return pending, outcomes
+}
+
+// writeRewrite writes outcomes then pending submissions to path as a plain
+// journal, fsyncing once at close.
+func writeRewrite(path string, pending []*change.Change, outcomes []OutcomeRecord) error {
+	j, err := Open(path)
 	if err != nil {
 		return err
 	}
@@ -310,8 +431,37 @@ func Compact(path string, keepOutcomes int) error {
 			return err
 		}
 	}
-	if err := j.Close(); err != nil {
+	return j.Close()
+}
+
+// Compact rewrites the journal to hold the full live state — undecided
+// submissions plus the most recent keepOutcomes outcome records — and then
+// retires any snapshot files, bounding journal growth. It folds the whole
+// snapshot chain, so compacting a journal that has been snapshotted loses
+// nothing; outcome tombstones keep the crash window between the journal
+// rename and the snapshot removal consistent (see foldForRewrite).
+func Compact(path string, keepOutcomes int) error {
+	recs, err := LoadState(path)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	var survivors []Record
+	for _, p := range []string{SnapshotPath(path), prevSnapshotPath(path)} {
+		if _, sr, err := ReplaySnapshot(p); err == nil {
+			survivors = append(survivors, sr...)
+		}
+	}
+	pending, outcomes := foldForRewrite(recs, keepOutcomes, survivors)
+	tmp := path + ".compact"
+	_ = os.Remove(tmp) // a crashed prior compaction may have left a partial temp
+	if err := writeRewrite(tmp, pending, outcomes); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The journal now holds the complete state; the snapshot chain is stale.
+	_ = os.Remove(SnapshotPath(path))
+	_ = os.Remove(prevSnapshotPath(path))
+	return nil
 }
