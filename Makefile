@@ -32,7 +32,7 @@ check-race:
 
 # bench runs the subsystem micro-benchmarks (see the BENCH_*.json files).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/ ./internal/planner/ ./internal/shard/ ./internal/arbiter/ ./internal/repo/ ./internal/store/ ./internal/api/
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/buildgraph/ ./internal/buildsys/ ./internal/conflict/ ./internal/planner/ ./internal/sched/ ./internal/shard/ ./internal/arbiter/ ./internal/repo/ ./internal/store/ ./internal/api/
 
 # bench-serving measures the production serving path (BENCH_serving.json):
 # handler alloc counts, journal group-commit and replay, the layered-snapshot

@@ -255,3 +255,17 @@ func BenchmarkAblationShards(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAblationSched measures the §4l scheduling subsystem: P0 hotfix
+// turnaround under priority lanes vs the unprioritized planner, and the
+// adaptive batcher's commits per worker-hour vs the fixed Batch-4 baseline
+// (BENCH_sched.json records the full 512-change run).
+func BenchmarkAblationSched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationSched(benchOptions())
+		if i == b.N-1 {
+			reportAll(b, r, "p0_p50_ratio", "p2_deadline_misses",
+				"batch_throughput_ratio", "batch_evictions", "green_violations")
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"mastergreen/internal/core"
 	"mastergreen/internal/events"
 	"mastergreen/internal/repo"
+	"mastergreen/internal/sched"
 	"mastergreen/internal/store"
 )
 
@@ -65,10 +66,14 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-interval", 0, "with -data: fold the journal into a snapshot this often (0 = only at shutdown)")
 	admissionCap := flag.Int("admission-cap", 0, "bound the pending queue; excess submits get 429 + Retry-After (0 = unbounded)")
 	statusRefresh := flag.Duration("status-refresh", 250*time.Millisecond, "background status snapshot rebuild interval (0 = rebuild per request)")
+	schedOn := flag.Bool("sched", false, "enable priority-lane scheduling (P0 hotfix preemption, deadline aging, per-class gauges)")
 	flag.Parse()
 
 	bus := events.NewBus(1024)
 	cfg := core.Config{Workers: *workers, Epoch: *epoch, Events: bus, Shards: *shards}
+	if *schedOn {
+		cfg.Sched = sched.Default()
+	}
 
 	var svc *core.Service
 	var repoPath string
@@ -147,6 +152,9 @@ func main() {
 	log.Printf("sqd: analyzer %s", svc.AnalyzerStats().Gauges())
 	log.Printf("sqd: planner %s", svc.PlannerStats().Gauges())
 	log.Printf("sqd: reliability %s", svc.ReliabilityStats().Gauges())
+	if *schedOn {
+		log.Printf("sqd: sched %s", svc.SchedStats().Gauges())
+	}
 	if svc.Sharded() {
 		log.Printf("sqd: shards %s", svc.ShardStats().Gauges())
 		log.Printf("sqd: arbiter %s", svc.ArbiterStats().Gauges())

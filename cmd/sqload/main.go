@@ -31,6 +31,8 @@ func main() {
 	statusRate := flag.Float64("status-rate", 2, "status reads per second")
 	inFlight := flag.Int("in-flight", 512, "max concurrent HTTP requests")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "after the run, wait up to this long for accepted changes to decide (0 = skip)")
+	hotfixEvery := flag.Int("hotfix-every", 0, "every n-th submission uses the P0 hotfix lane (0 = none)")
+	bulkEvery := flag.Int("bulk-every", 0, "every n-th submission uses the P2 bulk lane with a deadline (0 = none)")
 	flag.Parse()
 
 	if *pollRate == 0 {
@@ -41,6 +43,10 @@ func main() {
 	prefix := fmt.Sprintf("load-%d", time.Now().UnixNano())
 	client := loadgen.SharedClient(*inFlight)
 
+	request := loadgen.DefaultRequest(prefix)
+	if *hotfixEvery > 0 || *bulkEvery > 0 {
+		request = loadgen.PriorityRequest(prefix, *hotfixEvery, *bulkEvery)
+	}
 	res, err := loadgen.Run(loadgen.Config{
 		BaseURL:     *base,
 		Rate:        *rate,
@@ -48,7 +54,7 @@ func main() {
 		Warmup:      *warmup,
 		MaxInFlight: *inFlight,
 		Client:      client,
-		Request:     loadgen.DefaultRequest(prefix),
+		Request:     request,
 		PollRate:    *pollRate,
 		StatusRate:  *statusRate,
 	})
@@ -78,6 +84,18 @@ func main() {
 		}
 		fmt.Printf("decisions: %d committed, %d rejected, %d undecided, %d errors (of %d accepted)\n",
 			d.Committed, d.Rejected, d.Undecided, d.Errors, len(res.AcceptedIDs))
+		if *hotfixEvery > 0 || *bulkEvery > 0 {
+			lanes := loadgen.SplitByLane(res.AcceptedIDs)
+			for _, lane := range []string{"P0", "P1", "P2"} {
+				ids := lanes[lane]
+				if len(ids) == 0 {
+					continue
+				}
+				ld := loadgen.Classify(client, *base, ids, *inFlight)
+				fmt.Printf("decisions[%s]: %d committed, %d rejected, %d undecided, %d errors (of %d accepted)\n",
+					lane, ld.Committed, ld.Rejected, ld.Undecided, ld.Errors, len(ids))
+			}
+		}
 		if d.Undecided > 0 {
 			fmt.Printf("sqload: %d accepted changes still undecided after %v\n", d.Undecided, *drainTimeout)
 			os.Exit(1)

@@ -49,6 +49,7 @@ var registry = []struct {
 	{"ablation-planner", "planner shared-prefix preparation & plan memo", experiments.AblationPlannerPrep},
 	{"ablation-reliability", "retry/quarantine under injected flakiness", experiments.AblationReliability},
 	{"ablation-leanci", "obsolete-build pruning + predictor-gated skipping", experiments.AblationLeanCI},
+	{"ablation-sched", "priority lanes + adaptive batching", experiments.AblationSched},
 	{"loadtest", "serving path: sustained throughput + overload degradation", experiments.Loadtest},
 }
 

@@ -43,6 +43,12 @@ type SubmitRequest struct {
 	// (§4.2.1); 0 means the default of 1. Security patches and release
 	// blockers submit with higher benefit.
 	Benefit float64 `json:"benefit,omitempty"`
+	// Priority selects the scheduling lane (DESIGN.md §4l): "P0"/"hotfix",
+	// "P2"/"bulk", anything else (including empty) is the normal P1 lane.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineInSec, when > 0, sets a soft deadline this many seconds from
+	// submission; the scheduler ages the change's weight as it approaches.
+	DeadlineInSec float64 `json:"deadline_in_sec,omitempty"`
 }
 
 // FileChange is one file edit in a submit request.
@@ -142,9 +148,24 @@ type StatusResponse struct {
 	AdmissionShedReads   int64   `json:"admission_shed_reads"`
 	AdmissionDrainPerSec float64 `json:"admission_drain_per_sec"`
 
+	// Priority-lane gauges (DESIGN.md §4l), in severity order P0, P1, P2.
+	// Empty when the service runs without a sched policy.
+	SchedClasses []ClassStatus `json:"sched_classes,omitempty"`
+
 	// StatusRefreshes counts rebuilds of this very response: requests
 	// between rebuilds were served from the pre-marshaled snapshot.
 	StatusRefreshes int64 `json:"status_refreshes"`
+}
+
+// ClassStatus is one scheduling lane's live gauges in the status response.
+type ClassStatus struct {
+	Class             string  `json:"class"`
+	Accepted          int64   `json:"accepted"`
+	Pending           int     `json:"pending"`
+	Committed         int64   `json:"committed"`
+	Rejected          int64   `json:"rejected"`
+	TurnaroundMeanSec float64 `json:"turnaround_mean_sec"`
+	TurnaroundMaxSec  float64 `json:"turnaround_max_sec"`
 }
 
 // Server adapts a core.Service to HTTP.
@@ -253,7 +274,6 @@ func convertFile(f *FileChange) (repo.FileChange, error) {
 	return fc, nil
 }
 
-
 // changeWithRevision allocates a change and its revision together: one heap
 // object instead of two on the submit hot path.
 type changeWithRevision struct {
@@ -310,6 +330,10 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 		Revision:    &cr.rev,
 		Stats:       change.Stats{FilesChanged: req.nFiles},
 		Benefit:     req.Benefit,
+		Class:       change.ParseClass(req.Priority),
+	}
+	if req.DeadlineInSec > 0 {
+		c.Deadline = s.now().Add(time.Duration(req.DeadlineInSec * float64(time.Second)))
 	}
 	cr.rev = change.Revision{
 		ID:         change.RevisionID("r-" + req.ID),
@@ -456,6 +480,28 @@ func (s *Server) buildStatusResponse() StatusResponse {
 		ArbiterCommitsByShard:    abs.CommitsByShard,
 
 		StatusRefreshes: s.status.Refreshes(),
+	}
+	scs := s.svc.SchedStats()
+	var schedActive bool
+	for _, cs := range scs.Classes {
+		if cs.Accepted > 0 {
+			schedActive = true
+			break
+		}
+	}
+	if schedActive {
+		for _, cl := range []change.Class{change.ClassHotfix, change.ClassNormal, change.ClassBulk} {
+			cs := scs.Class(cl)
+			resp.SchedClasses = append(resp.SchedClasses, ClassStatus{
+				Class:             cl.String(),
+				Accepted:          cs.Accepted,
+				Pending:           cs.Pending,
+				Committed:         cs.Committed,
+				Rejected:          cs.Rejected,
+				TurnaroundMeanSec: cs.TurnaroundMeanSec,
+				TurnaroundMaxSec:  cs.TurnaroundMaxSec,
+			})
+		}
 	}
 	if s.events != nil {
 		es := s.events.Stats()

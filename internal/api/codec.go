@@ -430,6 +430,10 @@ func parseSubmitRequest(body string, req *SubmitRequest) error {
 			req.RevertPlan, err = p.parseBool()
 		case "benefit":
 			req.Benefit, err = p.parseFloat()
+		case "priority":
+			req.Priority, err = p.parseString()
+		case "deadline_in_sec":
+			req.DeadlineInSec, err = p.parseFloat()
 		case "files":
 			err = p.parseFiles(req)
 		default:

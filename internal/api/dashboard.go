@@ -8,6 +8,7 @@ import (
 
 	"mastergreen/internal/change"
 	"mastergreen/internal/events"
+	"mastergreen/internal/sched"
 )
 
 // SetEvents attaches an event bus, enabling GET /api/v1/events and the
@@ -87,6 +88,7 @@ builds: {{.Builds}} run / {{.Aborted}} aborted</p>
 <p>analyzer: {{.Analyzer}}</p>
 <p>planner: {{.Planner}}</p>
 <p>reliability: {{.Reliability}}</p>
+{{if .Sched}}<p>sched: {{.Sched}}</p>{{end}}
 {{if .Bus}}<p>bus: {{.Bus}}</p>{{end}}
 {{if .Admission}}<p>admission: {{.Admission}}</p>{{end}}
 {{if .Sharded}}<p>shards: {{.Shards}}</p>
@@ -111,6 +113,7 @@ type dashboardData struct {
 	Analyzer    string // conflict-analyzer cache gauges, "name=value …"
 	Planner     string // planner incremental-epoch gauges, "name=value …"
 	Reliability string // flaky-failure layer gauges, "name=value …"
+	Sched       string // priority-lane gauges, one block per class
 	Bus         string // event-bus fan-out gauges, "name=value …"
 	Admission   string // submit-admission gauges, "name=value …"
 	Sharded     bool
@@ -154,6 +157,9 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.adm != nil {
 		d.Admission = s.adm.Gauges().String()
+	}
+	if scs := s.svc.SchedStats(); scs != (sched.Stats{}) {
+		d.Sched = scs.Gauges()
 	}
 	outs := s.svc.Outcomes()
 	start := 0

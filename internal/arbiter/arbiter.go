@@ -16,6 +16,7 @@ package arbiter
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -41,6 +42,10 @@ type Config struct {
 	History int
 }
 
+// hotfixYieldCap bounds how many scheduler passes a lower-lane proposal
+// donates to waiting hotfixes before proceeding anyway.
+const hotfixYieldCap = 64
+
 // record is the conflict footprint of one committed change, kept so later
 // proposals can re-validate against it without re-analyzing history.
 type record struct {
@@ -59,6 +64,10 @@ type Arbiter struct {
 	// depth counts proposals currently inside Commit (waiting on mu or
 	// applying); its high-water mark is the "arbiter queue depth" gauge.
 	depth int64
+	// hotfixWaiters counts hotfix-lane proposals currently inside Commit.
+	// Lower-lane proposals poll it at the admission gate and step aside
+	// (bounded) so a waiting P0 reaches the mutex first.
+	hotfixWaiters int64
 
 	mu        sync.Mutex
 	floor     int      // mainline length when the oldest retained record landed
@@ -111,6 +120,26 @@ func (a *Arbiter) structureChanged(id change.ID) bool {
 func (a *Arbiter) Commit(p planner.CommitProposal) (*repo.Commit, error) {
 	d := atomic.AddInt64(&a.depth, 1)
 	defer atomic.AddInt64(&a.depth, -1)
+
+	if p.Class == change.ClassHotfix {
+		atomic.AddInt64(&a.hotfixWaiters, 1)
+		defer atomic.AddInt64(&a.hotfixWaiters, -1)
+	} else if atomic.LoadInt64(&a.hotfixWaiters) > 0 {
+		// Step aside so the waiting hotfix reaches the mutex first. The
+		// yield count is capped: after hotfixYieldCap scheduler passes the
+		// proposal proceeds regardless, so a stream of P0s cannot starve
+		// lower lanes (the gate favors, never fences).
+		yielded := false
+		for i := 0; i < hotfixYieldCap && atomic.LoadInt64(&a.hotfixWaiters) > 0; i++ {
+			yielded = true
+			runtime.Gosched()
+		}
+		if yielded {
+			a.mu.Lock()
+			a.stats.HotfixYields++
+			a.mu.Unlock()
+		}
+	}
 
 	a.mu.Lock()
 	if int(d) > a.stats.MaxQueueDepth {

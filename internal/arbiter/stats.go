@@ -22,6 +22,9 @@ type Stats struct {
 	CrossShardRejects int
 	// MaxQueueDepth is the high-water mark of concurrent proposals.
 	MaxQueueDepth int
+	// HotfixYields counts lower-lane proposals that stepped aside at the
+	// admission gate while a hotfix-lane proposal was waiting (§4l).
+	HotfixYields int
 	// CommitsByShard attributes commits to the proposing planner shard.
 	CommitsByShard map[int]int
 }
@@ -47,6 +50,7 @@ func (s Stats) Gauges() metrics.Gauges {
 		{Name: "cross_shard_checks", Value: float64(s.CrossShardChecks)},
 		{Name: "cross_shard_rejects", Value: float64(s.CrossShardRejects)},
 		{Name: "max_queue_depth", Value: float64(s.MaxQueueDepth)},
+		{Name: "hotfix_yields", Value: float64(s.HotfixYields)},
 	}
 	shards := make([]int, 0, len(s.CommitsByShard))
 	for sh := range s.CommitsByShard {

@@ -84,6 +84,54 @@ func (s State) String() string {
 	}
 }
 
+// Class is a change's scheduling priority class. The zero value is
+// ClassNormal so every existing caller — and every submission that does not
+// ask for a lane — schedules exactly as before the priority lanes existed.
+type Class int
+
+// Priority classes, from the default outward. The display names follow the
+// incident-severity convention: P0 hotfix, P1 normal, P2 bulk.
+const (
+	// ClassNormal (P1) is the default lane: ordinary feature work.
+	ClassNormal Class = iota
+	// ClassHotfix (P0) is the hotfix lane: outage mitigations and security
+	// patches. The scheduler weights these far above everything else,
+	// exempts their modal path from predictor gating, and lets them preempt
+	// running speculative builds.
+	ClassHotfix
+	// ClassBulk (P2) is the bulk lane: large mechanical refactors and
+	// codemods that should soak up idle capacity without displacing normal
+	// work. Deadline-aware aging keeps them from starving.
+	ClassBulk
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassHotfix:
+		return "P0"
+	case ClassNormal:
+		return "P1"
+	case ClassBulk:
+		return "P2"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ParseClass maps a request-level priority string to a Class. Unknown and
+// empty strings fall back to ClassNormal so old clients keep working.
+func ParseClass(s string) Class {
+	switch s {
+	case "P0", "p0", "hotfix":
+		return ClassHotfix
+	case "P2", "p2", "bulk":
+		return ClassBulk
+	default:
+		return ClassNormal
+	}
+}
+
 // Developer metadata used as model features (§7.2 "Developer").
 type Developer struct {
 	Name             string
@@ -166,6 +214,15 @@ type Change struct {
 	// or with certain priority (e.g., security patches) can have higher
 	// values". Zero means the default benefit of 1.
 	Benefit float64
+
+	// Class is the scheduling lane (internal/sched): P0 hotfix, P1 normal,
+	// P2 bulk. The zero value is ClassNormal, so untouched callers behave
+	// exactly as before priority lanes existed.
+	Class Class
+	// Deadline, when non-zero, is when the author needs a decision. The
+	// scheduler ramps the change's weight up as slack shrinks so deadlined
+	// bulk work cannot starve behind a sustained hotfix stream.
+	Deadline time.Time
 
 	State  State
 	Reason string // rejection reason, if rejected

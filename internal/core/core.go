@@ -27,6 +27,7 @@ import (
 	"mastergreen/internal/queue"
 	"mastergreen/internal/reliability"
 	"mastergreen/internal/repo"
+	"mastergreen/internal/sched"
 	"mastergreen/internal/shard"
 	"mastergreen/internal/speculation"
 	"mastergreen/internal/store"
@@ -89,6 +90,11 @@ type Config struct {
 	// is set — the preserved legacy path, bit-for-bit identical to the
 	// service before the shard layer existed.
 	SingleShard bool
+	// Sched, when non-nil, enables the priority-lane scheduling layer
+	// (DESIGN.md §4l): per-class value weights, deadline aging, hotfix
+	// preemption, and per-class turnaround tracking. Nil keeps the
+	// unprioritized behavior bit-for-bit.
+	Sched *sched.Policy
 }
 
 // Status reports a change's current position in the pipeline.
@@ -124,6 +130,10 @@ type Service struct {
 	// recorded tracks which outcomes have already been appended.
 	journal  *store.Journal
 	recorded map[change.ID]bool
+
+	// tracker accumulates per-class queue depths and turnaround times for
+	// the status endpoint and dashboard (nil when Config.Sched is nil).
+	tracker *sched.Tracker
 }
 
 // NewService creates a SubmitQueue over the repository.
@@ -170,6 +180,7 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		LegacyPreparation:   cfg.LegacyPlanner,
 		LegacyReplan:        cfg.LegacyPlanner,
 		Reliability:         rel,
+		Sched:               cfg.Sched,
 	}
 	s := &Service{
 		repo:     r,
@@ -180,6 +191,9 @@ func NewService(r *repo.Repo, cfg Config) *Service {
 		cfg:      cfg,
 		statuses: map[change.ID]Status{},
 		recorded: map[change.ID]bool{},
+	}
+	if cfg.Sched != nil {
+		s.tracker = sched.NewTracker()
 	}
 	if cfg.Shards >= 1 && !cfg.SingleShard {
 		s.arb = arbiter.New(r, arbiter.Config{Analyzer: an, Events: cfg.Events})
@@ -223,6 +237,9 @@ func (s *Service) submitLocked(c *change.Change, journalIt bool) error {
 	s.statuses[c.ID] = Status{ID: c.ID, State: change.StatePending}
 	j := s.journal
 	s.mu.Unlock()
+	if s.tracker != nil {
+		s.tracker.NoteSubmit(c, c.SubmittedAt)
+	}
 	if s.cfg.Events != nil {
 		s.cfg.Events.Publish(events.Event{Type: events.TypeSubmitted, Change: c.ID, Detail: c.Description})
 	}
@@ -282,6 +299,9 @@ func (s *Service) syncOutcomes() {
 		st.Reason = o.Reason
 		st.Commit = o.Commit
 		s.statuses[o.ID] = st
+		if s.tracker != nil && (o.State == change.StateCommitted || o.State == change.StateRejected) {
+			s.tracker.NoteDecision(o.ID, o.State == change.StateCommitted, o.At)
+		}
 		if s.journal != nil && !s.recorded[o.ID] {
 			s.recorded[o.ID] = true
 			toJournal = append(toJournal, store.OutcomeRecord{
@@ -397,6 +417,15 @@ func (s *Service) ArbiterStats() arbiter.Stats {
 
 // Sharded reports whether the sharded multi-planner runtime is active.
 func (s *Service) Sharded() bool { return s.runtime != nil }
+
+// SchedStats exposes per-class queue depths and turnaround statistics from
+// the priority-lane layer (zero value when Config.Sched is nil).
+func (s *Service) SchedStats() sched.Stats {
+	if s.tracker == nil {
+		return sched.Stats{}
+	}
+	return s.tracker.Snapshot()
+}
 
 // ReliabilityStats exposes the flaky-failure layer's work counters.
 func (s *Service) ReliabilityStats() reliability.Stats { return s.rel.Stats() }

@@ -88,7 +88,19 @@ func strategySet(w *workload.Workload, trained predict.Predictor) []sim.Strategy
 // P_conf(Ci,Cj); mixing eventual outcomes into P_succ would double-count
 // conflict mass that Eqs. 4–5 already subtract explicitly.
 func TrainPredictor(seed int64, n int) (predict.Learned, predict.Metrics, error) {
-	hist := workload.Generate(workload.Config{Seed: seed + 7777, Count: n, RatePerHour: 300})
+	return TrainPredictorOn(workload.Config{Seed: seed + 7777, Count: n, RatePerHour: 300})
+}
+
+// TrainPredictorOn trains the success/conflict models on a history drawn
+// from the given workload distribution. Cells whose traffic differs
+// structurally from the default stream (e.g. the adaptive-batching cell's
+// reliable low-conflict changes) train on their own distribution, exactly
+// as the production predictor trains on its own repo's history — a
+// miscalibrated success prior makes the batcher's expected-cost model
+// refuse batch sizes the traffic would support.
+func TrainPredictorOn(cfg workload.Config) (predict.Learned, predict.Metrics, error) {
+	seed := cfg.Seed
+	hist := workload.Generate(cfg)
 	X, y := hist.IsolatedTrainingData()
 	trX, trY, vaX, vaY := predict.Split(X, y, 0.7, seed)
 	sm, err := predict.Train(predict.SuccessFeatureNames, trX, trY, predict.TrainConfig{Epochs: 60})

@@ -257,3 +257,17 @@ func TestDefaultPolicyExemptsLoadgen(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultPolicyCoversSched pins internal/sched into the determinism
+// policies: policy weights and batch partitions feed the speculation
+// engine's plan, which must replay bit-for-bit in the simulator — so
+// wallclock (urgency must compute from the injected sim clock, never
+// time.Now), seedrand, maporder (batch groups preserve deterministic
+// order), and tainttime all apply, plus the repo-wide safety catch-alls.
+func TestDefaultPolicyCoversSched(t *testing.T) {
+	for _, an := range []string{"wallclock", "seedrand", "maporder", "tainttime", "locksend", "errdrop"} {
+		if !lint.DefaultPolicy.Applies(an, "internal/sched") {
+			t.Errorf("DefaultPolicy does not apply %s to internal/sched", an)
+		}
+	}
+}

@@ -35,6 +35,7 @@ var DefaultPolicy = TablePolicy{
 		"internal/sim",
 		"internal/planner",
 		"internal/speculation",
+		"internal/sched",
 		"internal/queue",
 		"internal/conflict",
 		"internal/core",
@@ -57,6 +58,7 @@ var DefaultPolicy = TablePolicy{
 		"internal/buildsys",
 		"internal/planner",
 		"internal/speculation",
+		"internal/sched",
 		"internal/conflict",
 		"internal/queue",
 		"internal/repo",
@@ -85,6 +87,7 @@ var DefaultPolicy = TablePolicy{
 		"internal/sim",
 		"internal/planner",
 		"internal/speculation",
+		"internal/sched",
 		"internal/queue",
 		"internal/conflict",
 		"internal/core",

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,44 @@ func DefaultRequest(prefix string) RequestFunc {
 			id, i%8, id, i)
 		return id, []byte(body)
 	}
+}
+
+// PriorityRequest is DefaultRequest plus scheduling lanes: every
+// hotfixEvery-th submission lands in the P0 hotfix lane and every
+// bulkEvery-th in the P2 bulk lane with a ten-minute deadline (0 disables a
+// lane; P0 wins when both divide i). The lane is embedded in the id so a
+// finished run can be classified per class afterwards (see SplitByLane).
+func PriorityRequest(prefix string, hotfixEvery, bulkEvery int) RequestFunc {
+	return func(i int) (string, []byte) {
+		lane, extra := "p1", ""
+		if hotfixEvery > 0 && i%hotfixEvery == 0 {
+			lane, extra = "p0", `,"priority":"P0"`
+		} else if bulkEvery > 0 && i%bulkEvery == 0 {
+			lane, extra = "p2", `,"priority":"P2","deadline_in_sec":600`
+		}
+		id := fmt.Sprintf("%s-%s-%d", prefix, lane, i)
+		body := fmt.Sprintf(`{"id":%q,"author":"loadgen-%d","team":"load",`+
+			`"files":[{"path":"load/f-%s.txt","op":"create","content":"content %d"}],"test_plan":true%s}`,
+			id, i%8, id, i, extra)
+		return id, []byte(body)
+	}
+}
+
+// SplitByLane groups ids by the lane marker PriorityRequest embeds, keyed
+// "P0"/"P1"/"P2"; ids without a marker count as P1.
+func SplitByLane(ids []string) map[string][]string {
+	out := map[string][]string{}
+	for _, id := range ids {
+		lane := "P1"
+		switch {
+		case strings.Contains(id, "-p0-"):
+			lane = "P0"
+		case strings.Contains(id, "-p2-"):
+			lane = "P2"
+		}
+		out[lane] = append(out[lane], id)
+	}
+	return out
 }
 
 // SharedClient returns an http.Client tuned for sustained load against one

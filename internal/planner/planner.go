@@ -34,6 +34,7 @@ import (
 	"mastergreen/internal/queue"
 	"mastergreen/internal/reliability"
 	"mastergreen/internal/repo"
+	"mastergreen/internal/sched"
 	"mastergreen/internal/speculation"
 )
 
@@ -75,6 +76,9 @@ type CommitProposal struct {
 	Paths []string
 	// Now is the commit timestamp (the planner's injected clock).
 	Now time.Time
+	// Class is the subject's scheduling lane; the commit arbiter lets
+	// hotfix-lane proposals overtake waiting lower-lane proposals.
+	Class change.Class
 }
 
 // Committer owns head advancement. When Config.Committer is nil the planner
@@ -153,6 +157,13 @@ type Config struct {
 	// coordinator applies the single winning decision itself at outcome-merge
 	// time.
 	ExternalSubjectState bool
+	// Sched, when non-nil, enables priority-lane scheduling (DESIGN.md §4l):
+	// each pending change's class/deadline weight multiplies its value in
+	// the speculation request, the P0 lane is exempt from SkipThreshold
+	// gating, and a pending hotfix overrides PreemptionGrace for non-hotfix
+	// running builds. Nil planners behave exactly as before the sched layer
+	// existed. Sharded mode clones one policy per engine.
+	Sched *sched.Policy
 }
 
 // trackedBuild is a build the planner started, with enough context to
@@ -375,6 +386,23 @@ func (p *Planner) planFingerprintLocked(pending []*change.Change) string {
 	for _, c := range pending {
 		sb.WriteString(string(c.ID))
 		sb.WriteByte(',')
+	}
+	if p.cfg.Sched != nil {
+		// Deadline urgency moves with the clock, so a quantized weight per
+		// non-default change must be part of the fingerprint — otherwise an
+		// aging P2's rising weight would be memoized away and its plan never
+		// recomputed. One decimal of quantization bounds replan churn.
+		sb.WriteString("|s:")
+		now := p.cfg.Now()
+		for _, c := range pending {
+			w := p.cfg.Sched.Weight(c.Class, c.Deadline, now)
+			if c.Class == change.ClassNormal && w == 1 {
+				sb.WriteByte('.')
+			} else {
+				fmt.Fprintf(&sb, "%d:%.1f", c.Class, w)
+			}
+			sb.WriteByte(',')
+		}
 	}
 	sb.WriteString("|r:")
 	for _, rb := range p.running {
@@ -681,6 +709,7 @@ func (p *Planner) decide(ctx context.Context) (int, *conflict.Graph, error) {
 				Targets: targetNames(match.req.Targets),
 				Paths:   c.Patch.Paths(),
 				Now:     p.cfg.Now(),
+				Class:   c.Class,
 			})
 		} else {
 			head := p.repo.Head()
@@ -844,10 +873,17 @@ func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, erro
 	if cg == nil || !graphCovers(cg, pending) {
 		cg, _ = p.analyzer.BuildGraph(pending)
 	}
+	var weights []float64
+	var noSkip []bool
+	if p.cfg.Sched != nil {
+		weights, noSkip = p.cfg.Sched.Weights(pending, p.cfg.Now())
+	}
 	plan := p.spec.Plan(speculation.Request{
 		Pending:   pending,
 		Conflicts: cg,
 		Budget:    p.cfg.Budget,
+		Weights:   weights,
+		NoSkip:    noSkip,
 	})
 
 	p.mu.Lock()
@@ -875,7 +911,20 @@ func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, erro
 	p.stats.SpecBuildsSkipped += plan.BuildsSkipped
 	// Abort running builds not desired (honoring the preemption grace —
 	// except for obsolete builds, whose contradicted assumptions make them
-	// worthless no matter how nearly done they are).
+	// worthless no matter how nearly done they are). A pending hotfix
+	// overrides the grace for non-hotfix builds: the P0 lane needs the
+	// capacity now, and a nearly-done build for a preempted plan is worth
+	// less than hotfix turnaround (DESIGN.md §4l).
+	hotfixPressure := false
+	classOf := map[change.ID]change.Class{}
+	if p.cfg.Sched != nil {
+		for _, c := range pending {
+			classOf[c.ID] = c.Class
+			if c.Class == change.ClassHotfix {
+				hotfixPressure = true
+			}
+		}
+	}
 	now := p.cfg.Now()
 	var keep []*trackedBuild
 	for _, rb := range p.running { // slice order, not map order: keep is the new p.running
@@ -886,6 +935,11 @@ func (p *Planner) reconcile(ctx context.Context, cg *conflict.Graph) (bool, erro
 		}
 		obsolete := p.obsoleteLocked(rb, doneKeys)
 		if !obsolete && p.cfg.PreemptionGrace > 0 && now.Sub(rb.startedAt) >= p.cfg.PreemptionGrace {
+			if hotfixPressure && classOf[rb.build.Subject] != change.ClassHotfix {
+				p.stats.HotfixPreempted++
+				p.cancelRunningLocked(rb, "preempted by hotfix lane")
+				continue
+			}
 			keep = append(keep, rb) // nearly done; let it finish (§10)
 			continue
 		}

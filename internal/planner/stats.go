@@ -48,6 +48,11 @@ type Stats struct {
 	ObsoleteAborted     int
 	SpecBranchesSkipped int
 	SpecBuildsSkipped   int
+
+	// HotfixPreempted counts running builds aborted past their preemption
+	// grace because a P0 hotfix was pending and needed the capacity
+	// (DESIGN.md §4l).
+	HotfixPreempted int
 }
 
 // PrepOps is the total preparation work startBuild performed: analyze calls
@@ -75,5 +80,6 @@ func (s Stats) Gauges() metrics.Gauges {
 		{Name: "obsolete_aborted", Value: float64(s.ObsoleteAborted)},
 		{Name: "spec_branches_skipped", Value: float64(s.SpecBranchesSkipped)},
 		{Name: "spec_builds_skipped", Value: float64(s.SpecBuildsSkipped)},
+		{Name: "hotfix_preempted", Value: float64(s.HotfixPreempted)},
 	}
 }

@@ -1,0 +1,145 @@
+package sched
+
+import "math"
+
+// Batcher chooses speculative batch sizes online from the predictor's
+// per-change success and pairwise conflict probabilities, instead of a
+// fixed Chromium-style size. The model: a batch of k low-risk,
+// conflict-disjoint changes costs one build when it passes; each faulty
+// member (individual failure or an intra-batch conflict) triggers a
+// bisection chain of about 2·log₂(k) extra builds before everyone is
+// decided. With expected faulty members
+//
+//	m(k) = Σᵢ (1 − p_succ(i)) + Σ_{i<j} p_conf(i, j)
+//
+// the expected builds to decide all k members is
+//
+//	B(k) = 1 + m(k) · 2·log₂(k)
+//
+// and the batcher greedily grows a batch while the marginal member still
+// raises decided-members-per-build k/B(k).
+type Batcher struct {
+	// MaxBatch caps members per batch (default 16). Even at P(k) ≈ 1 a
+	// giant batch concentrates bisection risk and turnaround variance.
+	MaxBatch int
+	// MinSucc is the predicted per-change success floor to join a batch
+	// (default 0.5): a change likelier to fail than pass builds alone. The
+	// floor is deliberately loose — with failure attribution the build
+	// system names the guilty member and bisection evicts it in one extra
+	// build, so a moderately risky member costs the batch far less than
+	// exiling it costs an innocent (a whole dedicated build). Moderate risk
+	// is priced by the marginal-admission condition instead, which
+	// naturally shunts high-mass members into small tail groups.
+	MinSucc float64
+	// MaxPairConf is the pairwise conflict-probability ceiling between
+	// batchmates (default 0.05).
+	MaxPairConf float64
+}
+
+// DefaultBatcher returns the production batcher configuration.
+func DefaultBatcher() Batcher {
+	return Batcher{MaxBatch: 16, MinSucc: 0.5, MaxPairConf: 0.05}
+}
+
+func (b Batcher) maxBatch() int {
+	if b.MaxBatch > 0 {
+		return b.MaxBatch
+	}
+	return 16
+}
+
+func (b Batcher) minSucc() float64 {
+	if b.MinSucc > 0 {
+		return b.MinSucc
+	}
+	return 0.5
+}
+
+func (b Batcher) maxPairConf() float64 {
+	if b.MaxPairConf > 0 {
+		return b.MaxPairConf
+	}
+	return 0.05
+}
+
+// expectedBuilds is B(k) for a batch with m expected faulty members.
+func expectedBuilds(k int, m float64) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return 1 + m*2*math.Log2(float64(k))
+}
+
+// Plan partitions candidate indices (in the given order) into build groups:
+// low-risk candidates are greedily grown into batches while the marginal
+// member still improves expected decided-members-per-build; risky
+// candidates and conflict-heavy pairs become singleton groups. pSucc and
+// pConf are the predictor's views of candidate i and pair (i, j); every
+// returned group preserves the input order.
+func (b Batcher) Plan(candidates []int, pSucc func(i int) float64, pConf func(i, j int) float64) [][]int {
+	var groups [][]int
+	var cur []int
+	curFaulty := 0.0
+	flush := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+			curFaulty = 0
+		}
+	}
+	for _, id := range candidates {
+		ps := pSucc(id)
+		if ps < b.minSucc() {
+			// Risky: decide it alone, after the current batch.
+			flush()
+			groups = append(groups, []int{id})
+			continue
+		}
+		faulty := curFaulty + (1 - ps)
+		compatible := len(cur) < b.maxBatch()
+		for _, m := range cur {
+			q := pConf(m, id)
+			if q > b.maxPairConf() {
+				compatible = false
+				break
+			}
+			faulty += q
+		}
+		if compatible && len(cur) > 0 {
+			// Admit only if the marginal member improves efficiency.
+			k := len(cur)
+			if float64(k+1)/expectedBuilds(k+1, faulty) <= float64(k)/expectedBuilds(k, curFaulty) {
+				compatible = false
+			}
+		}
+		if !compatible {
+			flush()
+			cur = []int{id}
+			curFaulty = 1 - ps
+			continue
+		}
+		cur = append(cur, id)
+		curFaulty = faulty
+	}
+	flush()
+	return groups
+}
+
+// Bisect splits a failed batch for re-enqueueing at inherited priority.
+// When the build system attributed the failure to one member (guilty is
+// its position in members), that member is evicted to build alone and the
+// remainder retries as a single batch — one extra build instead of a full
+// log₂ halving cascade. Without attribution it falls back to halving.
+func (b Batcher) Bisect(members []int, guilty int) [][]int {
+	if len(members) <= 1 {
+		return [][]int{members}
+	}
+	if guilty >= 0 && guilty < len(members) {
+		rest := make([]int, 0, len(members)-1)
+		rest = append(rest, members[:guilty]...)
+		rest = append(rest, members[guilty+1:]...)
+		return [][]int{{members[guilty]}, rest}
+	}
+	mid := len(members) / 2
+	return [][]int{members[:mid], members[mid:]}
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"mastergreen/internal/change"
+)
+
+// BenchmarkWeights measures the per-epoch cost of computing the weight and
+// τ-exemption arrays for a 512-change planning window (the scale the
+// ablation-sched experiment holds pending).
+func BenchmarkWeights(b *testing.B) {
+	p := Default()
+	now := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	pending := make([]*change.Change, 512)
+	for i := range pending {
+		c := &change.Change{ID: change.ID(string(rune('a' + i%26)))}
+		switch i % 20 {
+		case 0:
+			c.Class = change.ClassHotfix
+		case 1, 2, 3:
+			c.Class = change.ClassBulk
+			c.Deadline = now.Add(time.Duration(i) * time.Minute)
+		}
+		pending[i] = c
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := p.Weights(pending, now)
+		if w == nil {
+			b.Fatal("window is mixed; weights must be non-nil")
+		}
+	}
+}
+
+// BenchmarkBatcherPlan measures adaptive batch sizing over 512 candidates.
+func BenchmarkBatcherPlan(b *testing.B) {
+	bt := DefaultBatcher()
+	ids := make([]int, 512)
+	for i := range ids {
+		ids[i] = i
+	}
+	pSucc := func(i int) float64 {
+		if i%17 == 0 {
+			return 0.5
+		}
+		return 0.98
+	}
+	pConf := func(i, j int) float64 {
+		if (i+j)%31 == 0 {
+			return 0.2
+		}
+		return 0.002
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if groups := bt.Plan(ids, pSucc, pConf); len(groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}

@@ -134,7 +134,8 @@ func New(r *repo.Repo, intake *queue.Queue, an *conflict.Analyzer, arb *arbiter.
 		ecfg.Budget = perEngine
 		ecfg.Committer = arb
 		ecfg.ShardID = i
-		ecfg.ExternalSubjectState = true // coordinator applies the winner (see collectOutcomesLocked)
+		ecfg.ExternalSubjectState = true       // coordinator applies the winner (see collectOutcomesLocked)
+		ecfg.Sched = cfg.Planner.Sched.Clone() // per-engine policy; nil stays nil
 		eq := queue.New(1)
 		rt.engines = append(rt.engines, &engine{
 			id:      i,

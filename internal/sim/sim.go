@@ -79,6 +79,13 @@ type FinishedBuild struct {
 	FinishedAt  time.Duration
 	// Cost is the worker time the build consumed (start to finish).
 	Cost time.Duration
+	// FailedMember, for a failed batch build whose failure the build system
+	// attributed to one batch member (the real path's Result.FailedTarget),
+	// is that member's change index; -1 otherwise — the failure was caused
+	// by an assumed (non-batch) change, or by a flake, which identifies no
+	// target. Batching strategies evict an attributed member instead of
+	// blindly halving.
+	FailedMember int
 	// used marks results that decided a change (commit or reject); the
 	// useful/wasted compute split reads it at the end of the run.
 	used bool
@@ -96,9 +103,13 @@ type State struct {
 	Workers     int
 	UseAnalyzer bool
 
-	rejected map[int]bool
-	pending  map[int]bool
+	rejected  map[int]bool
+	pending   map[int]bool
+	committed map[int]bool
 }
+
+// IsCommitted reports whether change i has been committed to master.
+func (s *State) IsCommitted(i int) bool { return s.committed[i] }
 
 // IsPending reports whether change i is still undecided and submitted.
 func (s *State) IsPending(i int) bool { return s.pending[i] }
@@ -209,6 +220,13 @@ type Config struct {
 	// finished valid build already holds are aborted eagerly after each
 	// decision instead of running to completion.
 	PruneObsolete bool
+
+	// Classes, when non-nil, labels each change (by index) with its
+	// scheduling class (int(change.Class)) for per-class result metrics.
+	// Labels only — strategy behavior is driven by the strategy's own
+	// class/deadline configuration, so an unprioritized baseline can still
+	// report per-class turnaround for comparison.
+	Classes []int
 }
 
 // Result aggregates a run's measurements.
@@ -248,6 +266,13 @@ type Result struct {
 	// CommittedChanges lists committed change indices in commit order, so
 	// experiments can assert that an optimization changed no decisions.
 	CommittedChanges []int
+	// TurnaroundByClassMin groups TurnaroundAllMin by Config.Classes label
+	// (nil when Classes was nil): the per-priority-class turnaround CDFs of
+	// the ablation-sched experiment.
+	TurnaroundByClassMin map[int][]float64
+	// DecidedAtMin is each change's decision time in virtual minutes, -1 if
+	// never decided; starvation-freedom tests compare it against deadlines.
+	DecidedAtMin []float64
 	// GreenViolations counts commits that would have broken the mainline
 	// (must be zero for every strategy under these semantics).
 	GreenViolations int
@@ -345,9 +370,8 @@ type engine struct {
 	slots    map[int]*runningSlot
 	nextSlot int
 
-	committedSet map[int]bool
-	commitIndex  map[int]int // change -> mainline position
-	decidedAt    map[int]time.Duration
+	commitIndex map[int]int // change -> mainline position
+	decidedAt   map[int]time.Duration
 
 	// finishedBySubject indexes st.Finished entries by subject change.
 	finishedBySubject map[int][]int
@@ -410,9 +434,9 @@ func Run(w *workload.Workload, s Strategy, cfg Config) *Result {
 			UseAnalyzer: cfg.UseAnalyzer,
 			rejected:    map[int]bool{},
 			pending:     map[int]bool{},
+			committed:   map[int]bool{},
 		},
 		slots:             map[int]*runningSlot{},
-		committedSet:      map[int]bool{},
 		commitIndex:       map[int]int{},
 		decidedAt:         map[int]time.Duration{},
 		finishedBySubject: map[int][]int{},
@@ -474,7 +498,7 @@ func (e *engine) handle(ev event) {
 		delete(e.slots, ev.idx)
 		cost := e.now - slot.start
 		e.res.WorkerBusy += cost
-		okRes := e.groundTruthOK(slot)
+		okRes, guilty := e.groundTruth(slot)
 		if e.cfg.FlakePerStepRate > 0 {
 			flaked := false
 			if okRes {
@@ -483,15 +507,30 @@ func (e *engine) handle(ev event) {
 				// flakiness.
 				okRes = e.flakeOutcome(slot)
 				flaked = !okRes
+				if flaked {
+					guilty = -1 // a flake identifies no failing target
+				}
 			}
 			e.flakeFailed[rawSpecKey(slot.spec)] = flaked
 		}
+		// Attribution surfaces only when the cause is a batch member: a
+		// failure caused by an assumed change says nothing about the batch.
+		failedMember := -1
+		if !okRes && guilty >= 0 {
+			for _, m := range slot.spec.Batch {
+				if m == guilty {
+					failedMember = guilty
+					break
+				}
+			}
+		}
 		fb := FinishedBuild{
-			Spec:        slot.spec,
-			BaseCommits: slot.base,
-			OK:          okRes,
-			FinishedAt:  e.now,
-			Cost:        cost,
+			Spec:         slot.spec,
+			BaseCommits:  slot.base,
+			OK:           okRes,
+			FinishedAt:   e.now,
+			Cost:         cost,
+			FailedMember: failedMember,
 		}
 		e.finishedBySubject[fb.Spec.Subject] = append(e.finishedBySubject[fb.Spec.Subject], len(e.st.Finished))
 		e.st.Finished = append(e.st.Finished, fb)
@@ -503,18 +542,22 @@ func (e *engine) handle(ev event) {
 	}
 }
 
-// groundTruthOK evaluates a build's outcome from the workload ground truth.
-func (e *engine) groundTruthOK(slot *runningSlot) bool {
+// groundTruth evaluates a build's outcome from the workload ground truth.
+// On failure it also returns the change index the failure attributes to —
+// the individually-failing change, the later member of a real intra-build
+// conflict, or the applied change that conflicts with an already-committed
+// one (mirroring the real build system's Result.FailedTarget).
+func (e *engine) groundTruth(slot *runningSlot) (ok bool, guilty int) {
 	applied := slot.spec.applied()
 	for _, i := range applied {
 		if !e.w.Changes[i].Succeeds {
-			return false
+			return false, i
 		}
 	}
 	for a := 0; a < len(applied); a++ {
 		for b := a + 1; b < len(applied); b++ {
 			if e.w.Changes[applied[a]].RealConflicts[applied[b]] {
-				return false
+				return false, applied[b]
 			}
 		}
 	}
@@ -522,11 +565,11 @@ func (e *engine) groundTruthOK(slot *runningSlot) bool {
 	for _, i := range applied {
 		for j := range e.w.Changes[i].RealConflicts {
 			if pos, ok := e.commitIndex[j]; ok && pos < slot.base {
-				return false
+				return false, i
 			}
 		}
 	}
-	return true
+	return true, -1
 }
 
 // rawSpecKey renders a build spec's raw shape (subject, applied list,
@@ -657,14 +700,14 @@ func (e *engine) normalize(spec BuildSpec, base int) (remaining []int, valid boo
 	if len(spec.Batch) > 0 {
 		// Batch members must not have been separately resolved.
 		for _, m := range spec.Batch {
-			if e.committedSet[m] || e.st.rejected[m] {
+			if e.st.committed[m] || e.st.rejected[m] {
 				return nil, false
 			}
 		}
 	}
 	var rejectedAssumption map[int]bool
 	for _, r := range spec.AssumedRejected {
-		if e.committedSet[r] {
+		if e.st.committed[r] {
 			return nil, false // assumed rejected but actually committed
 		}
 		if rejectedAssumption == nil {
@@ -830,13 +873,13 @@ func (e *engine) commit(i int) {
 		e.res.GreenViolations++
 	}
 	for j := range e.w.Changes[i].RealConflicts {
-		if e.committedSet[j] {
+		if e.st.committed[j] {
 			e.res.GreenViolations++
 		}
 	}
 	e.commitIndex[i] = len(e.st.Committed)
 	e.st.Committed = append(e.st.Committed, i)
-	e.committedSet[i] = true
+	e.st.committed[i] = true
 	e.removePending(i)
 	e.decidedAt[i] = e.now
 	e.res.Committed++
@@ -855,7 +898,7 @@ func (e *engine) reject(i int) {
 	if e.cfg.FlakePerStepRate > 0 && e.w.Changes[i].Succeeds {
 		innocent := true
 		for j := range e.w.Changes[i].RealConflicts {
-			if e.committedSet[j] {
+			if e.st.committed[j] {
 				innocent = false
 				break
 			}
@@ -1158,18 +1201,31 @@ func (e *engine) finishMetrics(w *workload.Workload) {
 	if len(w.Changes) > 0 {
 		firstArrival = w.Changes[0].SubmitAt
 	}
+	if e.cfg.Classes != nil {
+		e.res.TurnaroundByClassMin = make(map[int][]float64)
+	}
+	e.res.DecidedAtMin = make([]float64, len(w.Changes))
 	for _, c := range w.Changes {
 		at, ok := e.decidedAt[c.Index]
 		if !ok {
 			e.res.Undecided++
+			e.res.DecidedAtMin[c.Index] = -1
 			continue
 		}
+		e.res.DecidedAtMin[c.Index] = at.Minutes()
 		if at > lastDecision {
 			lastDecision = at
 		}
 		turn := (at - c.SubmitAt).Minutes()
 		e.res.TurnaroundAllMin = append(e.res.TurnaroundAllMin, turn)
-		if e.committedSet[c.Index] {
+		if e.cfg.Classes != nil {
+			cl := 0
+			if c.Index < len(e.cfg.Classes) {
+				cl = e.cfg.Classes[c.Index]
+			}
+			e.res.TurnaroundByClassMin[cl] = append(e.res.TurnaroundByClassMin[cl], turn)
+		}
+		if e.st.committed[c.Index] {
 			e.res.TurnaroundCommittedMin = append(e.res.TurnaroundCommittedMin, turn)
 		}
 	}

@@ -152,6 +152,18 @@ type Request struct {
 	// Budget is the maximum number of builds to return; <= 0 means
 	// unlimited (bounded internally by a safety cap).
 	Budget int
+	// Weights, if non-nil, is parallel to Pending: a scheduling weight
+	// (internal/sched — priority class × deadline urgency) multiplied into
+	// each change's benefit B, so node values V = B·P_needed order builds
+	// by *weighted* expected commits. Nil means all 1 — the unweighted
+	// engine, bit-for-bit.
+	Weights []float64
+	// NoSkip, if non-nil, is parallel to Pending: subjects exempt from
+	// SkipThreshold τ-gating (neither floor-drop nor branch-skip prune
+	// their trees). The sched layer sets it for the P0 hotfix lane, whose
+	// modal path must keep every hedge — a wrong skip there costs a
+	// restart exactly when turnaround matters most.
+	NoSkip []bool
 }
 
 // Plan is the prioritized output of the engine.
@@ -274,13 +286,56 @@ func (e *Engine) Plan(req Request) Plan {
 		plan.PCommit[c.ID] = p.pCommit[i]
 	}
 
-	// Per-change benefit weights (default 1).
+	// Per-change benefit weights (default 1), scaled by the scheduler's
+	// priority/deadline weight when one is supplied. Weighted requests get
+	// priority inheritance: a change's decision is gated by its pending
+	// conflicting predecessors, so each predecessor inherits the maximum
+	// weight (and τ-gating exemption) of the changes it blocks,
+	// transitively. Without this a hotfix's own assumption subtree would
+	// crowd the entire budget while the predecessor builds needed to resolve
+	// it never rank high enough to be planned — a livelock, not a priority.
+	weights, skipExempt := req.Weights, req.NoSkip
+	if weights != nil {
+		weights = append([]float64(nil), weights...)
+		if skipExempt != nil {
+			skipExempt = append([]bool(nil), skipExempt...)
+		}
+		// Inherited weight decays by half per hop: direct predecessors of a
+		// hotfix must outrank ordinary work, but in a dense conflict graph
+		// full transitive inheritance would spread the top weight over most
+		// of the backlog and erase the differentiation it exists to create.
+		// The decay is floored at parity (1): a predecessor gating
+		// normal-or-better work must itself plan at normal priority, or a
+		// down-weighted bulk change at the bottom of a chain starves behind
+		// an endless stream of fresh normal roots — and the whole chain
+		// above it with it.
+		for i := n - 1; i >= 0; i-- {
+			for _, j := range p.preds[i] {
+				w := weights[i] / 2
+				if w < 1 && weights[i] >= 1 {
+					w = 1
+				}
+				if w > weights[j] {
+					weights[j] = w
+				}
+				if skipExempt != nil && skipExempt[i] {
+					skipExempt[j] = true
+				}
+			}
+		}
+	}
 	p.benefit = make([]float64, n)
 	for i, c := range req.Pending {
 		p.benefit[i] = 1
 		if c.Benefit > 0 {
 			p.benefit[i] = c.Benefit
 		}
+		if weights != nil {
+			p.benefit[i] *= weights[i]
+		}
+	}
+	noSkip := func(subject int) bool {
+		return skipExempt != nil && skipExempt[subject]
 	}
 
 	// Per-subject branch sets: the most recent `depth` conflicting
@@ -323,6 +378,11 @@ func (e *Engine) Plan(req Request) Plan {
 		floor = 1 - e.SkipThreshold
 	}
 
+	var plannedSubject []bool
+	if weights != nil {
+		plannedSubject = make([]bool, n)
+	}
+
 	pops := 0
 	for h.Len() > 0 && len(plan.Builds) < budget && pops < maxPops {
 		nd := heap.Pop(h).(node)
@@ -332,7 +392,7 @@ func (e *Engine) Plan(req Request) Plan {
 			// result can never be needed is pure waste (§4.2.1).
 			break
 		}
-		if floor > 0 && nd.prob <= floor && !nd.modal &&
+		if floor > 0 && nd.prob <= floor && !nd.modal && !noSkip(nd.subject) &&
 			int(nd.depth) >= minSkipAssumptions {
 			// P_needed is monotone non-increasing along expansion, so no
 			// descendant of this node is viable either. Two exemptions keep
@@ -348,6 +408,9 @@ func (e *Engine) Plan(req Request) Plan {
 		br := branch[nd.subject]
 		if int(nd.depth) == len(br) {
 			plan.Builds = append(plan.Builds, p.finishBuild(nd, branch[nd.subject], fixed[nd.subject]))
+			if plannedSubject != nil {
+				plannedSubject[nd.subject] = true
+			}
 			continue
 		}
 		// Branch on predecessor br[nd.depth]. Its in-context commit
@@ -365,7 +428,7 @@ func (e *Engine) Plan(req Request) Plan {
 			prob:    nd.prob * q,
 			value:   nd.prob * q * b,
 		}
-		if e.SkipThreshold > 0 && q >= e.SkipThreshold &&
+		if e.SkipThreshold > 0 && q >= e.SkipThreshold && !noSkip(nd.subject) &&
 			int(nd.depth)+1 >= minSkipAssumptions {
 			// Predictor-gated skip: the predecessor is near-certain to
 			// commit, so the reject-subtree's hedge builds are not worth
@@ -387,6 +450,24 @@ func (e *Engine) Plan(req Request) Plan {
 		}
 		heap.Push(h, commitChild)
 		heap.Push(h, rejectChild)
+	}
+
+	// Liveness under weighting: skewed weights can fill the entire budget
+	// with one subtree's builds — all of which the caller may already have
+	// finished — while the assumption-free builds that actually decide the
+	// bottoms of the pending chains never rank. Every decision chain bottoms
+	// out at a change with no pending predecessors, so appending those root
+	// builds past the budget guarantees the caller always has a decisive
+	// build to start. The unweighted value function cannot produce this
+	// starvation (P_needed decay interleaves subjects), so the unweighted
+	// plan is left bit-for-bit unchanged.
+	if weights != nil {
+		for i := range req.Pending {
+			if len(p.preds[i]) == 0 && !plannedSubject[i] {
+				root := node{subject: i, modal: true, prob: 1, value: p.benefit[i]}
+				plan.Builds = append(plan.Builds, p.finishBuild(root, nil, nil))
+			}
+		}
 	}
 	return plan
 }

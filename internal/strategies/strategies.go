@@ -25,13 +25,21 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"mastergreen/internal/change"
 	"mastergreen/internal/predict"
+	"mastergreen/internal/sched"
 	"mastergreen/internal/sim"
 	"mastergreen/internal/speculation"
 	"mastergreen/internal/workload"
 )
+
+// SimEpoch anchors the simulator's virtual clock to wall-clock types: a
+// change whose deadline is D minutes of virtual time carries
+// Meta.Deadline = SimEpoch.Add(D), and sched policies evaluate urgency
+// against SimEpoch.Add(st.Now).
+var SimEpoch = time.Unix(0, 0).UTC()
 
 // indexOf decodes a workload change ID ("c000123") back to its index.
 func indexOf(id change.ID) int {
@@ -177,6 +185,15 @@ type Speculative struct {
 	// was confident their result would never be used (P_needed ≤ 1−τ).
 	SkippedBranches int
 	SkippedBuilds   int
+
+	// Sched, when non-nil, turns on priority-lane planning (DESIGN.md §4l):
+	// each pending change's Class/Deadline (on its workload Meta, with
+	// deadlines anchored at SimEpoch) becomes a weight multiplied into the
+	// engine's value function and a τ-gating exemption for the P0 lane, and
+	// each build's sim priority becomes its *weighted* value — so the sim's
+	// worker preemption implements the hotfix lane displacing running
+	// speculative builds. Nil reproduces the unprioritized planner exactly.
+	Sched *sched.Policy
 }
 
 // feedback accumulates per-change speculation evidence.
@@ -343,18 +360,31 @@ func (s *Speculative) Plan(st *sim.State) []sim.BuildSpec {
 			}
 		}
 	}
+	var weights []float64
+	var noSkip []bool
+	if s.Sched != nil {
+		weights, noSkip = s.Sched.Weights(pending, SimEpoch.Add(st.Now))
+	}
 	plan := s.Engine.Plan(speculation.Request{
 		Pending: pending,
 		Preds:   preds,
 		Budget:  st.Workers,
+		Weights: weights,
+		NoSkip:  noSkip,
 	})
 	s.SkippedBranches += plan.BranchesSkipped
 	s.SkippedBuilds += plan.BuildsSkipped
 	out := make([]sim.BuildSpec, 0, len(plan.Builds))
 	for _, b := range plan.Builds {
+		prio := b.PNeeded
+		if weights != nil {
+			// Weighted value, not P_needed: a P0's build must outrank — and
+			// preempt — every other lane's at the worker pool.
+			prio = b.Value
+		}
 		spec := sim.BuildSpec{
 			Subject:  window[b.SubjectIdx],
-			Priority: b.PNeeded,
+			Priority: prio,
 		}
 		for _, a := range b.AssumedIdx {
 			spec.Assumed = append(spec.Assumed, window[a])
@@ -363,6 +393,35 @@ func (s *Speculative) Plan(st *sim.State) []sim.BuildSpec {
 			spec.AssumedRejected = append(spec.AssumedRejected, window[r])
 		}
 		out = append(out, spec)
+	}
+	if weights != nil {
+		// Hotfix bypass: a P0 gated behind pending conflicting predecessors
+		// would otherwise wait for its whole predecessor cascade to build
+		// and decide — worker-pool-bound under a deep backlog, exactly when
+		// the hotfix is most urgent. Instead the P0 lane jumps the queue:
+		// one reorder build against bare master, committed ahead of the
+		// work in front of it. The green invariant survives out-of-order
+		// commits for free — a displaced predecessor's finished builds no
+		// longer normalize against the moved master, so it rebuilds on top
+		// of the hotfix and a real conflict turns into its rejection, never
+		// a red master. The cost (invalidated predecessor speculation) is
+		// the preemption the P0 lane exists to spend.
+		var bypass []sim.BuildSpec
+		for k, c := range pending {
+			if c.Class != change.ClassHotfix {
+				continue
+			}
+			i := window[k]
+			if len(st.PendingConflictingPredecessors(i)) == 0 {
+				continue // the ordinary plan already decides it first
+			}
+			bypass = append(bypass, sim.BuildSpec{
+				Subject:      i,
+				AllowReorder: true,
+				Priority:     s.Sched.ClassWeight(change.ClassHotfix),
+			})
+		}
+		out = append(bypass, out...)
 	}
 	if s.ReorderSmall {
 		out = append(out, s.reorderSpecs(st)...)
@@ -412,14 +471,20 @@ type Batch struct {
 func (b *Batch) Name() string { return fmt.Sprintf("Batch-%d", b.size()) }
 
 func (b *Batch) size() int {
-	if b.BatchSize <= 1 {
-		return 4
+	if b.BatchSize < 1 {
+		return 4 // zero value: the Chromium CQ's default group size
 	}
 	return b.BatchSize
 }
 
 // Plan implements sim.Strategy.
 func (b *Batch) Plan(st *sim.State) []sim.BuildSpec {
+	// Attributed failures first: when the build system identified the batch
+	// member that failed (FailedMember — the real path's
+	// Result.FailedTarget), that change is evicted to build alone and its
+	// innocent batchmates re-batch at full size, instead of everyone paying
+	// the blind halving cascade.
+	solo := b.evicted(st)
 	// Group ready changes greedily: a change joins the current batch if it
 	// has no pending conflicting predecessor outside the batch.
 	var out []sim.BuildSpec
@@ -439,6 +504,14 @@ func (b *Batch) Plan(st *sim.State) []sim.BuildSpec {
 		curSet = map[int]bool{}
 	}
 	for _, i := range st.Pending {
+		if solo[i] {
+			// The evicted member builds alone — decisively, so only once its
+			// own conflicting predecessors are resolved.
+			if !st.HasPendingConflictingPredecessor(i) {
+				out = append(out, sim.BuildSpec{Subject: i, Priority: -float64(i)})
+			}
+			continue
+		}
 		// A change may only join the batch that already contains all of its
 		// pending conflicting predecessors; cross-batch dependencies would
 		// break atomic batch commits.
@@ -464,10 +537,30 @@ func (b *Batch) Plan(st *sim.State) []sim.BuildSpec {
 	return out
 }
 
+// evicted returns the still-pending members recent failed batches attribute
+// their failure to: each builds as a singleton whose failure rejects only
+// itself.
+func (b *Batch) evicted(st *sim.State) map[int]bool {
+	solo := map[int]bool{}
+	for k := len(st.Finished) - 1; k >= 0 && k >= len(st.Finished)-64; k-- {
+		fb := st.Finished[k]
+		if fb.OK || len(fb.Spec.Batch) < 2 || fb.FailedMember < 0 {
+			continue
+		}
+		if st.IsPending(fb.FailedMember) {
+			solo[fb.FailedMember] = true
+		}
+	}
+	return solo
+}
+
 // effectiveSize implements bisect-on-failure: a change that appeared in a
 // failed batch build may only join a batch half that batch's size, so
 // repeated failures shrink to singletons, whose failures the engine resolves
-// as terminal rejections.
+// as terminal rejections. The halving applies even when the failure was
+// attributed (the guilty member is evicted separately, see evicted):
+// conflicts cluster in submission windows, so the survivors of a failed
+// batch re-roll the same dice and deserve the same caution.
 func (b *Batch) effectiveSize(st *sim.State, cur []int) int {
 	size := b.size()
 	for k := len(st.Finished) - 1; k >= 0 && k >= len(st.Finished)-64; k-- {
@@ -492,6 +585,311 @@ func (b *Batch) effectiveSize(st *sim.State, cur []int) int {
 	return size
 }
 
+// AdaptiveBatch is the sched-layer batching strategy (DESIGN.md §4l): it
+// groups low-risk conflict-disjoint changes into one speculative build, with
+// the batch size chosen online by sched.Batcher's expected-cost model over
+// the predictor's success and pairwise conflict probabilities — against the
+// fixed Chromium-style Batch baseline. A failed batch is bisected
+// automatically: the attributed guilty member is evicted to build alone,
+// otherwise the halves re-enqueue as batches, either way at the failed
+// batch's inherited priority.
+//
+// An AdaptiveBatch instance carries per-run bisection state and must not be
+// shared across sim.Run calls.
+type AdaptiveBatch struct {
+	W *workload.Workload
+	// B sizes batches; zero fields fall back to sched's defaults.
+	B sched.Batcher
+
+	pred predict.Predictor
+
+	// forced maps a change index to the group it must build with: pinned
+	// planner groups (kept stable while they pend) and bisection fragments
+	// of failed batches.
+	forced  map[int]*abFragment
+	scanned int // st.Finished prefix already folded
+
+	// obsFail/predFail accumulate observed vs predicted failure mass over
+	// this run's finished builds, driving calibration().
+	obsFail  float64
+	predFail float64
+
+	// Evictions counts attributed guilty-member evictions; Halvings counts
+	// unattributed halving splits. The ablation-sched experiment reports
+	// both.
+	Evictions int
+	Halvings  int
+}
+
+// abFragment is one piece of a bisected batch, re-enqueued at the parent
+// build's priority.
+type abFragment struct {
+	members []int
+	prio    float64
+}
+
+// NewAdaptiveBatch builds the strategy with memoized predictions.
+func NewAdaptiveBatch(w *workload.Workload, p predict.Predictor, b sched.Batcher) *AdaptiveBatch {
+	return &AdaptiveBatch{
+		W:      w,
+		B:      b,
+		pred:   newMemoPredictor(p),
+		forced: map[int]*abFragment{},
+	}
+}
+
+// Name implements sim.Strategy.
+func (a *AdaptiveBatch) Name() string { return "Adaptive-Batch" }
+
+// Plan implements sim.Strategy.
+func (a *AdaptiveBatch) Plan(st *sim.State) []sim.BuildSpec {
+	a.fold(st)
+
+	// Ready = no pending conflicting predecessors at all. Members of one
+	// batch are therefore pairwise analyzer-disjoint (if i<j conflicted, j
+	// would have i as a pending predecessor), which is what lets the whole
+	// batch commit atomically without assumption chains.
+	// Running batches are pinned: re-emitting a running build's exact spec
+	// keeps it in the desired set, while regrouping its members (because a
+	// neighbor decided or calibration moved) would change the desired
+	// build's identity and churn-abort work that was on track. The pin set
+	// is rebuilt from st.Running each plan — only work actually on a
+	// worker is protected; everything queued regroups freely.
+	pinnedRun := map[int]int{} // member -> st.Running index
+	for ri, rb := range st.Running {
+		if len(rb.Spec.Batch) > 1 {
+			for _, m := range rb.Spec.Batch {
+				pinnedRun[m] = ri
+			}
+		}
+	}
+
+	var out []sim.BuildSpec
+	emitted := map[*abFragment]bool{}
+	emittedRun := map[int]bool{}
+	var free []int
+	blocked := false
+	for _, i := range st.Pending {
+		if st.HasPendingConflictingPredecessor(i) {
+			blocked = true
+			continue
+		}
+		if fr := a.forced[i]; fr != nil {
+			if !emitted[fr] {
+				emitted[fr] = true
+				out = append(out, a.fragmentSpec(st, fr))
+			}
+			continue
+		}
+		if ri, ok := pinnedRun[i]; ok {
+			if !emittedRun[ri] {
+				emittedRun[ri] = true
+				out = append(out, st.Running[ri].Spec)
+			}
+			continue
+		}
+		free = append(free, i)
+	}
+
+	// Effective success folds two corrections into the batcher's view.
+	//
+	// Doom risk: a ready change whose potential-conflict partner already
+	// committed can fail its build no matter how reliable it is in
+	// isolation — the predictor's isolated P_succ is blind to exactly the
+	// members that poison large batches. Discounting by the predicted
+	// no-conflict probability against every committed partner pushes the
+	// doomed below the batcher's MinSucc floor, so they build alone and
+	// their failure never taxes innocents.
+	//
+	// Calibration: a logistic model saturates well below the true success
+	// rate of genuinely reliable traffic (it cannot say 0.999 from these
+	// features), and the inflated per-member failure rate caps the cost
+	// model's batch size far under what the traffic supports. calibration()
+	// rescales the predicted failure mass by the observed-vs-predicted
+	// failure ratio of this run's own finished builds — the "adaptive" in
+	// adaptive batching.
+	beta := a.calibration()
+	pSucc := func(i int) float64 {
+		p := 1 - (1-a.pred.PredictSuccess(a.W.Changes[i].Meta))*beta
+		for j := range a.W.Changes[i].PotentialConflicts {
+			if st.IsCommitted(j) {
+				p *= 1 - beta*a.pred.PredictConflict(a.W.Changes[i].Meta, a.W.Changes[j].Meta)
+			}
+		}
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}
+	// The pairwise term consults the analyzer before the model: a conflict
+	// requires overlapping build targets, so for an analyzer-disjoint pair
+	// the true probability is zero and the model's logistic floor (~1% on
+	// any pair, from features alone) is pure noise — accumulated over a
+	// batch's O(k²) pairs it would stall growth long before the traffic
+	// warrants it. Only analyzer-flagged pairs get the model's (calibrated)
+	// estimate. Ready candidates are pairwise disjoint by construction, so
+	// in practice this term prices fragments and future non-disjoint
+	// groupings, not the main batch run.
+	pConf := func(i, j int) float64 {
+		if _, flagged := a.W.Changes[i].PotentialConflicts[j]; !flagged {
+			return 0
+		}
+		return beta * a.pred.PredictConflict(a.W.Changes[i].Meta, a.W.Changes[j].Meta)
+	}
+	// Safest-first ordering: the batcher partitions candidates in the
+	// given order, and a below-floor member flushes the batch being grown.
+	// Sorted by effective success, risky candidates cluster at the tail in
+	// their own small groups instead of cutting healthy runs short.
+	sort.SliceStable(free, func(x, y int) bool {
+		px, py := pSucc(free[x]), pSucc(free[y])
+		if px != py {
+			return px > py
+		}
+		return free[x] < free[y]
+	})
+	// Pooling: when running builds will commit members whose completion
+	// unblocks more candidates, a small group is held back rather than
+	// built — it can only grow, and a build spent on two changes now is a
+	// build not spent on twelve a cycle later. Risky singletons are exempt
+	// (their dedicated build is inevitable, so it may as well use idle
+	// capacity), and the hold lifts the moment nothing is running or
+	// nothing is left to unblock, so the queue always drains.
+	mb := a.B.MaxBatch
+	if mb <= 0 {
+		mb = 16
+	}
+	ms := a.B.MinSucc
+	if ms <= 0 {
+		ms = 0.5
+	}
+	pool := blocked && len(st.Running) > 0
+	for _, group := range a.B.Plan(free, pSucc, pConf) {
+		if pool && len(group) < mb/2 && !(len(group) == 1 && pSucc(group[0]) < ms) {
+			continue
+		}
+		out = append(out, groupSpec(group, -float64(group[0])))
+	}
+	return out
+}
+
+// calibration returns the multiplier applied to predicted failure mass:
+// observed failures over predicted failures across this run's finished
+// builds, smoothed with one pseudo-failure so an early lucky streak cannot
+// collapse it to zero, and clamped to [1/8, 4]. Reliable traffic drives it
+// below 1, letting batches grow toward what outcomes justify; a model that
+// is too optimistic drives it above 1 and shrinks them.
+// CalibrationFactor exposes the current calibration multiplier (see
+// calibration) for dashboards and experiment reports.
+func (a *AdaptiveBatch) CalibrationFactor() float64 { return a.calibration() }
+
+func (a *AdaptiveBatch) calibration() float64 {
+	if a.predFail < 2 {
+		return 1
+	}
+	beta := (a.obsFail + 1) / (a.predFail + 1)
+	if beta < 0.125 {
+		beta = 0.125
+	}
+	if beta > 4 {
+		beta = 4
+	}
+	return beta
+}
+
+// fold ingests newly finished builds: each failed multi-member batch is
+// bisected (guilty eviction when attributed, halving otherwise) and the
+// fragments pinned so members re-build together at inherited priority.
+func (a *AdaptiveBatch) fold(st *sim.State) {
+	for ; a.scanned < len(st.Finished); a.scanned++ {
+		fb := st.Finished[a.scanned]
+		// Calibration bookkeeping, on multi-member batch builds only: their
+		// failure rate is exactly what the cost model predicts from member
+		// success and pair conflict mass. Singleton builds are excluded —
+		// retries, verification re-runs, and doom-exiled members fail for
+		// reasons the isolated predictions never modeled, and folding those
+		// in would push the calibration the wrong way.
+		if len(fb.Spec.Batch) > 1 {
+			pOK := 1.0
+			for _, m := range fb.Spec.Batch {
+				pOK *= a.pred.PredictSuccess(a.W.Changes[m].Meta)
+				// Doom mass vs already-committed flagged partners, the same
+				// failure mode the planning closure discounts — predicted and
+				// observed mass must cover identical modes or the ratio
+				// drifts. Commit state at fold time slightly postdates the
+				// build's start; the overcount is second-order.
+				for j := range a.W.Changes[m].PotentialConflicts {
+					if st.IsCommitted(j) {
+						pOK *= 1 - a.pred.PredictConflict(a.W.Changes[m].Meta, a.W.Changes[j].Meta)
+					}
+				}
+			}
+			// Pair mass only for analyzer-flagged intra-batch pairs,
+			// mirroring the Plan closure: disjoint pairs cannot conflict, so
+			// folding the model's logistic floor for them would inflate the
+			// predicted mass the calibration divides by.
+			for x := 0; x < len(fb.Spec.Batch); x++ {
+				for y := x + 1; y < len(fb.Spec.Batch); y++ {
+					bx, by := fb.Spec.Batch[x], fb.Spec.Batch[y]
+					if a.W.Changes[bx].PotentialConflicts[by] {
+						pOK *= 1 - a.pred.PredictConflict(a.W.Changes[bx].Meta, a.W.Changes[by].Meta)
+					}
+				}
+			}
+			a.predFail += 1 - pOK
+			if !fb.OK {
+				a.obsFail++
+			}
+		}
+		if fb.OK || len(fb.Spec.Batch) < 2 {
+			continue
+		}
+		guilty := -1
+		for p, m := range fb.Spec.Batch {
+			if m == fb.FailedMember {
+				guilty = p
+				break
+			}
+		}
+		if guilty >= 0 {
+			a.Evictions++
+		} else {
+			a.Halvings++
+		}
+		for _, part := range a.B.Bisect(fb.Spec.Batch, guilty) {
+			fr := &abFragment{members: part, prio: fb.Spec.Priority}
+			for _, m := range part {
+				a.forced[m] = fr
+			}
+		}
+	}
+}
+
+// fragmentSpec renders a bisection fragment, dropping members decided since
+// the split.
+func (a *AdaptiveBatch) fragmentSpec(st *sim.State, fr *abFragment) sim.BuildSpec {
+	live := make([]int, 0, len(fr.members))
+	for _, m := range fr.members {
+		if st.IsPending(m) {
+			live = append(live, m)
+		}
+	}
+	return groupSpec(live, fr.prio)
+}
+
+// groupSpec renders one conflict-disjoint group: a plain build for a
+// singleton (its failure is a terminal rejection), an atomic batch
+// otherwise.
+func groupSpec(members []int, prio float64) sim.BuildSpec {
+	if len(members) == 1 {
+		return sim.BuildSpec{Subject: members[0], Priority: prio}
+	}
+	return sim.BuildSpec{
+		Subject:  members[len(members)-1],
+		Batch:    append([]int(nil), members...),
+		Priority: prio,
+	}
+}
+
 // Interface checks.
 var (
 	_ sim.Strategy = (*Oracle)(nil)
@@ -499,4 +897,5 @@ var (
 	_ sim.Strategy = Optimistic{}
 	_ sim.Strategy = (*Speculative)(nil)
 	_ sim.Strategy = (*Batch)(nil)
+	_ sim.Strategy = (*AdaptiveBatch)(nil)
 )
